@@ -1,0 +1,67 @@
+// Ablation A4: runtime code generation. Two views:
+//  1. Device model: the generated codelet vs the interpreted kernel on the
+//     simulated GPU (the codelet embeds indices as immediates -> fewer
+//     metadata loads and less index arithmetic).
+//  2. Host reality: wall-clock CPU SpMV with the JIT-compiled codelet vs
+//     the interpreted CRSD loop, plus the one-off compilation cost the
+//     paper accepts for OpenCL runtime compilation.
+#include <cstdio>
+
+#include "codegen/crsd_jit_kernel.hpp"
+#include "common/timer.hpp"
+#include "core/builder.hpp"
+#include "matrix/paper_suite.hpp"
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const SuiteOptions opts = SuiteOptions::parse(argc, argv);
+
+  std::printf("== Ablation: generated codelet vs interpreted kernel ==\n\n");
+  std::printf("-- simulated GPU (double, GFLOPS) --\n");
+  std::printf("%-14s %10s %12s %8s\n", "matrix", "codelet", "interpreted",
+              "ratio");
+  for (int id : {3, 9, 15, 18}) {
+    SuiteOptions jit = opts;
+    jit.only_matrix = id;
+    jit.jit_codelet_model = true;
+    SuiteOptions interp = jit;
+    interp.jit_codelet_model = false;
+    const auto rj = run_gpu_suite<double>(jit);
+    const auto ri = run_gpu_suite<double>(interp);
+    const double gj = rj[0].cell(Format::kCrsd).gflops;
+    const double gi = ri[0].cell(Format::kCrsd).gflops;
+    std::printf("%-14s %10.2f %12.2f %8.3f\n", rj[0].name.c_str(), gj, gi,
+                gj / gi);
+  }
+
+  if (!codegen::JitCompiler::compiler_available()) {
+    std::printf("\nno host compiler found; skipping wall-clock half\n");
+    return 0;
+  }
+
+  std::printf("\n-- host CPU wall-clock (double) --\n");
+  std::printf("%-14s %12s %12s %8s %14s\n", "matrix", "codelet us",
+              "interp us", "ratio", "compile ms");
+  codegen::JitCompiler compiler;
+  for (int id : {3, 9, 15, 18}) {
+    const auto& spec = paper_matrix(id);
+    const auto a = spec.generate(opts.scale);
+    const auto m = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+
+    Timer build_timer;
+    const codegen::CrsdJitKernel<double> kernel(m, compiler);
+    const double compile_ms = build_timer.millis();
+
+    const double t_jit =
+        time_per_rep([&] { kernel.spmv(m, x.data(), y.data()); }) * 1e6;
+    const double t_interp =
+        time_per_rep([&] { m.spmv(x.data(), y.data()); }) * 1e6;
+    std::printf("%-14s %12.1f %12.1f %8.2f %14.1f\n", spec.name.c_str(),
+                t_jit, t_interp, t_interp / t_jit, compile_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A7: the two Bell-Garland CSR kernels (scalar: one work-item per
+// row; vector: one wavefront per row). The crossover sits around one
+// wavefront's worth of nonzeros per row — narrow-row matrices favour
+// scalar, wide-row matrices favour vector. The figure benches use the
+// vector kernel, which wins on most of the suite's row widths.
+#include <cstdio>
+
+#include "kernels/gpu_spmv.hpp"
+#include "matrix/paper_suite.hpp"
+#include "matrix/stats.hpp"
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+
+  std::printf("== Ablation: CSR scalar vs vector kernel (double, GFLOPS at "
+              "full size) ==\n");
+  std::printf("%-14s %9s %10s %10s %8s\n", "matrix", "nnz/row", "scalar",
+              "vector", "winner");
+  for (int id : {5, 7, 9, 3, 15, 17}) {
+    const auto& spec = paper_matrix(id);
+    const auto a = spec.generate(opts.scale);
+    const double factor = double(spec.full_nnz) / double(a.nnz());
+    const auto stats = compute_stats(a);
+    const auto m = CsrMatrix<double>::from_coo(a);
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+
+    auto full_size_gflops = [&](const gpusim::LaunchResult& r) {
+      gpusim::LaunchConfig est;
+      est.num_groups = 1;
+      est.group_size = 1;
+      est.double_precision = true;
+      est.launches = r.launches;
+      const double secs = gpusim::estimate_seconds(
+          gpusim::DeviceSpec::tesla_c2050(), scale_counters(r.counters, factor),
+          est);
+      return 2.0 * double(spec.full_nnz) / secs / 1e9;
+    };
+    gpusim::Device d1(gpusim::DeviceSpec::tesla_c2050());
+    const double g_scalar = full_size_gflops(
+        kernels::gpu_spmv_csr_scalar(d1, m, x.data(), y.data()));
+    gpusim::Device d2(gpusim::DeviceSpec::tesla_c2050());
+    const double g_vector = full_size_gflops(
+        kernels::gpu_spmv_csr_vector(d2, m, x.data(), y.data()));
+    std::printf("%-14s %9.1f %10.2f %10.2f %8s\n", spec.name.c_str(),
+                stats.avg_nnz_per_row, g_scalar, g_vector,
+                g_scalar > g_vector ? "scalar" : "vector");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation A3: the idle-section fill/break trade-off (§II-C: "it all
+// depends on the property of matrices"). Sweeps the gap-bridging budget and
+// the per-segment occupancy threshold on the idle-section-heavy families
+// (ecology, Lin, us*) and reports what the builder did and what it costs.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "kernels/crsd_gpu.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/paper_suite.hpp"
+#include "suite_runner.hpp"
+
+namespace {
+
+struct Workload {
+  std::string name;
+  crsd::Coo<double> matrix;
+  double extrapolation = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const SuiteOptions opts = SuiteOptions::parse(argc, argv);
+
+  std::vector<Workload> workloads;
+  for (int id : {5, 14, 21}) {
+    const auto& spec = paper_matrix(id);
+    auto a = spec.generate(opts.scale);
+    const double factor = double(spec.full_nnz) / double(a.nnz());
+    workloads.push_back({spec.name, std::move(a), factor});
+  }
+  {
+    // Perforated diagonals: every diagonal is only ~45% occupied at random,
+    // so the per-segment occupancy threshold decides fill-zeros vs scatter.
+    Rng rng(77);
+    std::vector<PatternBlock> blocks(1);
+    blocks[0] = {65536, {-9, -3, 0, 3, 9}};
+    workloads.push_back(
+        {"perforated45", patterned_diagonals(65536, blocks, 0.45, rng), 1.0});
+  }
+
+  std::printf("== Ablation: idle-section fill vs break (double) ==\n");
+  std::printf("%-14s %5s %9s %10s %12s %9s %10s\n", "matrix", "gap",
+              "min fill", "patterns", "fill ratio", "scatter", "GFLOPS");
+  for (const Workload& w : workloads) {
+    const auto& a = w.matrix;
+    const double factor = w.extrapolation;
+    const size64_t full_nnz = static_cast<size64_t>(double(a.nnz()) * factor);
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+    for (index_t gap : {0, 1, 4, 16}) {
+      for (double min_fill : {0.25, 0.5, 0.9}) {
+        CrsdConfig cfg;
+        cfg.mrows = opts.mrows;
+        cfg.fill_max_gap_segments = gap;
+        cfg.live_min_fill = min_fill;
+        const auto m = build_crsd(a, cfg);
+        const CrsdStats st = m.stats();
+        gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+        const auto r = kernels::gpu_spmv_crsd(dev, m, x.data(), y.data());
+        gpusim::LaunchConfig est;
+        est.num_groups = 1;
+        est.group_size = 1;
+        est.double_precision = true;
+        const double secs = gpusim::estimate_seconds(
+            dev.spec(), scale_counters(r.counters, factor), est);
+        std::printf("%-14s %5d %8.2f %10d %11.1f%% %9d %10.2f\n",
+                    w.name.c_str(), gap, min_fill, st.num_patterns,
+                    100.0 * st.fill_ratio(), st.num_scatter_rows,
+                    2.0 * double(full_nnz) / secs / 1e9);
+      }
+    }
+  }
+  return 0;
+}

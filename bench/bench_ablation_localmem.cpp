@@ -1,0 +1,32 @@
+// Ablation A1: local-memory staging of adjacent-group x windows, on versus
+// off (§III-B / §IV-A). AD-heavy matrices (nemeth: one wide band) benefit;
+// AD-light ones (wang: 3-of-7 diagonals adjacent) pay the barriers for
+// little reuse — the mechanism behind the paper's wang3/wang4 result.
+#include <cstdio>
+
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  SuiteOptions opts = SuiteOptions::parse(argc, argv);
+
+  std::printf("== Ablation: CRSD local-memory staging (double, GFLOPS) ==\n");
+  std::printf("%-14s %10s %10s %8s %10s\n", "matrix", "local on", "local off",
+              "ratio", "AD share");
+  for (int id : {7, 8, 9, 10, 15, 16, 17, 3, 18}) {
+    SuiteOptions on = opts;
+    on.only_matrix = id;
+    on.use_local_memory = true;
+    SuiteOptions off = on;
+    off.use_local_memory = false;
+    const auto rows_on = run_gpu_suite<double>(on);
+    const auto rows_off = run_gpu_suite<double>(off);
+    const double g_on = rows_on[0].cell(Format::kCrsd).gflops;
+    const double g_off = rows_off[0].cell(Format::kCrsd).gflops;
+    std::printf("%-14s %10.2f %10.2f %8.3f %9.0f%%\n",
+                rows_on[0].name.c_str(), g_on, g_off, g_on / g_off,
+                100.0 * rows_on[0].crsd_stats.ad_diag_fraction);
+  }
+  return 0;
+}

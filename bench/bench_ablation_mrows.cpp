@@ -1,0 +1,33 @@
+// Ablation A2: row segment size (mrows). Small segments track structure
+// changes tightly (less fill, more patterns); large segments amortize
+// per-group work but blur pattern boundaries. The paper requires mrows to be
+// a multiple of the wavefront size and recommends it ("it is wise that
+// mrows is a multiple of the wavefront size").
+#include <cstdio>
+
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  SuiteOptions opts = SuiteOptions::parse(argc, argv);
+
+  std::printf("== Ablation: CRSD row segment size (double) ==\n");
+  std::printf("%-14s %6s %10s %10s %12s %14s\n", "matrix", "mrows", "GFLOPS",
+              "patterns", "fill ratio", "scatter rows");
+  for (int id : {3, 5, 18, 21}) {
+    for (index_t mrows : {32, 64, 128, 256, 512}) {
+      SuiteOptions o = opts;
+      o.only_matrix = id;
+      o.mrows = mrows;
+      const auto rows = run_gpu_suite<double>(o);
+      const auto& r = rows[0];
+      std::printf("%-14s %6d %10.2f %10d %11.1f%% %14d\n", r.name.c_str(),
+                  mrows, r.cell(Format::kCrsd).gflops,
+                  r.crsd_stats.num_patterns,
+                  100.0 * r.crsd_stats.fill_ratio(),
+                  r.crsd_stats.num_scatter_rows);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension E4: OSKI-style configuration search for CRSD (related-work
+// lineage: OSKI "analyzes the input matrix to select the proper block-size
+// at runtime"; here the searched knobs are mrows, the idle-section
+// thresholds, and local-memory staging). Prints the chosen configuration
+// per matrix and the gain over the defaults.
+#include <cstdio>
+
+#include "kernels/crsd_autotune.hpp"
+#include "matrix/paper_suite.hpp"
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+
+  std::printf("== Extension: CRSD auto-tuning (double) ==\n");
+  std::printf("%-14s %6s %4s %9s %6s %10s %12s %8s\n", "matrix", "mrows",
+              "gap", "min fill", "local", "trials", "gain vs def", "patterns");
+  for (int id : {3, 5, 7, 9, 15, 18, 21}) {
+    const auto& spec = paper_matrix(id);
+    const auto a = spec.generate(opts.scale);
+    gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+
+    // Default-config reference.
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+    const auto m_default = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+    const double t_default =
+        kernels::gpu_spmv_crsd(dev, m_default, x.data(), y.data()).seconds;
+
+    const auto result = kernels::autotune_crsd(dev, a);
+    index_t best_patterns = 0;
+    for (const auto& trial : result.trials) {
+      if (trial.seconds == result.best_seconds) {
+        best_patterns = trial.stats.num_patterns;
+        break;
+      }
+    }
+    std::printf("%-14s %6d %4d %9.2f %6s %10zu %11.1f%% %8d\n",
+                spec.name.c_str(), result.best_config.mrows,
+                result.best_config.fill_max_gap_segments,
+                result.best_config.live_min_fill,
+                result.best_local_memory ? "yes" : "no",
+                result.trials.size(),
+                100.0 * (t_default / result.best_seconds - 1.0),
+                best_patterns);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension E3 (paper conclusion): "For the reason that we use the OpenCL
+// programming, we will do more evaluations on different platforms, such as
+// Cell and AMD devices." Runs CRSD and ELL across three device models —
+// the paper's C2050, Bell & Garland's GTX 280 (weak double precision, no
+// real cache), and AMD Cypress (64-wide wavefronts) — on representative
+// matrices.
+#include <cstdio>
+
+#include "core/builder.hpp"
+#include "kernels/gpu_spmv.hpp"
+#include "matrix/paper_suite.hpp"
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+
+  const gpusim::DeviceSpec devices[] = {
+      gpusim::DeviceSpec::tesla_c2050(),
+      gpusim::DeviceSpec::geforce_gtx280(),
+      gpusim::DeviceSpec::amd_cypress(),
+  };
+
+  std::printf("== Extension: CRSD vs ELL across OpenCL devices (double, "
+              "GFLOPS at full size) ==\n");
+  std::printf("%-14s %-34s %10s %10s %8s\n", "matrix", "device", "ELL",
+              "CRSD", "ratio");
+  for (int id : {3, 9, 15, 18}) {
+    const auto& spec = paper_matrix(id);
+    const auto a = spec.generate(opts.scale);
+    const double factor = double(spec.full_nnz) / double(a.nnz());
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+    for (const auto& spec_dev : devices) {
+      // mrows must be a multiple of the wavefront size on each device.
+      CrsdConfig cfg;
+      cfg.mrows = std::max<index_t>(opts.mrows, 2 * spec_dev.wavefront_size);
+      cfg.mrows = cfg.mrows / spec_dev.wavefront_size *
+                  spec_dev.wavefront_size;
+      const auto m = build_crsd(a, cfg);
+      gpusim::Device dev_e(spec_dev);
+      const auto ell = EllMatrix<double>::from_coo(a);
+      const auto re = kernels::gpu_spmv_ell(dev_e, ell, x.data(), y.data());
+      gpusim::Device dev_c(spec_dev);
+      const auto rc = kernels::gpu_spmv_crsd(dev_c, m, x.data(), y.data());
+      gpusim::LaunchConfig est;
+      est.num_groups = 1;
+      est.group_size = 1;
+      est.double_precision = true;
+      const double te = gpusim::estimate_seconds(
+          spec_dev, scale_counters(re.counters, factor), est);
+      const double tc = gpusim::estimate_seconds(
+          spec_dev, scale_counters(rc.counters, factor), est);
+      const double ge = 2.0 * double(spec.full_nnz) / te / 1e9;
+      const double gc = 2.0 * double(spec.full_nnz) / tc / 1e9;
+      std::printf("%-14s %-34s %10.2f %10.2f %8.2f\n", spec.name.c_str(),
+                  spec_dev.name.c_str(), ge, gc, gc / ge);
+    }
+  }
+  return 0;
+}

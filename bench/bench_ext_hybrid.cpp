@@ -1,0 +1,53 @@
+// Extension E2 (paper conclusion): hybrid CPU+GPU SpMV — "we plan to divide
+// the task for both GPU and CPU". Sweeps the row split on representative
+// matrices and reports the automatically chosen split under cheap and
+// expensive interconnects.
+#include <cstdio>
+
+#include "hybrid/hybrid_spmv.hpp"
+#include "matrix/paper_suite.hpp"
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+
+  std::printf("== Extension: hybrid CPU+GPU row split (double) ==\n");
+  for (int id : {3, 9, 18}) {
+    const auto& spec = paper_matrix(id);
+    const auto a = spec.generate(opts.scale);
+    hybrid::HybridConfig cfg;
+    cfg.crsd.mrows = opts.mrows;
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+
+    std::printf("\n%s (%d rows):\n", spec.name.c_str(), a.num_rows());
+    std::printf("  %-10s %12s %12s %12s %12s\n", "GPU share", "gpu us",
+                "cpu us", "xfer us", "total us");
+    const index_t n = a.num_rows();
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const index_t split =
+          std::min<index_t>(n, static_cast<index_t>(frac * n) / opts.mrows *
+                                   opts.mrows);
+      const index_t effective = frac == 1.0 ? n : split;
+      gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+      const hybrid::HybridSpmv<double> engine(a, effective, cfg);
+      const auto t = engine.run(dev, x.data(), y.data());
+      std::printf("  %9.0f%% %12.2f %12.2f %12.2f %12.2f\n", frac * 100,
+                  t.gpu_seconds * 1e6, t.cpu_seconds * 1e6,
+                  t.transfer_seconds * 1e6, t.total_seconds() * 1e6);
+    }
+    gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+    const index_t chosen = hybrid::HybridSpmv<double>::choose_split(a, dev, cfg);
+    std::printf("  auto split: %d rows (%.0f%%) on the GPU\n", chosen,
+                100.0 * double(chosen) / double(n));
+    hybrid::HybridConfig resident = cfg;
+    resident.transfer_vectors_each_spmv = false;
+    const index_t chosen_res =
+        hybrid::HybridSpmv<double>::choose_split(a, dev, resident);
+    std::printf("  auto split with resident vectors: %d rows (%.0f%%)\n",
+                chosen_res, 100.0 * double(chosen_res) / double(n));
+  }
+  return 0;
+}

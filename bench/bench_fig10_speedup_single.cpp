@@ -1,0 +1,30 @@
+// Fig. 10 reproduction: CRSD speedup over DIA/ELL/CSR/HYB, single precision
+// (paper §IV-A: max 11.24 vs DIA and 1.94 vs ELL; avg 1.92 and 1.50; vs CSR
+// max 9.14, avg 4.59).
+#include <cstdio>
+#include <iostream>
+
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+  const auto rows = run_gpu_suite<float>(opts);
+  print_speedup_table(
+      rows, "== Fig. 10: CRSD speedup, single precision, GPU ==");
+  std::printf("\nSummary (paper §IV-A in parentheses):\n");
+  const auto dia = summarize_speedup(rows, Format::kDia);
+  const auto ell = summarize_speedup(rows, Format::kEll);
+  const auto csr = summarize_speedup(rows, Format::kCsr);
+  const auto hyb = summarize_speedup(rows, Format::kHyb);
+  std::printf("  CRSD/DIA  max %6.2f (11.24)   avg %5.2f (1.92)\n", dia.max,
+              dia.avg);
+  std::printf("  CRSD/ELL  max %6.2f (1.94)    avg %5.2f (1.50)\n", ell.max,
+              ell.avg);
+  std::printf("  CRSD/CSR  max %6.2f (9.14)    avg %5.2f (4.59)\n", csr.max,
+              csr.avg);
+  std::printf("  CRSD/HYB  max %6.2f (3.68)    avg %5.2f (2.87)\n", hyb.max,
+              hyb.avg);
+  return 0;
+}

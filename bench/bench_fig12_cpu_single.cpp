@@ -1,0 +1,21 @@
+// Fig. 12 reproduction: as Fig. 11, single precision (the paper's caption
+// says "double" but the section text identifies it as the single-precision
+// companion; paper: CRSD/DIA:CPU up to 202.23).
+#include <cstdio>
+#include <iostream>
+
+#include "cpu_suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+  const auto rows = run_cpu_comparison<float>(opts);
+  print_cpu_table(rows,
+                  "== Fig. 12: CRSD (GPU) speedup over CPU baselines, "
+                  "single precision ==");
+  double max_dia = 0;
+  for (const auto& r : rows) max_dia = std::max(max_dia, r.speedup_dia_serial());
+  std::printf("\nmax CRSD/DIA:CPU speedup: %.2f (paper: up to 202.23)\n",
+              max_dia);
+  return 0;
+}

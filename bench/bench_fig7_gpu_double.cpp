@@ -1,0 +1,18 @@
+// Fig. 7 reproduction: SpMV GFLOPS on the (simulated) Tesla C2050 for all 23
+// matrices in DIA / ELL / CSR / HYB / CRSD, double precision. Counters are
+// extrapolated to the published matrix sizes. The paper's shape to check:
+// CRSD >> DIA on the scattered-diagonal FEM matrices (s3dk*), DIA runs out
+// of device memory on af_*_k101, CRSD modestly above ELL except wang3/wang4.
+#include <iostream>
+
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+  const auto rows = run_gpu_suite<double>(opts);
+  print_gflops_table(
+      rows, "== Fig. 7: performance comparison, double precision, GPU "
+            "(GFLOPS) ==");
+  return 0;
+}

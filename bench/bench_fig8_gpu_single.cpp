@@ -1,0 +1,15 @@
+// Fig. 8 reproduction: as Fig. 7, single precision. In single precision the
+// DIA storage of af_*_k101 fits device memory again (the paper's §IV-A).
+#include <iostream>
+
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+  const auto rows = run_gpu_suite<float>(opts);
+  print_gflops_table(
+      rows, "== Fig. 8: performance comparison, single precision, GPU "
+            "(GFLOPS) ==");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 9 reproduction: CRSD speedup over DIA/ELL/CSR/HYB, double precision,
+// plus the §IV-A summary lines (paper: max 11.13 vs DIA, 1.52 vs ELL; avg
+// 2.05 and 1.24; vs CSR max 9.01, avg 4.57).
+#include <cstdio>
+#include <iostream>
+
+#include "suite_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+  const auto rows = run_gpu_suite<double>(opts);
+  print_speedup_table(
+      rows, "== Fig. 9: CRSD speedup, double precision, GPU ==");
+  std::printf("\nSummary (paper §IV-A in parentheses):\n");
+  const auto dia = summarize_speedup(rows, Format::kDia);
+  const auto ell = summarize_speedup(rows, Format::kEll);
+  const auto csr = summarize_speedup(rows, Format::kCsr);
+  const auto hyb = summarize_speedup(rows, Format::kHyb);
+  std::printf("  CRSD/DIA  max %6.2f (11.13)   avg %5.2f (2.05)\n", dia.max,
+              dia.avg);
+  std::printf("  CRSD/ELL  max %6.2f (1.52)    avg %5.2f (1.24)\n", ell.max,
+              ell.avg);
+  std::printf("  CRSD/CSR  max %6.2f (9.01)    avg %5.2f (4.57)\n", csr.max,
+              csr.avg);
+  std::printf("  CRSD/HYB  max %6.2f (2.67)    avg %5.2f (2.12)\n", hyb.max,
+              hyb.avg);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Wall-clock microbenchmarks (google-benchmark) of the real CPU SpMV
+// kernels: the numbers that are honestly measurable on this host, as
+// opposed to the modeled GPU/Xeon figures. One benchmark per
+// (format, matrix family); CRSD additionally in JIT-codelet form.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "codegen/crsd_jit_kernel.hpp"
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "formats/bcsr.hpp"
+#include "formats/csr.hpp"
+#include "formats/dcsr.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/hyb.hpp"
+#include "matrix/paper_suite.hpp"
+
+namespace {
+
+using namespace crsd;
+
+// Matrix ids chosen to span the structure families: s3dkt3m2 (scattered
+// diagonals), kim1 (25-diagonal stencil), nemeth22 (dense band),
+// us80_80_50 (broken diagonals + scatter).
+constexpr int kMatrixIds[] = {3, 9, 16, 21};
+
+const Coo<double>& cached_matrix(int id) {
+  static std::map<int, Coo<double>> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    it = cache.emplace(id, paper_matrix(id).generate(0.03)).first;
+  }
+  return it->second;
+}
+
+template <typename M>
+void run_spmv_loop(benchmark::State& state, const Coo<double>& a, const M& m) {
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  for (auto _ : state) {
+    m.spmv(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * double(a.nnz()) * double(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CsrSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  run_spmv_loop(state, a, CsrMatrix<double>::from_coo(a));
+}
+
+void BM_DiaSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  run_spmv_loop(state, a, DiaMatrix<double>::from_coo(a));
+}
+
+void BM_EllSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  run_spmv_loop(state, a, EllMatrix<double>::from_coo(a));
+}
+
+void BM_HybSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  run_spmv_loop(state, a, HybMatrix<double>::from_coo(a));
+}
+
+void BM_BcsrSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  const auto [br, bc] = BcsrMatrix<double>::choose_block_size(a);
+  run_spmv_loop(state, a, BcsrMatrix<double>::from_coo(a, br, bc));
+}
+
+void BM_DcsrSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  run_spmv_loop(state, a, DcsrMatrix<double>::from_coo(a));
+}
+
+void BM_CrsdSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  run_spmv_loop(state, a, build_crsd(a, CrsdConfig{.mrows = 64}));
+}
+
+void BM_CrsdJitSpmv(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  if (!codegen::JitCompiler::compiler_available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  static codegen::JitCompiler compiler;
+  const codegen::CrsdJitKernel<double> kernel(m, compiler);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  for (auto _ : state) {
+    kernel.spmv(m, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * double(a.nnz()) * double(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CrsdBuild(benchmark::State& state) {
+  const auto& a = cached_matrix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+    benchmark::DoNotOptimize(m.nnz());
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      double(a.nnz()) * double(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void add_ids(benchmark::internal::Benchmark* b) {
+  for (int id : kMatrixIds) b->Arg(id);
+}
+
+BENCHMARK(BM_CsrSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DiaSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EllSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HybSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BcsrSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DcsrSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CrsdSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CrsdJitSpmv)->Apply(add_ids)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CrsdBuild)->Apply(add_ids)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table IV reproduction: the platform this library evaluates on — the
+// simulated Tesla C2050 device model and the modeled Xeon X5550 host.
+#include <cstdio>
+
+#include "gpusim/device.hpp"
+#include "perf/cpu_model.hpp"
+
+int main() {
+  using namespace crsd;
+  const gpusim::DeviceSpec gpu = gpusim::DeviceSpec::tesla_c2050();
+  const perf::CpuSystemSpec cpu = perf::CpuSystemSpec::xeon_x5550_2s();
+
+  std::printf("== Table IV: platform information (paper -> this "
+              "reproduction) ==\n");
+  std::printf("CPU                        Intel Xeon X5550, 2.67GHz -> %s\n",
+              cpu.name.c_str());
+  std::printf("Sockets                    2 -> %d\n", cpu.sockets);
+  std::printf("Cores                      8 -> %d\n", cpu.total_cores());
+  std::printf("CPU peak bandwidth         (unreported) -> %.0f GB/s node\n",
+              cpu.bw_total_gbps);
+  std::printf("GPU                        Tesla C2050 -> %s\n",
+              gpu.name.c_str());
+  std::printf("Number of CUDA cores       448 -> %d (%d CUs x %d lanes)\n",
+              gpu.num_compute_units * gpu.wavefront_size,
+              gpu.num_compute_units, gpu.wavefront_size);
+  std::printf("Frequency of CUDA cores    1.15GHz -> %.2f GHz\n",
+              gpu.core_clock_ghz);
+  std::printf("Total device memory        3GB -> %.0f GB\n",
+              double(gpu.global_mem_bytes) / double(1ull << 30));
+  std::printf("Peak GFLOPS (double)       515 -> %.0f\n",
+              gpu.peak_gflops_double);
+  std::printf("Peak GFLOPS (single)       1030 -> %.0f\n",
+              gpu.peak_gflops_single);
+  std::printf("Device bandwidth           144 GB/s -> %.0f GB/s\n",
+              gpu.global_bandwidth_gbps);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table VI reproduction: maximum and average speedup of CRSD (simulated
+// GPU) over the CPU CSR baseline, serial and with 8 threads, for both
+// precisions — printed next to the paper's numbers.
+#include <cstdio>
+
+#include "cpu_suite.hpp"
+
+namespace {
+
+struct Summary {
+  double max_serial = 0, avg_serial = 0, max_thr = 0, avg_thr = 0;
+};
+
+template <typename Rows>
+Summary summarize(const Rows& rows) {
+  Summary s;
+  double sum_serial = 0, sum_thr = 0;
+  for (const auto& r : rows) {
+    s.max_serial = std::max(s.max_serial, r.speedup_csr_serial());
+    s.max_thr = std::max(s.max_thr, r.speedup_csr_threads());
+    sum_serial += r.speedup_csr_serial();
+    sum_thr += r.speedup_csr_threads();
+  }
+  if (!rows.empty()) {
+    s.avg_serial = sum_serial / double(rows.size());
+    s.avg_thr = sum_thr / double(rows.size());
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crsd::bench;
+  const auto opts = SuiteOptions::parse(argc, argv);
+  const Summary dbl = summarize(run_cpu_comparison<double>(opts));
+  const Summary sgl = summarize(run_cpu_comparison<float>(opts));
+
+  std::printf("== Table VI: CRSD speedup vs CSR on CPU (measured | paper) "
+              "==\n");
+  std::printf("precision  metric     serial            parallel thr=8\n");
+  std::printf("double     maximum    %6.2f | 25.06    %6.2f | 11.93\n",
+              dbl.max_serial, dbl.max_thr);
+  std::printf("double     average    %6.2f | 14.76    %6.2f |  6.63\n",
+              dbl.avg_serial, dbl.avg_thr);
+  std::printf("single     maximum    %6.2f | 39.81    %6.2f | 12.79\n",
+              sgl.max_serial, sgl.max_thr);
+  std::printf("single     average    %6.2f | 24.25    %6.2f |  7.18\n",
+              sgl.avg_serial, sgl.avg_thr);
+  return 0;
+}

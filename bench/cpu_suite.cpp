@@ -1,0 +1,74 @@
+#include "cpu_suite.hpp"
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "matrix/stats.hpp"
+#include "perf/cpu_model.hpp"
+
+namespace crsd::bench {
+namespace {
+
+/// Builds full-size structure statistics from the published identity numbers
+/// plus scale-invariant properties measured on the scaled instance.
+StructureStats full_size_stats(const MatrixSpec& spec,
+                               const StructureStats& scaled) {
+  StructureStats full;
+  full.num_rows = spec.full_rows;
+  full.num_cols = spec.full_rows;
+  full.nnz = spec.full_nnz;
+  full.diagonals.resize(static_cast<std::size_t>(spec.full_num_diagonals));
+  full.max_nnz_per_row = scaled.max_nnz_per_row;
+  full.min_nnz_per_row = scaled.min_nnz_per_row;
+  full.avg_nnz_per_row = double(full.nnz) / double(full.num_rows);
+  return full;
+}
+
+}  // namespace
+
+template <Real T>
+std::vector<CpuRow> run_cpu_comparison(const SuiteOptions& opts) {
+  const auto gpu_rows = run_gpu_suite<T>(opts);
+  const perf::CpuSystemSpec cpu = perf::CpuSystemSpec::xeon_x5550_2s();
+  const bool dp = std::is_same_v<T, double>;
+  constexpr int value_bytes = sizeof(T);
+
+  std::vector<CpuRow> rows;
+  for (const SuiteRow& g : gpu_rows) {
+    const MatrixSpec& spec = paper_matrix(g.id);
+    const auto scaled = compute_stats(spec.generate(opts.scale));
+    const StructureStats full = full_size_stats(spec, scaled);
+
+    CpuRow row;
+    row.id = g.id;
+    row.name = g.name;
+    row.t_csr_serial = perf::cpu_spmv_seconds(
+        cpu, perf::csr_sweep_cost(full, value_bytes), 1, dp);
+    row.t_csr_threads = perf::cpu_spmv_seconds(
+        cpu, perf::csr_sweep_cost(full, value_bytes), 8, dp);
+    row.t_dia_serial = perf::cpu_spmv_seconds(
+        cpu, perf::dia_sweep_cost(full, value_bytes), 1, dp);
+    row.t_crsd_gpu = g.cell(Format::kCrsd).seconds;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+template std::vector<CpuRow> run_cpu_comparison<double>(const SuiteOptions&);
+template std::vector<CpuRow> run_cpu_comparison<float>(const SuiteOptions&);
+
+void print_cpu_table(const std::vector<CpuRow>& rows,
+                     const std::string& title) {
+  std::cout << title << "\n";
+  Table t({"#", "matrix", "CRSD/CSR:CPU,1thr", "CRSD/CSR:CPU,8thr",
+           "CRSD/DIA:CPU,1thr"});
+  for (const CpuRow& row : rows) {
+    t.add_row({std::to_string(row.id), row.name,
+               Table::fmt(row.speedup_csr_serial()),
+               Table::fmt(row.speedup_csr_threads()),
+               Table::fmt(row.speedup_dia_serial())});
+  }
+  t.print_text(std::cout);
+}
+
+}  // namespace crsd::bench

@@ -1,0 +1,35 @@
+// CPU-side comparison infrastructure for Figs. 11/12 and Table VI: MKL-style
+// CSR (serial and 8 threads) and DIA (serial) times from the Xeon X5550
+// roofline model, against CRSD's simulated-GPU time, all extrapolated to the
+// published matrix sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "suite_runner.hpp"
+
+namespace crsd::bench {
+
+struct CpuRow {
+  int id = 0;
+  std::string name;
+  double t_csr_serial = 0.0;   ///< CPU CSR, 1 thread (seconds, full size)
+  double t_csr_threads = 0.0;  ///< CPU CSR, 8 threads
+  double t_dia_serial = 0.0;   ///< CPU DIA, 1 thread
+  double t_crsd_gpu = 0.0;     ///< CRSD on the simulated C2050
+
+  double speedup_csr_serial() const { return t_csr_serial / t_crsd_gpu; }
+  double speedup_csr_threads() const { return t_csr_threads / t_crsd_gpu; }
+  double speedup_dia_serial() const { return t_dia_serial / t_crsd_gpu; }
+};
+
+/// Runs the suite: GPU CRSD via the simulator, CPU formats via the roofline
+/// model. T selects the precision.
+template <Real T>
+std::vector<CpuRow> run_cpu_comparison(const SuiteOptions& opts);
+
+/// Prints the Figs. 11/12 table.
+void print_cpu_table(const std::vector<CpuRow>& rows, const std::string& title);
+
+}  // namespace crsd::bench

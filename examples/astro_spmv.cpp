@@ -1,0 +1,88 @@
+// Astrophysics workload (the paper's s*/us* family, §IV): a core-convection
+// FDM matrix with broken coupling diagonals and scatter points. Runs every
+// storage format through the simulated Tesla C2050 and reports GFLOPS plus
+// the traffic breakdown, then runs a pseudo-time-stepping loop (repeated
+// SpMV) with the winner to show the amortized picture.
+//
+//   ./examples/astro_spmv [nx ny nz] [--unstructured]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/gpu_spmv.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  index_t nx = 40, ny = 40, nz = 25;
+  bool unstructured = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--unstructured") == 0) {
+      unstructured = true;
+    } else if (i + 2 < argc) {
+      nx = std::atoi(argv[i]);
+      ny = std::atoi(argv[i + 1]);
+      nz = std::atoi(argv[i + 2]);
+      i += 2;
+    }
+  }
+
+  Rng rng(42);
+  const auto a = astro_convection(nx, ny, nz, unstructured, rng);
+  const auto stats = compute_stats(a);
+  std::printf("core convection grid %dx%dx%d (%s): %d rows, %llu nnz, "
+              "%llu diagonals, %.1f nnz/row\n",
+              nx, ny, nz, unstructured ? "unstructured" : "structured",
+              a.num_rows(), static_cast<unsigned long long>(a.nnz()),
+              static_cast<unsigned long long>(stats.num_diagonals()),
+              stats.avg_nnz_per_row);
+
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+
+  std::printf("\n%-6s %10s %14s %12s %10s\n", "format", "GFLOPS", "load MiB",
+              "store MiB", "barriers");
+  Format best = Format::kCsr;
+  double best_gflops = 0;
+  for (Format f : {Format::kDia, Format::kEll, Format::kCsr, Format::kHyb,
+                   Format::kCrsd}) {
+    gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+    try {
+      const gpusim::LaunchResult r =
+          kernels::gpu_spmv(dev, f, a, x.data(), y.data());
+      const double gflops = r.gflops(a.nnz());
+      std::printf("%-6s %10.2f %14.2f %12.2f %10llu\n", format_name(f), gflops,
+                  double(r.counters.global_load_bytes) / (1 << 20),
+                  double(r.counters.global_store_bytes) / (1 << 20),
+                  static_cast<unsigned long long>(r.counters.barriers));
+      if (gflops > best_gflops) {
+        best_gflops = gflops;
+        best = f;
+      }
+    } catch (const Error& e) {
+      std::printf("%-6s %10s  (%s)\n", format_name(f), "OOM", e.what());
+    }
+  }
+
+  // Pseudo time stepping: u <- u + dt * (A u), the SpMV-bound inner loop of
+  // an explicit solver. The simulated seconds accumulate per step.
+  std::printf("\ntime-stepping 50 iterations with %s:\n", format_name(best));
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  std::vector<double> u(x);
+  double simulated_seconds = 0;
+  for (int step = 0; step < 50; ++step) {
+    const gpusim::LaunchResult r =
+        kernels::gpu_spmv(dev, best, a, u.data(), y.data());
+    simulated_seconds += r.seconds;
+    const double dt = 1e-3;
+    for (std::size_t i = 0; i < u.size(); ++i) u[i] += dt * y[i];
+  }
+  std::printf("simulated device time: %.2f ms for 50 SpMV steps "
+              "(%.2f GFLOPS sustained)\n",
+              simulated_seconds * 1e3,
+              2.0 * 50.0 * double(a.nnz()) / simulated_seconds / 1e9);
+  return 0;
+}

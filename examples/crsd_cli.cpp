@@ -1,0 +1,165 @@
+// crsd_cli — the command-line face of the library for downstream users.
+//
+//   crsd_cli analyze <matrix>             structure report + spy plot
+//   crsd_cli convert <matrix> <out.crsd>  build CRSD and serialize it
+//   crsd_cli spmv <matrix> [--reps N]     wall-clock SpMV (interpreted+JIT)
+//   crsd_cli tune <matrix>                auto-tune the CRSD configuration
+//   crsd_cli kernel <matrix> [--opencl]   print the generated codelet
+//
+// <matrix> is a Matrix Market file, or `suite:<name>[:scale]` for one of
+// the paper's 23 synthetic matrices (e.g. suite:kim1:0.05).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "codegen/crsd_jit_kernel.hpp"
+#include "common/timer.hpp"
+#include "core/builder.hpp"
+#include "core/serialize.hpp"
+#include "kernels/crsd_autotune.hpp"
+#include "matrix/matrix_market.hpp"
+#include "matrix/paper_suite.hpp"
+#include "matrix/spy.hpp"
+#include "matrix/stats.hpp"
+
+namespace {
+
+using namespace crsd;
+
+Coo<double> load(const std::string& source) {
+  if (source.rfind("suite:", 0) == 0) {
+    std::string rest = source.substr(6);
+    double scale = 0.05;
+    if (const auto colon = rest.find(':'); colon != std::string::npos) {
+      scale = std::stod(rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+    }
+    for (const auto& spec : paper_suite()) {
+      if (spec.name == rest) return spec.generate(scale);
+    }
+    throw Error("unknown suite matrix: " + rest);
+  }
+  return read_matrix_market_file(source);
+}
+
+int cmd_analyze(const Coo<double>& a) {
+  std::printf("%s", spy_string(a, 56).c_str());
+  const auto s = compute_stats(a);
+  std::printf("%d x %d, %llu nnz, %.2f nnz/row, %llu diagonals\n",
+              s.num_rows, s.num_cols, (unsigned long long)s.nnz,
+              s.avg_nnz_per_row, (unsigned long long)s.num_diagonals());
+  std::printf("DIA efficiency %.1f%%, ELL efficiency %.1f%%\n",
+              100.0 * s.dia_efficiency(), 100.0 * s.ell_efficiency());
+  const auto m = build_crsd(a);
+  const auto st = m.stats();
+  std::printf("CRSD: %d patterns, fill %.1f%%, %d scatter rows, AD share "
+              "%.0f%%, %.2f MiB\n",
+              st.num_patterns, 100.0 * st.fill_ratio(), st.num_scatter_rows,
+              100.0 * st.ad_diag_fraction,
+              double(m.footprint_bytes()) / double(1 << 20));
+  return 0;
+}
+
+int cmd_convert(const Coo<double>& a, const std::string& out) {
+  const auto m = build_crsd(a);
+  std::ofstream os(out, std::ios::binary);
+  if (!os.good()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  write_crsd(os, m);
+  std::printf("wrote %s (%d patterns, %d scatter rows)\n", out.c_str(),
+              m.num_patterns(), m.num_scatter_rows());
+  return 0;
+}
+
+int cmd_spmv(const Coo<double>& a, int reps) {
+  const auto m = build_crsd(a);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  auto gflops = [&](double secs_per_rep) {
+    return 2.0 * double(a.nnz()) / secs_per_rep / 1e9;
+  };
+  const double t_interp =
+      time_per_rep([&] { m.spmv(x.data(), y.data()); }, 0.2, reps);
+  std::printf("interpreted: %8.1f us/SpMV  (%.2f GFLOPS)\n", t_interp * 1e6,
+              gflops(t_interp));
+  if (codegen::JitCompiler::compiler_available()) {
+    codegen::JitCompiler compiler;
+    Timer build;
+    const codegen::CrsdJitKernel<double> kernel(m, compiler);
+    const double compile_ms = build.millis();
+    const double t_jit = time_per_rep(
+        [&] { kernel.spmv(m, x.data(), y.data()); }, 0.2, reps);
+    std::printf("JIT codelet: %8.1f us/SpMV  (%.2f GFLOPS, compiled in "
+                "%.0f ms, %s)\n",
+                t_jit * 1e6, gflops(t_jit), compile_ms,
+                compiler.cache_hits() > 0 ? "cache hit" : "cache miss");
+  }
+  return 0;
+}
+
+int cmd_tune(const Coo<double>& a) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  const auto result = kernels::autotune_crsd(dev, a);
+  std::printf("best configuration (on the simulated Tesla C2050):\n");
+  std::printf("  mrows = %d\n", result.best_config.mrows);
+  std::printf("  fill_max_gap_segments = %d\n",
+              result.best_config.fill_max_gap_segments);
+  std::printf("  live_min_fill = %.2f\n", result.best_config.live_min_fill);
+  std::printf("  local memory staging = %s\n",
+              result.best_local_memory ? "on" : "off");
+  std::printf("  (%zu candidates evaluated, best %.1f us per SpMV)\n",
+              result.trials.size(), result.best_seconds * 1e6);
+  return 0;
+}
+
+int cmd_kernel(const Coo<double>& a, bool opencl) {
+  const auto m = build_crsd(a);
+  if (opencl) {
+    std::cout << codegen::generate_opencl_kernel_source(m);
+  } else {
+    std::cout << codegen::generate_cpu_codelet_source(m);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: crsd_cli <analyze|convert|spmv|tune|kernel> "
+               "<matrix.mtx|suite:name[:scale]> [args]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Coo<double> a = load(argv[2]);
+    if (cmd == "analyze") return cmd_analyze(a);
+    if (cmd == "convert") {
+      if (argc < 4) return usage();
+      return cmd_convert(a, argv[3]);
+    }
+    if (cmd == "spmv") {
+      int reps = 10;
+      for (int i = 3; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+      }
+      return cmd_spmv(a, reps);
+    }
+    if (cmd == "tune") return cmd_tune(a);
+    if (cmd == "kernel") {
+      const bool opencl = argc > 3 && std::strcmp(argv[3], "--opencl") == 0;
+      return cmd_kernel(a, opencl);
+    }
+  } catch (const crsd::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

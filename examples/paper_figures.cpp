@@ -1,0 +1,95 @@
+// Reproduces the paper's worked example end to end: the Fig. 2 matrix, its
+// diagonal patterns (§II-B), the CRSD arrays of Fig. 4, the inferred
+// per-pattern information of Table III, and the generated SpMV kernel of
+// Fig. 6 (OpenCL text) plus our compilable CPU codelet.
+//
+//   ./examples/paper_figures
+#include <cstdio>
+#include <iostream>
+
+#include "codegen/crsd_codegen.hpp"
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "core/dump.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/spy.hpp"
+
+namespace {
+
+// The 6x9 matrix of Fig. 2: rows 0-1 carry diagonals {0,2,3,5,7}; rows 2-5
+// carry {-2,-1,+2} with a hole at (4,3) (filled, per §II-C); (5,5) is the
+// scatter point v55.
+crsd::Coo<double> fig2_matrix() {
+  using crsd::index_t;
+  crsd::Coo<double> a(6, 9);
+  auto v = [](index_t r, index_t c) { return 10.0 * r + c + 1.0; };
+  for (index_t r : {0, 1}) {
+    for (crsd::diag_offset_t off : {0, 2, 3, 5, 7}) {
+      a.add(r, r + off, v(r, r + off));
+    }
+  }
+  for (index_t r : {2, 3, 4, 5}) {
+    a.add(r, r - 2, v(r, r - 2));
+    if (r != 4) a.add(r, r - 1, v(r, r - 1));
+    a.add(r, r + 2, v(r, r + 2));
+  }
+  a.add(5, 5, v(5, 5));
+  a.canonicalize();
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  using namespace crsd;
+
+  std::printf("== Fig. 1: a real diagonal sparse matrix (astrophysics core "
+              "convection) ==\n");
+  std::printf("Diagonals broken by idle sections; scatter points off the "
+              "diagonal structure.\n");
+  Rng fig1_rng(2011);
+  const auto fig1 = astro_convection(16, 16, 10, true, fig1_rng);
+  std::printf("%s\n", spy_string(fig1, 56).c_str());
+
+  const auto a = fig2_matrix();
+
+  CrsdConfig cfg;
+  cfg.mrows = 2;  // the paper's example uses mrows = 2
+  cfg.zero_scatter_rows_in_dia = false;  // Fig. 4 keeps the values in place
+  const auto m = build_crsd(a, cfg);
+
+  std::printf("== Fig. 4: CRSD storage of the Fig. 2 matrix (mrows = 2) ==\n");
+  dump_crsd(std::cout, m);
+
+  std::printf("\n== Table III: information inferred from CRSD ==\n");
+  std::printf("%-10s", "Token");
+  for (index_t p = 0; p < m.num_patterns(); ++p) std::printf("  p = %d", p);
+  std::printf("\n");
+  auto row = [&](const char* token, auto getter) {
+    std::printf("%-10s", token);
+    for (index_t p = 0; p < m.num_patterns(); ++p) {
+      std::printf("  %5lld", static_cast<long long>(getter(p)));
+    }
+    std::printf("\n");
+  };
+  row("NRS_p", [&](index_t p) {
+    return m.patterns()[static_cast<std::size_t>(p)].num_segments;
+  });
+  row("NNzRS_p", [&](index_t p) {
+    return static_cast<long long>(
+        m.patterns()[static_cast<std::size_t>(p)].slots_per_segment(m.mrows()));
+  });
+  row("SR_p", [&](index_t p) {
+    return m.patterns()[static_cast<std::size_t>(p)].start_row;
+  });
+  row("NDias_p", [&](index_t p) {
+    return m.patterns()[static_cast<std::size_t>(p)].num_diagonals();
+  });
+
+  std::printf("\n== Fig. 6: generated OpenCL SpMV kernel ==\n");
+  std::cout << codegen::generate_opencl_kernel_source(m);
+
+  std::printf("\n== Compilable CPU codelet (same structure, C ABI) ==\n");
+  std::cout << codegen::generate_cpu_codelet_source(m);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a diagonal sparse matrix, store it in CRSD, run SpMV on
+// the CPU (interpreted and JIT codelet) and on the simulated GPU, and print
+// what the format did with the structure.
+//
+//   ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "codegen/crsd_jit_kernel.hpp"
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "core/dump.hpp"
+#include "kernels/crsd_gpu.hpp"
+#include "matrix/generators.hpp"
+
+int main() {
+  using namespace crsd;
+
+  // 1. A diagonal sparse matrix: a 2D diffusion stencil whose off-grid
+  //    diagonals are broken by idle sections, plus a few scatter points.
+  Rng rng(2024);
+  Coo<double> a = broken_diagonals(
+      8192, {{1, 0.9, 2}, {-1, 0.9, 2}, {64, 0.5, 3}, {-64, 0.5, 3}}, rng);
+  inject_scatter(a, 20, rng);
+  std::printf("matrix: %d x %d, %llu nonzeros\n", a.num_rows(), a.num_cols(),
+              static_cast<unsigned long long>(a.nnz()));
+
+  // 2. Store it in CRSD.
+  CrsdConfig cfg;
+  cfg.mrows = 64;  // one row segment = one GPU work-group (2 wavefronts)
+  const CrsdMatrix<double> m = build_crsd(a, cfg);
+  const CrsdStats st = m.stats();
+  std::printf("CRSD: %d diagonal pattern(s) over %d row segments\n",
+              st.num_patterns, st.num_segments);
+  std::printf("      fill ratio %.1f%%, %d scatter row(s), footprint %.1f KiB\n",
+              100.0 * st.fill_ratio(), st.num_scatter_rows,
+              double(m.footprint_bytes()) / 1024.0);
+
+  // 3. SpMV on the CPU (interpreted kernel).
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  m.spmv(x.data(), y.data());
+  std::printf("interpreted SpMV done: y[0] = %.3f\n", y[0]);
+
+  // 4. Runtime code generation: compile this structure's codelet and rerun.
+  if (codegen::JitCompiler::compiler_available()) {
+    codegen::JitCompiler compiler;
+    const codegen::CrsdJitKernel<double> kernel(m, compiler);
+    std::vector<double> y_jit(y.size());
+    kernel.spmv(m, x.data(), y_jit.data());
+    std::printf("JIT codelet SpMV done (%zu source lines), matches: %s\n",
+                static_cast<std::size_t>(
+                    std::count(kernel.source().begin(), kernel.source().end(),
+                               '\n')),
+                y_jit == y ? "yes" : "NO");
+  } else {
+    std::printf("no C++ compiler found; skipping the JIT demonstration\n");
+  }
+
+  // 5. The same SpMV on the simulated Tesla C2050.
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  std::vector<double> y_gpu(y.size());
+  const gpusim::LaunchResult r =
+      kernels::gpu_spmv_crsd(dev, m, x.data(), y_gpu.data());
+  std::printf("simulated GPU SpMV: %.2f GFLOPS (%.1f us, %llu transactions)\n",
+              r.gflops(a.nnz()), r.seconds * 1e6,
+              static_cast<unsigned long long>(
+                  r.counters.global_load_transactions));
+  std::printf("GPU result matches CPU: %s\n", y_gpu == y ? "yes" : "NO");
+  return 0;
+}

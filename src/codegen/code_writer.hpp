@@ -1,0 +1,43 @@
+// Indentation-aware source-code string builder used by the codelet
+// generators.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace crsd::codegen {
+
+class CodeWriter {
+ public:
+  /// Emits one line at the current indentation.
+  CodeWriter& line(const std::string& text = "") {
+    if (!text.empty()) {
+      for (int i = 0; i < indent_; ++i) out_ << "  ";
+      out_ << text;
+    }
+    out_ << '\n';
+    return *this;
+  }
+
+  /// Emits "header {" and indents.
+  CodeWriter& open(const std::string& header) {
+    line(header + " {");
+    ++indent_;
+    return *this;
+  }
+
+  /// Dedents and emits "}" (plus an optional trailer, e.g. ";").
+  CodeWriter& close(const std::string& trailer = "") {
+    --indent_;
+    line("}" + trailer);
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+}  // namespace crsd::codegen

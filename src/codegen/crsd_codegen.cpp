@@ -1,0 +1,488 @@
+#include "codegen/crsd_codegen.hpp"
+
+#include <string>
+
+#include "codegen/code_writer.hpp"
+#include "common/error.hpp"
+
+namespace crsd::codegen {
+namespace {
+
+/// Precision-independent view of a CRSD matrix's structure.
+struct Meta {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  index_t mrows = 0;
+  const std::vector<DiagonalPattern>* patterns = nullptr;
+  const std::vector<index_t>* cum_segments = nullptr;
+  const std::vector<size64_t>* val_offsets = nullptr;
+  index_t num_scatter_rows = 0;
+  index_t scatter_width = 0;
+  const char* type_name = "double";
+};
+
+std::string itos(std::int64_t v) { return std::to_string(v); }
+
+/// True if diagonal `off` stays inside [0, num_cols) for every row the
+/// pattern covers — then the generated x index needs no clamp.
+bool offset_in_range(const Meta& meta, const DiagonalPattern& p,
+                     diag_offset_t off) {
+  const index_t first_row = p.start_row;
+  const index_t last_row = std::min<index_t>(
+      meta.num_rows, p.start_row + p.num_segments * meta.mrows) - 1;
+  return first_row + off >= 0 &&
+         static_cast<std::int64_t>(last_row) + off <= meta.num_cols - 1;
+}
+
+std::string x_index_expr(const Meta& meta, const DiagonalPattern& p,
+                         diag_offset_t off, const std::string& row_var) {
+  const std::string shifted =
+      off == 0 ? row_var
+                : row_var + (off > 0 ? " + " + itos(off)
+                                     : " - " + itos(-std::int64_t{off}));
+  if (offset_in_range(meta, p, off)) return "x[" + shifted + "]";
+  return "x[crsd_clampi(" + shifted + ", 0, " + itos(meta.num_cols - 1) + ")]";
+}
+
+void emit_cpu_diag(CodeWriter& w, const Meta& meta,
+                   const CpuCodeletOptions& opts) {
+  w.open("extern \"C\" void " + opts.symbol_prefix +
+         "_diag(const T* dia_val, const T* x, T* y, std::int32_t seg_begin, "
+         "std::int32_t seg_end)");
+  const auto& patterns = *meta.patterns;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const auto& p = patterns[pi];
+    const index_t seg0 = (*meta.cum_segments)[pi];
+    const index_t seg1 = (*meta.cum_segments)[pi + 1];
+    const size64_t base = (*meta.val_offsets)[pi];
+    const size64_t slots = p.slots_per_segment(meta.mrows);
+    w.line("// pattern " + itos(static_cast<std::int64_t>(pi)) + ": " +
+           pattern_to_string(p) + ", rows [" + itos(p.start_row) + ", " +
+           itos(std::min<index_t>(meta.num_rows,
+                                  p.start_row + p.num_segments * meta.mrows)) +
+           "), segments [" + itos(seg0) + ", " + itos(seg1) + ")");
+    w.open("");
+    w.line("const std::int32_t g0 = seg_begin > " + itos(seg0) +
+           " ? seg_begin : " + itos(seg0) + ";");
+    w.line("const std::int32_t g1 = seg_end < " + itos(seg1) +
+           " ? seg_end : " + itos(seg1) + ";");
+    w.open("for (std::int32_t g = g0; g < g1; ++g)");
+    w.line("const T* unit = dia_val + " + itos(static_cast<std::int64_t>(base)) +
+           "ull + static_cast<std::uint64_t>(g - " + itos(seg0) + ") * " +
+           itos(static_cast<std::int64_t>(slots)) + "ull;");
+    w.line("const std::int32_t row0 = g * " + itos(meta.mrows) + ";");
+    w.line("const std::int32_t lanes = row0 + " + itos(meta.mrows) + " <= " +
+           itos(meta.num_rows) + " ? " + itos(meta.mrows) + " : " +
+           itos(meta.num_rows) + " - row0;");
+    w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
+    w.line("const std::int32_t r = row0 + lane;");
+    if (p.offsets.empty()) {
+      w.line("y[r] = T(0);");
+    } else {
+      w.line("T sum = T(0);");
+      // The unrolled per-diagonal lines: the paper's loop-unrolling
+      // optimization, with the column offsets as immediates.
+      for (index_t d = 0; d < p.num_diagonals(); ++d) {
+        const diag_offset_t off = p.offsets[static_cast<std::size_t>(d)];
+        w.line("sum += unit[lane + " +
+               itos(static_cast<std::int64_t>(d) * meta.mrows) + "] * " +
+               x_index_expr(meta, p, off, "r") + ";");
+      }
+      w.line("y[r] = sum;");
+    }
+    w.close();  // lane loop
+    w.close();  // segment loop
+    w.close();  // pattern scope
+  }
+  w.close();  // function
+}
+
+void emit_cpu_scatter(CodeWriter& w, const Meta& meta,
+                      const CpuCodeletOptions& opts) {
+  w.open("extern \"C\" void " + opts.symbol_prefix +
+         "_scatter(const T* scatter_val, const std::int32_t* scatter_col, "
+         "const std::int32_t* scatter_rowno, const T* x, T* y)");
+  if (meta.num_scatter_rows == 0) {
+    w.line("(void)scatter_val; (void)scatter_col; (void)scatter_rowno;");
+    w.line("(void)x; (void)y;");
+  } else {
+    const index_t nsr = meta.num_scatter_rows;
+    w.open("for (std::int32_t i = 0; i < " + itos(nsr) + "; ++i)");
+    w.line("T sum = T(0);");
+    for (index_t k = 0; k < meta.scatter_width; ++k) {
+      const std::string slot = "i + " + itos(static_cast<std::int64_t>(k) * nsr);
+      w.open("");
+      w.line("const std::int32_t c = scatter_col[" + slot + "];");
+      w.line("if (c >= 0) sum += scatter_val[" + slot + "] * x[c];");
+      w.close();
+    }
+    w.line("y[scatter_rowno[i]] = sum;  // overwrite after the diagonal phase");
+    w.close();
+  }
+  w.close();
+}
+
+std::string generate_cpu(const Meta& meta, const CpuCodeletOptions& opts) {
+  CodeWriter w;
+  w.line("// Generated by crsd::codegen — CRSD SpMV codelet for one matrix");
+  w.line("// structure (" + itos((*meta.patterns).size()) +
+         " diagonal pattern(s), mrows = " + itos(meta.mrows) + ",");
+  w.line("// " + itos(meta.num_scatter_rows) +
+         " scatter row(s)). Do not edit.");
+  w.line("#include <cstdint>");
+  w.line();
+  w.line("using T = " + std::string(meta.type_name) + ";");
+  w.line();
+  w.open("static inline std::int32_t crsd_clampi(std::int32_t v, "
+         "std::int32_t lo, std::int32_t hi)");
+  w.line("return v < lo ? lo : (v > hi ? hi : v);");
+  w.close();
+  w.line();
+  emit_cpu_diag(w, meta, opts);
+  w.line();
+  emit_cpu_scatter(w, meta, opts);
+  return w.str();
+}
+
+void emit_gpu_group_fn(CodeWriter& w, const Meta& meta,
+                       const GpuCodeletOptions& opts) {
+  const index_t mrows = meta.mrows;
+  w.open("extern \"C\" void " + opts.symbol_prefix +
+         "_group(const T* dia_val, const T* x, T* y, std::int32_t group_id, "
+         "const CrsdGpuHooks* h)");
+  const auto& patterns = *meta.patterns;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const auto& p = patterns[pi];
+    const index_t seg0 = (*meta.cum_segments)[pi];
+    const index_t seg1 = (*meta.cum_segments)[pi + 1];
+    const size64_t base = (*meta.val_offsets)[pi];
+    const size64_t slots = p.slots_per_segment(mrows);
+    w.open("if (group_id < " + itos(seg1) + ") {  // pattern " +
+           itos(static_cast<std::int64_t>(pi)) + ": " + pattern_to_string(p));
+    w.line("const std::int32_t row0 = group_id * " + itos(mrows) + ";");
+    w.line("const std::int32_t lanes = row0 + " + itos(mrows) + " <= " +
+           itos(meta.num_rows) + " ? " + itos(mrows) + " : " +
+           itos(meta.num_rows) + " - row0;");
+    if (p.offsets.empty()) {
+      w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
+      w.line("y[row0 + lane] = T(0);");
+      w.close();
+      w.line("h->write_block(h->ctx, 2, (unsigned long long)row0, lanes, "
+             "(int)sizeof(T));");
+      w.line("return;");
+      w.close("");
+      continue;
+    }
+    w.line("const T* unit = dia_val + " +
+           itos(static_cast<std::int64_t>(base)) +
+           "ull + (unsigned long long)(group_id - " + itos(seg0) + ") * " +
+           itos(static_cast<std::int64_t>(slots)) + "ull;");
+    w.line("T sums[" + itos(mrows) + "] = {};");
+    w.line("unsigned long long useful;");
+    for (const auto& grp : p.groups) {
+      const bool staged = opts.use_local_memory &&
+                          grp.type == GroupType::kAdjacent &&
+                          grp.num_diagonals >= 2;
+      if (staged) {
+        const diag_offset_t first =
+            p.offsets[static_cast<std::size_t>(grp.first_diagonal)];
+        w.line("// adjacent group " + itos(first) + ".." +
+               itos(first + grp.num_diagonals - 1) +
+               ": stage the x window through local memory");
+        w.open("");
+        w.line("const std::int32_t window = lanes + " +
+               itos(grp.num_diagonals - 1) + ";");
+        w.line("const std::int32_t start = crsd_clampi(row0 + " +
+               itos(first) + ", 0, " + itos(meta.num_cols - 1) + ");");
+        w.line("std::int32_t window_clamped = " + itos(meta.num_cols) +
+               " - start; if (window < window_clamped) window_clamped = "
+               "window; if (window_clamped < 1) window_clamped = 1;");
+        w.line("h->read_block(h->ctx, 1, (unsigned long long)start, "
+               "window_clamped, (int)sizeof(T), 0);");
+        w.line("h->local_rw(h->ctx, (unsigned long long)window * sizeof(T));");
+        w.line("h->barrier(h->ctx);");
+        w.close();
+      }
+      for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+        const index_t d = grp.first_diagonal + gd;
+        const diag_offset_t off = p.offsets[static_cast<std::size_t>(d)];
+        const std::string lane_base =
+            itos(static_cast<std::int64_t>(d) * mrows);
+        w.open("");
+        w.line("h->read_block(h->ctx, 0, (unsigned long long)(unit - dia_val) "
+               "+ " + lane_base + ", lanes, (int)sizeof(T), 0);");
+        if (staged) {
+          w.line("h->local_rw(h->ctx, (unsigned long long)lanes * sizeof(T));");
+        } else {
+          w.line("h->read_block(h->ctx, 1, (unsigned long long)crsd_clampi("
+                 "row0 + " + itos(off) + ", 0, " + itos(meta.num_cols - 1) +
+                 "), lanes, (int)sizeof(T), 1);");
+        }
+        w.line("useful = 0;");
+        w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
+        w.line("const T v = unit[lane + " + lane_base + "];");
+        w.line("sums[lane] += v * " +
+               x_index_expr(meta, p, off, "(row0 + lane)") + ";");
+        w.line("if (v != T(0)) ++useful;");
+        w.close();
+        w.line("h->flops(h->ctx, 2 * useful);");
+        w.line("h->alu(h->ctx, 2 * ((unsigned long long)lanes - useful) + "
+               "2 * (unsigned long long)(" + itos(mrows) + " - lanes));");
+        w.close();
+      }
+      if (staged) {
+        w.line("h->barrier(h->ctx);  // buffer reused by the next AD group");
+      }
+    }
+    w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
+    w.line("y[row0 + lane] = sums[lane];");
+    w.close();
+    w.line("h->write_block(h->ctx, 2, (unsigned long long)row0, lanes, "
+           "(int)sizeof(T));");
+    w.line("return;");
+    w.close("");  // pattern dispatch
+  }
+  w.close();  // function
+}
+
+void emit_gpu_scatter_fn(CodeWriter& w, const Meta& meta,
+                         const GpuCodeletOptions& opts) {
+  const index_t mrows = meta.mrows;
+  const index_t nsr = meta.num_scatter_rows;
+  w.open("extern \"C\" void " + opts.symbol_prefix +
+         "_scatter_group(const T* scatter_val, const std::int32_t* "
+         "scatter_col, const std::int32_t* scatter_rowno, const T* x, T* y, "
+         "std::int32_t group_id, const CrsdGpuHooks* h)");
+  if (nsr == 0) {
+    w.line("(void)scatter_val; (void)scatter_col; (void)scatter_rowno;");
+    w.line("(void)x; (void)y; (void)group_id; (void)h;");
+    w.close();
+    return;
+  }
+  w.line("const std::int32_t i0 = group_id * " + itos(mrows) + ";");
+  w.line("const std::int32_t lanes = i0 + " + itos(mrows) + " <= " +
+         itos(nsr) + " ? " + itos(mrows) + " : " + itos(nsr) + " - i0;");
+  w.line("if (lanes <= 0) return;");
+  w.line("h->read_block(h->ctx, 3, (unsigned long long)i0, lanes, 4, 0);");
+  w.line("T sums[" + itos(mrows) + "] = {};");
+  w.line("unsigned long long xg[" + itos(mrows) + "];");
+  for (index_t k = 0; k < meta.scatter_width; ++k) {
+    const std::string slot0 = itos(static_cast<std::int64_t>(k) * nsr);
+    w.open("");
+    w.line("h->read_block(h->ctx, 4, " + slot0 +
+           "ull + (unsigned long long)i0, lanes, 4, 0);");
+    w.line("h->read_block(h->ctx, 5, " + slot0 +
+           "ull + (unsigned long long)i0, lanes, (int)sizeof(T), 0);");
+    w.line("std::int32_t useful = 0;");
+    w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
+    w.line("const std::int32_t c = scatter_col[" + slot0 + "ull + i0 + lane];");
+    w.open("if (c >= 0)");
+    w.line("sums[lane] += scatter_val[" + slot0 + "ull + i0 + lane] * x[c];");
+    w.line("xg[useful] = (unsigned long long)c;");
+    w.line("++useful;");
+    w.close();
+    w.close();
+    w.line("h->gather(h->ctx, 1, xg, useful, (int)sizeof(T), 1);");
+    w.line("h->flops(h->ctx, 2 * (unsigned long long)useful);");
+    w.line("h->alu(h->ctx, 2 * (unsigned long long)(lanes - useful));");
+    w.close();
+  }
+  w.line("unsigned long long targets[" + itos(mrows) + "];");
+  w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
+  w.line("const std::int32_t r = scatter_rowno[i0 + lane];");
+  w.line("y[r] = sums[lane];  // overwrite after the diagonal phase");
+  w.line("targets[lane] = (unsigned long long)r;");
+  w.close();
+  w.line("h->scatter_write(h->ctx, 2, targets, lanes, (int)sizeof(T));");
+  w.close();
+}
+
+std::string generate_gpu(const Meta& meta, const GpuCodeletOptions& opts) {
+  CodeWriter w;
+  w.line("// Generated by crsd::codegen — CRSD per-work-group GPU codelet");
+  w.line("// (runtime-compiled, executed on the simulated device through");
+  w.line("// the CrsdGpuHooks event ABI). Do not edit.");
+  w.line("#include <cstdint>");
+  w.line();
+  w.line("using T = " + std::string(meta.type_name) + ";");
+  w.line();
+  w.line("extern \"C\" struct CrsdGpuHooks {");
+  w.line("  void* ctx;");
+  w.line("  void (*read_block)(void*, int, unsigned long long, int, int, int);");
+  w.line("  void (*gather)(void*, int, const unsigned long long*, int, int, "
+         "int);");
+  w.line("  void (*write_block)(void*, int, unsigned long long, int, int);");
+  w.line("  void (*scatter_write)(void*, int, const unsigned long long*, "
+         "int, int);");
+  w.line("  void (*flops)(void*, unsigned long long);");
+  w.line("  void (*alu)(void*, unsigned long long);");
+  w.line("  void (*local_rw)(void*, unsigned long long);");
+  w.line("  void (*barrier)(void*);");
+  w.line("};");
+  w.line();
+  w.open("static inline std::int32_t crsd_clampi(std::int32_t v, "
+         "std::int32_t lo, std::int32_t hi)");
+  w.line("return v < lo ? lo : (v > hi ? hi : v);");
+  w.close();
+  w.line();
+  emit_gpu_group_fn(w, meta, opts);
+  w.line();
+  emit_gpu_scatter_fn(w, meta, opts);
+  return w.str();
+}
+
+std::string generate_opencl(const Meta& meta,
+                            const OpenClCodeletOptions& opts) {
+  const std::string T = meta.type_name;
+  CodeWriter w;
+  w.line("// Generated by crsd::codegen — OpenCL CRSD SpMV kernel (cf. the");
+  w.line("// paper's Fig. 6). One work-group per row segment, mrows = " +
+         itos(meta.mrows) + " work-items;");
+  w.line("// indices are immediates, diagonals unrolled, adjacent groups");
+  w.line("// staged through local memory.");
+  if (T == std::string("double")) {
+    w.line("#pragma OPENCL EXTENSION cl_khr_fp64 : enable");
+  }
+  w.open("__kernel void " + opts.kernel_name + "(__global const " + T +
+         "* crsd_dia_val, __global const " + T + "* x, __global " + T +
+         "* y, __global const " + T +
+         "* scatter_val, __global const int* scatter_col, __global const "
+         "int* scatter_rowno, __local " + T + "* xbuf)");
+  w.line("const int group_id = get_group_id(0);");
+  w.line("const int local_id = get_local_id(0);");
+  w.line("const int row = group_id * " + itos(meta.mrows) + " + local_id;");
+  const auto& patterns = *meta.patterns;
+  w.open("switch (" + [&] {
+    // Pattern selector: cumulative-segment compare chain folded into a
+    // small expression (Σ NRS_i <= group_id < Σ NRS_{i+1}, §III-B).
+    std::string expr = "0";
+    for (std::size_t pi = 1; pi < patterns.size(); ++pi) {
+      expr += " + (group_id >= " + itos((*meta.cum_segments)[pi]) + ")";
+    }
+    return expr;
+  }() + ")");
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const auto& p = patterns[pi];
+    const index_t seg0 = (*meta.cum_segments)[pi];
+    const size64_t base = (*meta.val_offsets)[pi];
+    const size64_t slots = p.slots_per_segment(meta.mrows);
+    w.open("case " + itos(static_cast<std::int64_t>(pi)) +
+           ": {  // " + pattern_to_string(p));
+    if (p.offsets.empty()) {
+      w.line("if (row < " + itos(meta.num_rows) + ") y[row] = 0;");
+      w.line("break;");
+      w.close();
+      continue;
+    }
+    w.line(T + " sum = 0;");
+    w.line("const int unit = " + itos(static_cast<std::int64_t>(base)) +
+           " + (group_id - " + itos(seg0) + ") * " +
+           itos(static_cast<std::int64_t>(slots)) + ";");
+    for (const auto& grp : p.groups) {
+      const bool staged = opts.use_local_memory &&
+                          grp.type == GroupType::kAdjacent &&
+                          grp.num_diagonals >= 2;
+      if (staged) {
+        const diag_offset_t first =
+            p.offsets[static_cast<std::size_t>(grp.first_diagonal)];
+        const index_t window = meta.mrows + grp.num_diagonals - 1;
+        w.line("// adjacent group: stage the shared x window into local "
+               "memory");
+        w.open("for (int i = local_id; i < " + itos(window) + "; i += " +
+               itos(meta.mrows) + ")");
+        w.line("xbuf[i] = x[group_id * " + itos(meta.mrows) + " + i + " +
+               itos(first) + "];");
+        w.close();
+        w.line("barrier(CLK_LOCAL_MEM_FENCE);");
+        for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+          const index_t d = grp.first_diagonal + gd;
+          w.line("sum += crsd_dia_val[unit + " +
+                 itos(static_cast<std::int64_t>(d) * meta.mrows) +
+                 " + local_id] * xbuf[local_id + " + itos(gd) + "];");
+        }
+        w.line("barrier(CLK_LOCAL_MEM_FENCE);");
+      } else {
+        for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+          const index_t d = grp.first_diagonal + gd;
+          const diag_offset_t off = p.offsets[static_cast<std::size_t>(d)];
+          w.line("sum += crsd_dia_val[unit + " +
+                 itos(static_cast<std::int64_t>(d) * meta.mrows) +
+                 " + local_id] * " + x_index_expr(meta, p, off, "row") + ";");
+        }
+      }
+    }
+    w.line("if (row < " + itos(meta.num_rows) + ") y[row] = sum;");
+    w.line("break;");
+    w.close();
+  }
+  w.close();  // switch
+  if (meta.num_scatter_rows > 0) {
+    const index_t nsr = meta.num_scatter_rows;
+    w.line("// scatter rows: ELL side matrix, executed after the diagonal");
+    w.line("// part; overwrites y for those rows (whole-row recompute).");
+    w.line("const int sid = get_global_id(0);");
+    w.open("if (sid < " + itos(nsr) + ")");
+    w.line(T + " sum = 0;");
+    for (index_t k = 0; k < meta.scatter_width; ++k) {
+      const std::string slot =
+          "sid + " + itos(static_cast<std::int64_t>(k) * nsr);
+      w.line("{ const int c = scatter_col[" + slot +
+             "]; if (c >= 0) sum += scatter_val[" + slot + "] * x[c]; }");
+    }
+    w.line("y[scatter_rowno[sid]] = sum;");
+    w.close();
+  }
+  w.close();  // kernel
+  return w.str();
+}
+
+template <Real T>
+Meta make_meta(const CrsdMatrix<T>& m) {
+  Meta meta;
+  meta.num_rows = m.num_rows();
+  meta.num_cols = m.num_cols();
+  meta.mrows = m.mrows();
+  meta.patterns = &m.patterns();
+  meta.cum_segments = &m.cum_segments();
+  meta.val_offsets = &m.pattern_value_offsets();
+  meta.num_scatter_rows = m.num_scatter_rows();
+  meta.scatter_width = m.scatter_width();
+  meta.type_name = std::is_same_v<T, double> ? "double" : "float";
+  return meta;
+}
+
+}  // namespace
+
+template <Real T>
+std::string generate_cpu_codelet_source(const CrsdMatrix<T>& m,
+                                        const CpuCodeletOptions& opts) {
+  return generate_cpu(make_meta(m), opts);
+}
+
+template <Real T>
+std::string generate_opencl_kernel_source(const CrsdMatrix<T>& m,
+                                          const OpenClCodeletOptions& opts) {
+  return generate_opencl(make_meta(m), opts);
+}
+
+template <Real T>
+std::string generate_gpu_codelet_source(const CrsdMatrix<T>& m,
+                                        const GpuCodeletOptions& opts) {
+  return generate_gpu(make_meta(m), opts);
+}
+
+template std::string generate_gpu_codelet_source<double>(
+    const CrsdMatrix<double>&, const GpuCodeletOptions&);
+template std::string generate_gpu_codelet_source<float>(
+    const CrsdMatrix<float>&, const GpuCodeletOptions&);
+
+template std::string generate_cpu_codelet_source<double>(
+    const CrsdMatrix<double>&, const CpuCodeletOptions&);
+template std::string generate_cpu_codelet_source<float>(
+    const CrsdMatrix<float>&, const CpuCodeletOptions&);
+template std::string generate_opencl_kernel_source<double>(
+    const CrsdMatrix<double>&, const OpenClCodeletOptions&);
+template std::string generate_opencl_kernel_source<float>(
+    const CrsdMatrix<float>&, const OpenClCodeletOptions&);
+
+}  // namespace crsd::codegen

@@ -1,0 +1,40 @@
+// C ABI between runtime-generated GPU codelets and the simulator driver.
+// The generated translation unit defines an identical struct (it must stay
+// self-contained, like OpenCL C source), so this layout is frozen: plain
+// C types, function pointers only, no methods.
+#pragma once
+
+#include <cstdint>
+
+namespace crsd::codegen {
+
+/// Buffer identifiers the codelet passes back to the driver's hooks.
+enum CrsdGpuBuffer : int {
+  kBufDiaVal = 0,
+  kBufX = 1,
+  kBufY = 2,
+  kBufScatterRow = 3,
+  kBufScatterCol = 4,
+  kBufScatterVal = 5,
+};
+
+/// Event-recording callbacks bound to one work-group's context. The
+/// generated codelet performs the arithmetic itself and reports the memory
+/// events the equivalent OpenCL kernel would generate.
+extern "C" struct CrsdGpuHooks {
+  void* ctx = nullptr;
+  void (*read_block)(void* ctx, int buffer, unsigned long long first_elem,
+                     int lanes, int elem_size, int cached) = nullptr;
+  void (*gather)(void* ctx, int buffer, const unsigned long long* idx,
+                 int lanes, int elem_size, int cached) = nullptr;
+  void (*write_block)(void* ctx, int buffer, unsigned long long first_elem,
+                      int lanes, int elem_size) = nullptr;
+  void (*scatter_write)(void* ctx, int buffer, const unsigned long long* idx,
+                        int lanes, int elem_size) = nullptr;
+  void (*flops)(void* ctx, unsigned long long n) = nullptr;
+  void (*alu)(void* ctx, unsigned long long n) = nullptr;
+  void (*local_rw)(void* ctx, unsigned long long bytes) = nullptr;
+  void (*barrier)(void* ctx) = nullptr;
+};
+
+}  // namespace crsd::codegen

@@ -1,0 +1,137 @@
+#include "codegen/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/log.hpp"
+
+namespace crsd::codegen {
+
+namespace fs = std::filesystem;
+
+JitLibrary::~JitLibrary() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+JitLibrary::JitLibrary(JitLibrary&& o) noexcept
+    : handle_(o.handle_), path_(std::move(o.path_)) {
+  o.handle_ = nullptr;
+}
+
+JitLibrary& JitLibrary::operator=(JitLibrary&& o) noexcept {
+  if (this != &o) {
+    if (handle_ != nullptr) dlclose(handle_);
+    handle_ = o.handle_;
+    path_ = std::move(o.path_);
+    o.handle_ = nullptr;
+  }
+  return *this;
+}
+
+void* JitLibrary::symbol(const std::string& name) const {
+  CRSD_CHECK_MSG(handle_ != nullptr, "symbol() on an unloaded JitLibrary");
+  dlerror();
+  void* sym = dlsym(handle_, name.c_str());
+  const char* err = dlerror();
+  CRSD_CHECK_MSG(err == nullptr && sym != nullptr,
+                 "cannot resolve symbol '" << name << "' in " << path_ << ": "
+                                           << (err ? err : "null"));
+  return sym;
+}
+
+namespace {
+
+std::string default_compiler() {
+  if (const char* cxx = std::getenv("CXX"); cxx != nullptr && *cxx != '\0') {
+    return cxx;
+  }
+  return "c++";
+}
+
+std::string default_cache_dir() {
+  if (const char* dir = std::getenv("CRSD_JIT_CACHE");
+      dir != nullptr && *dir != '\0') {
+    return dir;
+  }
+  return (fs::temp_directory_path() / "crsd-jit-cache").string();
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+JitCompiler::JitCompiler() : JitCompiler(Options()) {}
+
+JitCompiler::JitCompiler(Options opts) : opts_(std::move(opts)) {
+  if (opts_.compiler.empty()) opts_.compiler = default_compiler();
+  if (opts_.cache_dir.empty()) opts_.cache_dir = default_cache_dir();
+}
+
+bool JitCompiler::compiler_available() {
+  static const bool available = [] {
+    const std::string cmd =
+        default_compiler() + " --version > /dev/null 2>&1";
+    return std::system(cmd.c_str()) == 0;
+  }();
+  return available;
+}
+
+std::string JitCompiler::object_path_for(const std::string& source) const {
+  const std::string key = fnv1a64_hex(opts_.compiler + "\x1f" + opts_.flags +
+                                      "\x1f" + source);
+  return (fs::path(opts_.cache_dir) / ("crsd_" + key + ".so")).string();
+}
+
+JitLibrary JitCompiler::compile_and_load(const std::string& source) {
+  const fs::path so_path = object_path_for(source);
+  fs::create_directories(so_path.parent_path());
+
+  if (!fs::exists(so_path)) {
+    ++compilations_;
+    const fs::path src_path = fs::path(so_path).replace_extension(".cpp");
+    const fs::path log_path = fs::path(so_path).replace_extension(".log");
+    {
+      std::ofstream out(src_path);
+      out << source;
+      CRSD_CHECK_MSG(out.good(), "cannot write JIT source " << src_path);
+    }
+    // Compile to a temp name then rename: concurrent processes racing on the
+    // same cache entry each produce a complete object.
+    const fs::path tmp_path =
+        so_path.string() + ".tmp." + std::to_string(::getpid());
+    std::ostringstream cmd;
+    cmd << opts_.compiler << ' ' << opts_.flags << " -o " << tmp_path << ' '
+        << src_path << " > " << log_path << " 2>&1";
+    CRSD_LOG_INFO("jit: " << cmd.str());
+    const int rc = std::system(cmd.str().c_str());
+    if (rc != 0) {
+      const std::string diagnostics = read_file(log_path);
+      throw Error("JIT compilation failed (exit " + std::to_string(rc) +
+                  ") for " + src_path.string() + ":\n" + diagnostics);
+    }
+    fs::rename(tmp_path, so_path);
+  } else {
+    ++cache_hits_;
+  }
+
+  JitLibrary lib;
+  lib.handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  CRSD_CHECK_MSG(lib.handle_ != nullptr,
+                 "dlopen failed for " << so_path << ": " << dlerror());
+  lib.path_ = so_path.string();
+  return lib;
+}
+
+}  // namespace crsd::codegen

@@ -1,0 +1,77 @@
+// Runtime compilation driver — the host-side analogue of OpenCL's
+// clBuildProgram. Generated codelet source is compiled to a shared object
+// with the system C++ compiler and loaded with dlopen. Objects are cached on
+// disk keyed by a hash of (source, flags), so a structure that was compiled
+// once loads instantly in later runs — mirroring OpenCL binary caching.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace crsd::codegen {
+
+/// A loaded shared object. Movable, closes on destruction.
+class JitLibrary {
+ public:
+  JitLibrary() = default;
+  ~JitLibrary();
+  JitLibrary(JitLibrary&& o) noexcept;
+  JitLibrary& operator=(JitLibrary&& o) noexcept;
+  JitLibrary(const JitLibrary&) = delete;
+  JitLibrary& operator=(const JitLibrary&) = delete;
+
+  bool loaded() const { return handle_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Resolves a symbol; throws crsd::Error if missing.
+  void* symbol(const std::string& name) const;
+
+  template <typename Fn>
+  Fn symbol_as(const std::string& name) const {
+    return reinterpret_cast<Fn>(symbol(name));
+  }
+
+ private:
+  friend class JitCompiler;
+  void* handle_ = nullptr;
+  std::string path_;
+};
+
+/// Compiles C++ source strings into loadable shared objects.
+class JitCompiler {
+ public:
+  struct Options {
+    /// Compiler executable; empty -> $CXX, then "c++".
+    std::string compiler;
+    std::string flags = "-O2 -shared -fPIC -std=c++20";
+    /// Cache directory; empty -> $CRSD_JIT_CACHE, then
+    /// <tmpdir>/crsd-jit-cache.
+    std::string cache_dir;
+  };
+
+  /// Uses default Options (env-derived compiler and cache directory).
+  JitCompiler();
+  explicit JitCompiler(Options opts);
+
+  /// True if a working compiler was found (checked lazily on first use).
+  static bool compiler_available();
+
+  /// Compiles `source` (or reuses the cached object) and loads it.
+  /// Throws crsd::Error with the compiler diagnostics on failure.
+  JitLibrary compile_and_load(const std::string& source);
+
+  /// Where an object for `source` would be cached.
+  std::string object_path_for(const std::string& source) const;
+
+  /// Number of compile_and_load calls that were served from the disk cache.
+  int cache_hits() const { return cache_hits_; }
+  int compilations() const { return compilations_; }
+
+ private:
+  Options opts_;
+  int cache_hits_ = 0;
+  int compilations_ = 0;
+};
+
+}  // namespace crsd::codegen

@@ -1,0 +1,54 @@
+// Error handling: CRSD throws crsd::Error for recoverable misuse and uses
+// CRSD_CHECK for precondition validation at API boundaries. Internal
+// invariants use CRSD_ASSERT, which compiles out in release unless
+// CRSD_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace crsd {
+
+/// Exception type thrown by all CRSD libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CRSD_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace crsd
+
+/// Precondition check that always runs; throws crsd::Error on failure.
+#define CRSD_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::crsd::detail::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Precondition check with a streamed message:
+///   CRSD_CHECK_MSG(n > 0, "matrix must be non-empty, got n=" << n);
+#define CRSD_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream crsd_check_os_;                                   \
+      crsd_check_os_ << msg;                                               \
+      ::crsd::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                          crsd_check_os_.str());           \
+    }                                                                      \
+  } while (0)
+
+#if defined(CRSD_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define CRSD_ASSERT(cond) CRSD_CHECK(cond)
+#else
+#define CRSD_ASSERT(cond) ((void)0)
+#endif

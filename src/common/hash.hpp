@@ -1,0 +1,33 @@
+// FNV-1a hashing, used to key the JIT kernel cache by generated source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace crsd {
+
+/// 64-bit FNV-1a over a byte string.
+inline std::uint64_t fnv1a64(std::string_view data,
+                             std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Hash rendered as fixed-width hex, suitable for cache file names.
+std::string inline fnv1a64_hex(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::uint64_t h = fnv1a64(data);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace crsd

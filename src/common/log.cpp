@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace crsd {
+namespace {
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("CRSD_LOG_LEVEL");
+    if (env != nullptr) {
+      if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+      if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+      if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+      if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << "[crsd " << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace crsd

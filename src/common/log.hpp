@@ -1,0 +1,37 @@
+// Minimal leveled logging to stderr. Benches print their results to stdout;
+// the logger is for diagnostics (JIT compiler invocations, fallbacks).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace crsd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default kWarn so library
+/// users see problems but not chatter. CRSD_LOG_LEVEL env var overrides
+/// (debug|info|warn|error).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace crsd
+
+#define CRSD_LOG(level, msg)                                       \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::crsd::log_threshold())) {               \
+      std::ostringstream crsd_log_os_;                             \
+      crsd_log_os_ << msg;                                         \
+      ::crsd::detail::log_emit(level, crsd_log_os_.str());         \
+    }                                                              \
+  } while (0)
+
+#define CRSD_LOG_DEBUG(msg) CRSD_LOG(::crsd::LogLevel::kDebug, msg)
+#define CRSD_LOG_INFO(msg) CRSD_LOG(::crsd::LogLevel::kInfo, msg)
+#define CRSD_LOG_WARN(msg) CRSD_LOG(::crsd::LogLevel::kWarn, msg)
+#define CRSD_LOG_ERROR(msg) CRSD_LOG(::crsd::LogLevel::kError, msg)

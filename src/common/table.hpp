@@ -1,0 +1,39 @@
+// Aligned text tables and CSV emission for the benchmark harnesses. Every
+// figure/table bench prints one of these, so the formatting lives in one
+// place and the outputs stay machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crsd {
+
+/// A rectangular table of strings with a header row. Cells are set via
+/// add_row()/set(); render as aligned text or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t num_columns() const { return headers_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Cell formatting helpers.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(long long value);
+
+  /// Renders with space-padded, pipe-separated columns.
+  void print_text(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crsd

@@ -1,0 +1,111 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace crsd {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  CRSD_CHECK_MSG(num_threads >= 1, "thread pool needs >= 1 thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    index_t begin, index_t end,
+    const std::function<void(index_t, index_t, int)>& fn) {
+  if (begin >= end) return;
+  const index_t n = end - begin;
+  const int chunks = static_cast<int>(
+      std::min<index_t>(n, static_cast<index_t>(num_threads_)));
+
+  if (chunks == 1) {
+    fn(begin, end, 0);
+    return;
+  }
+
+  // Static partition into `chunks` nearly-equal contiguous ranges.
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(chunks));
+  const index_t base = n / chunks;
+  const index_t extra = n % chunks;
+  index_t cursor = begin;
+  for (int c = 0; c < chunks; ++c) {
+    const index_t len = base + (c < extra ? 1 : 0);
+    tasks.push_back(Task{&fn, cursor, cursor + len, c});
+    cursor += len;
+  }
+  CRSD_ASSERT(cursor == end);
+
+  // Chunk 0 runs on the calling thread; the rest are queued for workers.
+  Task mine = tasks.front();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CRSD_CHECK_MSG(outstanding_ == 0 && pending_.empty(),
+                   "nested/concurrent parallel_for on one ThreadPool is not "
+                   "supported");
+    first_error_ = nullptr;
+    pending_.assign(tasks.begin() + 1, tasks.end());
+    outstanding_ = static_cast<int>(pending_.size());
+  }
+  cv_work_.notify_all();
+
+  try {
+    (*mine.fn)(mine.begin, mine.end, mine.thread_id);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return outstanding_ == 0 && pending_.empty(); });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(int /*worker_id*/) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_ && pending_.empty()) return;
+      task = pending_.back();
+      pending_.pop_back();
+    }
+    try {
+      (*task.fn)(task.begin, task.end, task.thread_id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0 && pending_.empty()) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace crsd

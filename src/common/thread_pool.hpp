@@ -1,0 +1,76 @@
+// A small fixed-size thread pool with a blocking parallel_for. Used by the
+// CPU-parallel SpMV kernels and by the GPU simulator to spread work-groups
+// over host threads. We roll our own instead of OpenMP so thread count is an
+// explicit runtime argument (the paper sweeps 1 vs 8 threads) and so the
+// library has no compiler-flag dependency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace crsd {
+
+/// Fixed-size worker pool. Construction spawns `num_threads - 1` workers;
+/// the calling thread always participates in parallel_for, so
+/// ThreadPool(1) runs everything inline with zero synchronization cost.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(begin..end) partitioned into contiguous static chunks, one per
+  /// thread (SpMV row blocks want static partitioning for locality).
+  /// fn signature: void(index_t chunk_begin, index_t chunk_end, int thread_id).
+  /// Blocks until all chunks complete. Exceptions thrown by fn propagate
+  /// to the caller (first one wins).
+  void parallel_for(index_t begin, index_t end,
+                    const std::function<void(index_t, index_t, int)>& fn);
+
+  /// Process-wide pool sized to hardware_concurrency (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(index_t, index_t, int)>* fn = nullptr;
+    index_t begin = 0;
+    index_t end = 0;
+    int thread_id = 0;
+  };
+
+  void worker_loop(int worker_id);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> pending_;
+  int outstanding_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience: chunked parallel loop over [begin, end) on `pool`.
+/// body signature: void(index_t i) — invoked for each index.
+template <typename Body>
+void parallel_for_each(ThreadPool& pool, index_t begin, index_t end,
+                       Body&& body) {
+  pool.parallel_for(begin, end,
+                    [&body](index_t b, index_t e, int /*tid*/) {
+                      for (index_t i = b; i < e; ++i) body(i);
+                    });
+}
+
+}  // namespace crsd

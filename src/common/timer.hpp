@@ -1,0 +1,42 @@
+// Wall-clock timing helpers for benches and the JIT driver.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace crsd {
+
+/// Monotonic stopwatch. start() on construction; seconds() reads elapsed time.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until `min_seconds` of wall time has accumulated
+/// (at least `min_reps` repetitions) and returns seconds per repetition.
+template <typename Fn>
+double time_per_rep(Fn&& fn, double min_seconds = 0.05, int min_reps = 3) {
+  // Warm-up: first call pays cold caches / page faults.
+  fn();
+  int reps = 0;
+  Timer t;
+  do {
+    fn();
+    ++reps;
+  } while (t.seconds() < min_seconds || reps < min_reps);
+  return t.seconds() / reps;
+}
+
+}  // namespace crsd

@@ -1,0 +1,39 @@
+// Fundamental scalar and index types shared by every CRSD module.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace crsd {
+
+/// Row/column index type. Matrices in the paper's suite reach 10^6 rows;
+/// 32-bit indices keep index streams small (they are the memory-bandwidth
+/// cost SpMV formats fight over), matching what GPU SpMV libraries use.
+using index_t = std::int32_t;
+
+/// Diagonal offset: column - row. Ranges over [-(n-1), m-1], still int32,
+/// but kept as a distinct alias for readability.
+using diag_offset_t = std::int32_t;
+
+/// Sizes/counts that may exceed 2^31 (e.g. value-array lengths with fill).
+using size64_t = std::uint64_t;
+
+/// Floating-point types the library is instantiated for. The paper
+/// evaluates both single and double precision throughout.
+template <typename T>
+concept Real = std::same_as<T, float> || std::same_as<T, double>;
+
+inline constexpr index_t kInvalidIndex = std::numeric_limits<index_t>::min();
+
+/// Name of a precision for table headers ("double" / "single").
+template <Real T>
+constexpr const char* precision_name() {
+  if constexpr (std::same_as<T, double>) {
+    return "double";
+  } else {
+    return "single";
+  }
+}
+
+}  // namespace crsd

@@ -1,0 +1,309 @@
+// CRSD builder (§II-C): row segmentation, per-diagonal live-run discovery
+// with idle-section fill/break decisions, scatter-row extraction, and value
+// placement.
+//
+// Liveness is decided per (diagonal, segment):
+//  1. Anchor: the diagonal has >= live_min_nnz nonzeros in the segment and
+//     occupancy >= live_min_fill of the lanes it covers there.
+//  2. Ragged-edge extension: a segment holding >= 1 nonzero of the diagonal
+//     next to an anchor segment is absorbed by zero-filling the holes (the
+//     paper's "few zeros -> fill", e.g. the v43 fill in Fig. 2).
+//  3. Gap bridging: a run of <= fill_max_gap_segments dead segments between
+//     two live runs is zero-filled so the diagonal stays unbroken; longer
+//     gaps are idle sections and the diagonal is broken into two patterns
+//     (Fig. 3: the ±200 diagonals break instead of filling).
+// Every nonzero not covered by a live diagonal is a scatter point; the whole
+// row containing it moves to the ELL-format scatter side matrix (§II-D).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/crsd_matrix.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+/// Tuning knobs for CRSD construction.
+struct CrsdConfig {
+  /// Row segment size (paper's mrows). On the simulated GPU this must be a
+  /// multiple of the wavefront size; the CPU path accepts any value >= 1.
+  index_t mrows = 64;
+
+  /// A diagonal with fewer nonzeros than this inside a row segment cannot
+  /// anchor a live run (the paper treats a single nonzero per segment as a
+  /// scatter point, i.e. a threshold of 2).
+  index_t live_min_nnz = 2;
+
+  /// Minimum occupancy (nnz / covered lanes) for a segment to anchor a live
+  /// run. Lower values tolerate more zero-fill inside a segment.
+  double live_min_fill = 0.5;
+
+  /// Absorb segments with >= 1 nonzero adjacent to an anchor run.
+  bool extend_ragged_edges = true;
+
+  /// Zero-fill dead gaps of at most this many segments between two live runs
+  /// of the same diagonal; longer gaps break the diagonal (idle sections).
+  index_t fill_max_gap_segments = 1;
+
+  /// Zero out diagonal-part slots belonging to scatter rows. The scatter
+  /// phase overwrites y for those rows either way; zeroing keeps the value
+  /// stream clean and makes fill statistics meaningful.
+  bool zero_scatter_rows_in_dia = true;
+};
+
+namespace detail {
+
+/// Per-diagonal occupancy of one row segment.
+struct DiagSegCount {
+  diag_offset_t off = 0;
+  index_t seg = 0;
+  index_t count = 0;
+};
+
+}  // namespace detail
+
+/// Builds a CRSD matrix from canonical COO.
+template <Real T>
+CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
+  CRSD_CHECK_MSG(a.is_canonical(), "CRSD requires canonical COO input");
+  CRSD_CHECK_MSG(a.num_rows() >= 1 && a.num_cols() >= 1,
+                 "CRSD requires a non-empty matrix");
+  CRSD_CHECK_MSG(cfg.mrows >= 1, "mrows must be >= 1");
+  CRSD_CHECK_MSG(cfg.live_min_nnz >= 1, "live_min_nnz must be >= 1");
+  CRSD_CHECK_MSG(cfg.live_min_fill >= 0.0 && cfg.live_min_fill <= 1.0,
+                 "live_min_fill must be in [0,1]");
+  CRSD_CHECK_MSG(cfg.fill_max_gap_segments >= 0,
+                 "fill_max_gap_segments must be >= 0");
+
+  const index_t n = a.num_rows();
+  const index_t mrows = cfg.mrows;
+  const index_t num_segments = (n + mrows - 1) / mrows;
+  const auto& rows = a.row_indices();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+
+  // Lanes of segment `seg` that diagonal `off` covers (intersection of the
+  // diagonal's row range with the segment's rows).
+  auto covered_lanes = [&](index_t seg, diag_offset_t off) -> index_t {
+    const index_t row0 = seg * mrows;
+    const index_t row1 = std::min<index_t>(n, row0 + mrows);
+    const index_t lo = std::max<index_t>(row0, off < 0 ? -off : 0);
+    const std::int64_t hi = std::min<std::int64_t>(
+        row1, static_cast<std::int64_t>(a.num_cols()) - off);
+    return hi > lo ? static_cast<index_t>(hi - lo) : 0;
+  };
+
+  // Pass 1: per-(diagonal, segment) nonzero counts. Input is row-sorted, so
+  // each segment's nonzeros are contiguous; accumulate per segment, then
+  // regroup by diagonal.
+  std::vector<detail::DiagSegCount> counts;
+  {
+    size64_t k = 0;
+    for (index_t seg = 0; seg < num_segments; ++seg) {
+      const index_t row1 = std::min<index_t>(n, (seg + 1) * mrows);
+      std::map<diag_offset_t, index_t> seg_counts;
+      while (k < a.nnz() && rows[k] < row1) {
+        ++seg_counts[cols[k] - rows[k]];
+        ++k;
+      }
+      for (const auto& [off, cnt] : seg_counts) {
+        counts.push_back({off, seg, cnt});
+      }
+    }
+    std::sort(counts.begin(), counts.end(),
+              [](const detail::DiagSegCount& x, const detail::DiagSegCount& y) {
+                if (x.off != y.off) return x.off < y.off;
+                return x.seg < y.seg;
+              });
+  }
+
+  // Pass 2: per-diagonal live runs -> live offset set per segment.
+  std::vector<std::vector<diag_offset_t>> live(
+      static_cast<std::size_t>(num_segments));
+  {
+    std::size_t i = 0;
+    while (i < counts.size()) {
+      std::size_t j = i;
+      while (j < counts.size() && counts[j].off == counts[i].off) ++j;
+      const diag_offset_t off = counts[i].off;
+
+      // Anchor segments of this diagonal.
+      const std::size_t m = j - i;
+      std::vector<bool> is_live(m, false);
+      for (std::size_t e = 0; e < m; ++e) {
+        const auto& c = counts[i + e];
+        is_live[e] = c.count >= cfg.live_min_nnz &&
+                     double(c.count) >=
+                         cfg.live_min_fill * double(covered_lanes(c.seg, off));
+      }
+      // Ragged-edge extension: entries with >= 1 nonzero whose neighbouring
+      // segment anchors a run.
+      if (cfg.extend_ragged_edges) {
+        std::vector<bool> extended = is_live;
+        for (std::size_t e = 0; e < m; ++e) {
+          if (is_live[e]) continue;
+          const bool prev_adj = e > 0 && counts[i + e - 1].seg + 1 ==
+                                             counts[i + e].seg &&
+                                is_live[e - 1];
+          const bool next_adj = e + 1 < m && counts[i + e].seg + 1 ==
+                                                 counts[i + e + 1].seg &&
+                                is_live[e + 1];
+          if (prev_adj || next_adj) extended[e] = true;
+        }
+        is_live = std::move(extended);
+      }
+
+      // Gather live segments, then bridge short dead gaps between them.
+      std::vector<index_t> live_segs;
+      for (std::size_t e = 0; e < m; ++e) {
+        if (is_live[e]) live_segs.push_back(counts[i + e].seg);
+      }
+      std::vector<index_t> final_segs;
+      for (std::size_t e = 0; e < live_segs.size(); ++e) {
+        if (!final_segs.empty()) {
+          const index_t gap = live_segs[e] - final_segs.back() - 1;
+          if (gap > 0 && gap <= cfg.fill_max_gap_segments) {
+            for (index_t s = final_segs.back() + 1; s < live_segs[e]; ++s) {
+              final_segs.push_back(s);  // zero-filled bridge segment
+            }
+          }
+        }
+        final_segs.push_back(live_segs[e]);
+      }
+      for (index_t s : final_segs) {
+        live[static_cast<std::size_t>(s)].push_back(off);
+      }
+      i = j;
+    }
+    // Per-diagonal processing appends offsets out of order; sort each set.
+    for (auto& set : live) std::sort(set.begin(), set.end());
+  }
+
+  // Pass 3: merge equal consecutive live sets into diagonal patterns.
+  CrsdStorage<T> storage;
+  storage.num_rows = n;
+  storage.num_cols = a.num_cols();
+  storage.mrows = mrows;
+  storage.nnz = a.nnz();
+  for (index_t seg = 0; seg < num_segments; ++seg) {
+    auto& set = live[static_cast<std::size_t>(seg)];
+    if (!storage.patterns.empty() && storage.patterns.back().offsets == set) {
+      ++storage.patterns.back().num_segments;
+      continue;
+    }
+    DiagonalPattern p;
+    p.start_row = seg * mrows;
+    p.num_segments = 1;
+    p.offsets = set;
+    p.groups = group_diagonals(p.offsets);
+    storage.patterns.push_back(std::move(p));
+  }
+
+  // Value-array base offset per pattern (paper's Σ NRS_i × NNzRS_i).
+  std::vector<size64_t> base(storage.patterns.size() + 1, 0);
+  for (std::size_t p = 0; p < storage.patterns.size(); ++p) {
+    base[p + 1] = base[p] + static_cast<size64_t>(
+                                storage.patterns[p].num_segments) *
+                                storage.patterns[p].slots_per_segment(mrows);
+  }
+  std::vector<index_t> pattern_of_seg(static_cast<std::size_t>(num_segments));
+  std::vector<index_t> first_seg(storage.patterns.size());
+  {
+    index_t seg = 0;
+    for (std::size_t p = 0; p < storage.patterns.size(); ++p) {
+      first_seg[p] = seg;
+      for (index_t s = 0; s < storage.patterns[p].num_segments; ++s) {
+        pattern_of_seg[static_cast<std::size_t>(seg++)] =
+            static_cast<index_t>(p);
+      }
+    }
+  }
+
+  // Pass 4: scatter rows = rows owning at least one nonzero that is not on a
+  // live diagonal of the row's pattern.
+  std::vector<bool> is_scatter(static_cast<std::size_t>(n), false);
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    const index_t seg = rows[k] / mrows;
+    const auto& offs =
+        storage.patterns[static_cast<std::size_t>(
+                             pattern_of_seg[static_cast<std::size_t>(seg)])]
+            .offsets;
+    const diag_offset_t off = cols[k] - rows[k];
+    if (!std::binary_search(offs.begin(), offs.end(), off)) {
+      is_scatter[static_cast<std::size_t>(rows[k])] = true;
+    }
+  }
+
+  // Pass 5: scatter ELL (whole rows, §II-D: the FP operation order of those
+  // rows is preserved by recomputing them entirely in the scatter phase).
+  std::vector<index_t> scatter_slot_of_row(static_cast<std::size_t>(n),
+                                           kInvalidIndex);
+  for (index_t r = 0; r < n; ++r) {
+    if (is_scatter[static_cast<std::size_t>(r)]) {
+      scatter_slot_of_row[static_cast<std::size_t>(r)] =
+          static_cast<index_t>(storage.scatter_rowno.size());
+      storage.scatter_rowno.push_back(r);
+    }
+  }
+  const index_t nsr = static_cast<index_t>(storage.scatter_rowno.size());
+  if (nsr > 0) {
+    std::vector<index_t> row_nnz(static_cast<std::size_t>(nsr), 0);
+    for (size64_t k = 0; k < a.nnz(); ++k) {
+      const index_t slot_row =
+          scatter_slot_of_row[static_cast<std::size_t>(rows[k])];
+      if (slot_row != kInvalidIndex) {
+        ++row_nnz[static_cast<std::size_t>(slot_row)];
+      }
+    }
+    for (index_t w : row_nnz) {
+      storage.scatter_width = std::max(storage.scatter_width, w);
+    }
+    const size64_t slots = static_cast<size64_t>(storage.scatter_width) * nsr;
+    storage.scatter_col.assign(slots, kInvalidIndex);
+    storage.scatter_val.assign(slots, T(0));
+    std::vector<index_t> fill(static_cast<std::size_t>(nsr), 0);
+    for (size64_t k = 0; k < a.nnz(); ++k) {
+      const index_t slot_row =
+          scatter_slot_of_row[static_cast<std::size_t>(rows[k])];
+      if (slot_row == kInvalidIndex) continue;
+      index_t& f = fill[static_cast<std::size_t>(slot_row)];
+      const size64_t slot =
+          static_cast<size64_t>(f) * nsr + static_cast<size64_t>(slot_row);
+      storage.scatter_col[slot] = cols[k];
+      storage.scatter_val[slot] = vals[k];
+      ++f;
+    }
+  }
+
+  // Pass 6: place diagonal-part values.
+  storage.dia_val.assign(base.back(), T(0));
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    const index_t r = rows[k];
+    if (cfg.zero_scatter_rows_in_dia &&
+        is_scatter[static_cast<std::size_t>(r)]) {
+      continue;
+    }
+    const index_t seg = r / mrows;
+    const index_t p = pattern_of_seg[static_cast<std::size_t>(seg)];
+    const auto& pat = storage.patterns[static_cast<std::size_t>(p)];
+    const diag_offset_t off = cols[k] - r;
+    const auto it =
+        std::lower_bound(pat.offsets.begin(), pat.offsets.end(), off);
+    if (it == pat.offsets.end() || *it != off) continue;  // scatter-only nz
+    const index_t d = static_cast<index_t>(it - pat.offsets.begin());
+    const index_t seg_in_p = seg - first_seg[static_cast<std::size_t>(p)];
+    const size64_t slot =
+        base[static_cast<std::size_t>(p)] +
+        static_cast<size64_t>(seg_in_p) * pat.slots_per_segment(mrows) +
+        static_cast<size64_t>(d) * mrows + static_cast<size64_t>(r % mrows);
+    storage.dia_val[slot] = vals[k];
+  }
+
+  return CrsdMatrix<T>(std::move(storage));
+}
+
+}  // namespace crsd

@@ -1,0 +1,275 @@
+// CRSD (Compressed Row Segment with Diagonal-pattern) container — the
+// paper's contribution (§II-D). Storage has two parts:
+//
+//  * Diagonal part: for each pattern p, for each of its row segments, the
+//    values of all live diagonals, laid out diagonal-major / lane-minor:
+//      slot(p, seg, d, lane) = base_p + seg*NDias_p*mrows + d*mrows + lane
+//    This is the paper's location formula: consecutive lanes (work-items)
+//    touch consecutive addresses, so GPU global loads coalesce.
+//
+//  * Scatter part: the full rows containing scatter points, in ELL layout
+//    (column-major over the scatter rows), plus their original row numbers.
+//    SpMV runs the diagonal phase first and then *overwrites* y[r] for each
+//    scatter row with the full-row product, preserving FP operation order.
+//
+// Zero-filled slots (edge lanes, short idle-section gaps, scatter rows) hold
+// value 0; kernels clamp the x index so the multiply-by-zero is harmless and
+// branch-free.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "core/pattern.hpp"
+
+namespace crsd {
+
+/// Occupancy/overhead statistics of a built CRSD matrix.
+struct CrsdStats {
+  index_t num_patterns = 0;
+  index_t num_segments = 0;
+  size64_t dia_slots = 0;       ///< value slots in the diagonal part
+  size64_t dia_nnz = 0;         ///< true nonzeros stored in the diagonal part
+  index_t num_scatter_rows = 0;
+  index_t scatter_width = 0;
+  size64_t scatter_nnz = 0;     ///< true nonzeros stored in the scatter part
+  double ad_diag_fraction = 0;  ///< slot-weighted fraction of diagonals in AD groups
+
+  /// Fraction of diagonal-part slots that are filled zeros.
+  double fill_ratio() const {
+    return dia_slots == 0 ? 0.0
+                          : double(dia_slots - dia_nnz) / double(dia_slots);
+  }
+};
+
+/// Raw storage produced by the builder; CrsdMatrix validates and owns it.
+template <Real T>
+struct CrsdStorage {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  index_t mrows = 0;
+  size64_t nnz = 0;  ///< true nonzeros of the original matrix
+  std::vector<DiagonalPattern> patterns;
+  std::vector<T> dia_val;
+  std::vector<index_t> scatter_rowno;  ///< ascending original row numbers
+  index_t scatter_width = 0;
+  std::vector<index_t> scatter_col;  ///< ELL column-major, kInvalidIndex pad
+  std::vector<T> scatter_val;
+};
+
+template <Real T>
+class CrsdMatrix {
+ public:
+  CrsdMatrix() = default;
+
+  /// Takes ownership of builder output; validates structural invariants.
+  explicit CrsdMatrix(CrsdStorage<T> s) : s_(std::move(s)) {
+    CRSD_CHECK_MSG(s_.mrows >= 1, "mrows must be >= 1");
+    const index_t segs = num_segments_total();
+    cum_segments_.assign(1, 0);
+    pattern_val_offset_.assign(1, 0);
+    index_t seg_cursor = 0;
+    size64_t val_cursor = 0;
+    for (const auto& p : s_.patterns) {
+      CRSD_CHECK_MSG(p.start_row == seg_cursor * s_.mrows,
+                     "pattern start row mismatch");
+      CRSD_CHECK_MSG(p.num_segments >= 1, "empty pattern run");
+      CRSD_CHECK(p.groups.size() == group_diagonals(p.offsets).size());
+      seg_cursor += p.num_segments;
+      val_cursor += static_cast<size64_t>(p.num_segments) *
+                    p.slots_per_segment(s_.mrows);
+      cum_segments_.push_back(seg_cursor);
+      pattern_val_offset_.push_back(val_cursor);
+    }
+    CRSD_CHECK_MSG(seg_cursor == segs, "patterns must cover every row segment");
+    CRSD_CHECK_MSG(val_cursor == s_.dia_val.size(),
+                   "diagonal value array size mismatch");
+    CRSD_CHECK(std::is_sorted(s_.scatter_rowno.begin(), s_.scatter_rowno.end()));
+    CRSD_CHECK(s_.scatter_col.size() ==
+               s_.scatter_rowno.size() * static_cast<size64_t>(s_.scatter_width));
+    CRSD_CHECK(s_.scatter_val.size() == s_.scatter_col.size());
+  }
+
+  index_t num_rows() const { return s_.num_rows; }
+  index_t num_cols() const { return s_.num_cols; }
+  index_t mrows() const { return s_.mrows; }
+  size64_t nnz() const { return s_.nnz; }
+
+  index_t num_segments_total() const {
+    return s_.mrows == 0 ? 0 : (s_.num_rows + s_.mrows - 1) / s_.mrows;
+  }
+
+  const std::vector<DiagonalPattern>& patterns() const { return s_.patterns; }
+  index_t num_patterns() const {
+    return static_cast<index_t>(s_.patterns.size());
+  }
+  const std::vector<T>& dia_values() const { return s_.dia_val; }
+
+  /// Cumulative segment counts, size num_patterns()+1 (paper's Σ NRS_i).
+  const std::vector<index_t>& cum_segments() const { return cum_segments_; }
+  /// Start of pattern p's values in dia_values(), size num_patterns()+1.
+  const std::vector<size64_t>& pattern_value_offsets() const {
+    return pattern_val_offset_;
+  }
+
+  /// Pattern index owning global segment `group_id`.
+  index_t pattern_of_segment(index_t group_id) const {
+    CRSD_ASSERT(group_id >= 0 && group_id < num_segments_total());
+    const auto it = std::upper_bound(cum_segments_.begin(), cum_segments_.end(),
+                                     group_id);
+    return static_cast<index_t>(it - cum_segments_.begin()) - 1;
+  }
+
+  /// Value slot of (pattern p, segment-within-pattern, diagonal d, lane).
+  size64_t slot(index_t p, index_t seg, index_t d, index_t lane) const {
+    const auto& pat = s_.patterns[static_cast<std::size_t>(p)];
+    CRSD_ASSERT(seg >= 0 && seg < pat.num_segments);
+    CRSD_ASSERT(d >= 0 && d < pat.num_diagonals());
+    CRSD_ASSERT(lane >= 0 && lane < s_.mrows);
+    return pattern_val_offset_[static_cast<std::size_t>(p)] +
+           static_cast<size64_t>(seg) * pat.slots_per_segment(s_.mrows) +
+           static_cast<size64_t>(d) * s_.mrows + static_cast<size64_t>(lane);
+  }
+
+  // Scatter part accessors.
+  const std::vector<index_t>& scatter_rows() const { return s_.scatter_rowno; }
+  index_t num_scatter_rows() const {
+    return static_cast<index_t>(s_.scatter_rowno.size());
+  }
+  index_t scatter_width() const { return s_.scatter_width; }
+  const std::vector<index_t>& scatter_col() const { return s_.scatter_col; }
+  const std::vector<T>& scatter_val() const { return s_.scatter_val; }
+
+  /// y = A*x, single thread: diagonal phase then scatter overwrite.
+  void spmv(const T* x, T* y) const {
+    spmv_segments(0, num_segments_total(), x, y);
+    spmv_scatter(x, y);
+  }
+
+  /// y = A*x on `pool`: segments partitioned across threads (each segment's
+  /// rows are written by exactly one thread), then the scatter overwrite.
+  void spmv_parallel(ThreadPool& pool, const T* x, T* y) const {
+    pool.parallel_for(0, num_segments_total(),
+                      [&](index_t sb, index_t se, int) {
+                        spmv_segments(sb, se, x, y);
+                      });
+    spmv_scatter(x, y);
+  }
+
+  /// Diagonal phase for global segments [seg_begin, seg_end) — the CPU
+  /// analogue of one work-group per segment.
+  void spmv_segments(index_t seg_begin, index_t seg_end, const T* x,
+                     T* y) const {
+    for (index_t g = seg_begin; g < seg_end; ++g) {
+      const index_t p = pattern_of_segment(g);
+      const auto& pat = s_.patterns[static_cast<std::size_t>(p)];
+      const index_t seg_in_p = g - cum_segments_[static_cast<std::size_t>(p)];
+      const index_t row0 = g * s_.mrows;
+      const index_t lanes = std::min<index_t>(s_.mrows, s_.num_rows - row0);
+      const T* unit = s_.dia_val.data() +
+                      pattern_val_offset_[static_cast<std::size_t>(p)] +
+                      static_cast<size64_t>(seg_in_p) *
+                          pat.slots_per_segment(s_.mrows);
+      const index_t ndias = pat.num_diagonals();
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        const index_t r = row0 + lane;
+        T sum = T(0);
+        for (index_t d = 0; d < ndias; ++d) {
+          const index_t c = clamp_col(r + pat.offsets[static_cast<std::size_t>(d)]);
+          sum += unit[static_cast<size64_t>(d) * s_.mrows + lane] * x[c];
+        }
+        y[r] = sum;
+      }
+    }
+  }
+
+  /// Scatter phase: full-row recompute of every scatter row.
+  void spmv_scatter(const T* x, T* y) const {
+    const index_t nsr = num_scatter_rows();
+    for (index_t i = 0; i < nsr; ++i) {
+      T sum = T(0);
+      for (index_t k = 0; k < s_.scatter_width; ++k) {
+        const size64_t slot_idx =
+            static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
+        const index_t c = s_.scatter_col[slot_idx];
+        if (c != kInvalidIndex) sum += s_.scatter_val[slot_idx] * x[c];
+      }
+      y[s_.scatter_rowno[static_cast<std::size_t>(i)]] = sum;
+    }
+  }
+
+  /// Bytes of values plus the index metadata the paper's arrays would hold
+  /// (matrix/crsd_dia_index/scatter_rowno/scatter_colval).
+  size64_t footprint_bytes() const {
+    size64_t index_entries = 0;
+    for (const auto& p : s_.patterns) {
+      index_entries += 2;                     // start row + NRS
+      index_entries += 2 * p.groups.size();   // (type, count) per group
+      for (const auto& g : p.groups) {
+        // Column index per NAD diagonal; one per AD group (§II-D).
+        index_entries += g.type == GroupType::kAdjacent
+                             ? 1
+                             : static_cast<size64_t>(g.num_diagonals);
+      }
+    }
+    return s_.dia_val.size() * sizeof(T) + index_entries * sizeof(index_t) +
+           s_.scatter_rowno.size() * sizeof(index_t) +
+           s_.scatter_col.size() * sizeof(index_t) +
+           s_.scatter_val.size() * sizeof(T);
+  }
+
+  /// Occupancy statistics (fill ratio, AD fraction, scatter share).
+  CrsdStats stats() const {
+    CrsdStats st;
+    st.num_patterns = num_patterns();
+    st.num_segments = num_segments_total();
+    st.dia_slots = s_.dia_val.size();
+    for (const T& v : s_.dia_val) {
+      if (v != T(0)) ++st.dia_nnz;
+    }
+    st.num_scatter_rows = num_scatter_rows();
+    st.scatter_width = s_.scatter_width;
+    for (const T& v : s_.scatter_val) {
+      if (v != T(0)) ++st.scatter_nnz;
+    }
+    size64_t ad_slots = 0;
+    for (std::size_t p = 0; p < s_.patterns.size(); ++p) {
+      const auto& pat = s_.patterns[p];
+      index_t ad = 0;
+      for (const auto& g : pat.groups) {
+        if (g.type == GroupType::kAdjacent) ad += g.num_diagonals;
+      }
+      ad_slots += static_cast<size64_t>(ad) * pat.num_segments * s_.mrows;
+    }
+    st.ad_diag_fraction =
+        st.dia_slots == 0 ? 0.0 : double(ad_slots) / double(st.dia_slots);
+    return st;
+  }
+
+  /// Clamps a source-vector index into range; out-of-range slots hold value
+  /// zero so the clamped read never changes the result (branch-free kernels).
+  index_t clamp_col(index_t c) const {
+    return std::clamp<index_t>(c, 0, s_.num_cols - 1);
+  }
+
+  /// Replaces the value streams without touching the structure (used by
+  /// update_values — the inspector/executor value-refresh path). Sizes must
+  /// match the existing arrays exactly.
+  void replace_values(std::vector<T> dia_val, std::vector<T> scatter_val) {
+    CRSD_CHECK_MSG(dia_val.size() == s_.dia_val.size() &&
+                       scatter_val.size() == s_.scatter_val.size(),
+                   "replace_values size mismatch");
+    s_.dia_val = std::move(dia_val);
+    s_.scatter_val = std::move(scatter_val);
+  }
+
+ private:
+  CrsdStorage<T> s_;
+  std::vector<index_t> cum_segments_;
+  std::vector<size64_t> pattern_val_offset_;
+};
+
+}  // namespace crsd

@@ -1,0 +1,114 @@
+// Human-readable CRSD dump in the paper's Fig. 4 notation. Used by the
+// paper_figures example and by tests that pin the worked example of Fig. 2.
+#pragma once
+
+#include <ostream>
+
+#include "core/crsd_matrix.hpp"
+
+namespace crsd {
+
+/// Prints the scalar header, pattern list, index array, value arrays and
+/// scatter arrays of `m`, e.g. for the paper's Fig. 2 matrix with mrows=2:
+///
+///   num_scatter_rows = 1; num_dia_patterns = 2; num_scatter_width = 4;
+///   matrix = {{(NAD,1),(AD,2),(NAD,2)},{(AD,2),(NAD,1)}}
+///   crsd_dia_index = {R0, 1, C0, C2, C5, C7, | R2, 2, C0, C4}
+///   ...
+///
+/// Column entries follow §II-D: one per NAD diagonal, one for the *first*
+/// diagonal of each AD group; C is start_row + offset.
+template <Real T>
+void dump_crsd(std::ostream& os, const CrsdMatrix<T>& m) {
+  os << "num_scatter_rows = " << m.num_scatter_rows()
+     << "; num_dia_patterns = " << m.num_patterns()
+     << "; num_scatter_width = " << m.scatter_width() << "; mrows = "
+     << m.mrows() << ";\n";
+
+  os << "matrix = {";
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    if (p != 0) os << ",";
+    os << pattern_to_string(m.patterns()[static_cast<std::size_t>(p)]);
+  }
+  os << "}\n";
+
+  os << "crsd_dia_index = {";
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+    if (p != 0) os << " | ";
+    os << 'R' << pat.start_row << ", " << pat.num_segments;
+    for (const auto& g : pat.groups) {
+      const index_t diag_count =
+          g.type == GroupType::kAdjacent ? 1 : g.num_diagonals;
+      for (index_t d = 0; d < diag_count; ++d) {
+        os << ", C"
+           << pat.start_row +
+                  pat.offsets[static_cast<std::size_t>(g.first_diagonal + d)];
+      }
+    }
+  }
+  os << "}\n";
+
+  os << "crsd_dia_val = {";
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+    if (p != 0) os << ", ";
+    os << '{';
+    for (index_t seg = 0; seg < pat.num_segments; ++seg) {
+      if (seg != 0) os << ", ";
+      os << '[';
+      bool first_group = true;
+      for (const auto& g : pat.groups) {
+        if (!first_group) os << ",";
+        first_group = false;
+        os << '(';
+        for (index_t d = 0; d < g.num_diagonals; ++d) {
+          for (index_t lane = 0; lane < m.mrows(); ++lane) {
+            if (d != 0 || lane != 0) os << ',';
+            os << m.dia_values()[m.slot(p, seg, g.first_diagonal + d, lane)];
+          }
+        }
+        os << ')';
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "}\n";
+
+  os << "scatter_rowno = {";
+  for (index_t i = 0; i < m.num_scatter_rows(); ++i) {
+    if (i != 0) os << ", ";
+    os << 'R' << m.scatter_rows()[static_cast<std::size_t>(i)];
+  }
+  os << "}\n";
+
+  const index_t nsr = m.num_scatter_rows();
+  os << "scatter_index = {";
+  for (index_t i = 0; i < nsr; ++i) {
+    if (i != 0) os << "; ";
+    for (index_t k = 0; k < m.scatter_width(); ++k) {
+      const index_t c =
+          m.scatter_col()[static_cast<size64_t>(k) * nsr + i];
+      if (k != 0) os << ", ";
+      if (c == kInvalidIndex) {
+        os << '-';
+      } else {
+        os << 'C' << c;
+      }
+    }
+  }
+  os << "}\n";
+
+  os << "scatter_val = {";
+  for (index_t i = 0; i < nsr; ++i) {
+    if (i != 0) os << "; ";
+    for (index_t k = 0; k < m.scatter_width(); ++k) {
+      if (k != 0) os << ", ";
+      os << m.scatter_val()[static_cast<size64_t>(k) * nsr + i];
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace crsd

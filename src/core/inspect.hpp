@@ -1,0 +1,60 @@
+// CRSD inspection utilities: reconstructing the stored matrix as canonical
+// COO (round-trip verification, format conversion) and locating entries.
+#pragma once
+
+#include <algorithm>
+
+#include "core/crsd_matrix.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+/// Reconstructs the canonical COO a CRSD matrix stores. Diagonal-part slots
+/// of scatter rows are skipped (those rows live authoritatively in the
+/// scatter ELL, whether or not the builder zeroed their diagonal copies);
+/// filled zeros drop out naturally.
+template <Real T>
+Coo<T> crsd_to_coo(const CrsdMatrix<T>& m) {
+  Coo<T> out(m.num_rows(), m.num_cols());
+  out.reserve(m.nnz());
+  const auto& scatter_rows = m.scatter_rows();
+  auto is_scatter_row = [&](index_t r) {
+    return std::binary_search(scatter_rows.begin(), scatter_rows.end(), r);
+  };
+
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+    for (index_t seg = 0; seg < pat.num_segments; ++seg) {
+      const index_t row0 = pat.start_row + seg * m.mrows();
+      for (index_t d = 0; d < pat.num_diagonals(); ++d) {
+        const diag_offset_t off = pat.offsets[static_cast<std::size_t>(d)];
+        for (index_t lane = 0; lane < m.mrows(); ++lane) {
+          const index_t r = row0 + lane;
+          if (r >= m.num_rows()) break;
+          const T v = m.dia_values()[m.slot(p, seg, d, lane)];
+          if (v == T(0) || is_scatter_row(r)) continue;
+          const std::int64_t c = static_cast<std::int64_t>(r) + off;
+          CRSD_ASSERT(c >= 0 && c < m.num_cols());
+          out.add(r, static_cast<index_t>(c), v);
+        }
+      }
+    }
+  }
+
+  const index_t nsr = m.num_scatter_rows();
+  for (index_t i = 0; i < nsr; ++i) {
+    for (index_t k = 0; k < m.scatter_width(); ++k) {
+      const size64_t slot =
+          static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
+      const index_t c = m.scatter_col()[slot];
+      if (c != kInvalidIndex && m.scatter_val()[slot] != T(0)) {
+        out.add(scatter_rows[static_cast<std::size_t>(i)], c,
+                m.scatter_val()[slot]);
+      }
+    }
+  }
+  out.canonicalize();
+  return out;
+}
+
+}  // namespace crsd

@@ -1,0 +1,75 @@
+#include "core/pattern.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace crsd {
+
+std::vector<DiagonalGroup> group_diagonals(
+    const std::vector<diag_offset_t>& offsets) {
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    CRSD_CHECK_MSG(offsets[i - 1] < offsets[i],
+                   "offsets must be strictly ascending");
+  }
+  std::vector<DiagonalGroup> groups;
+  std::size_t i = 0;
+  // Pending NAD piece start (kInvalidIndex = none open).
+  index_t nad_start = kInvalidIndex;
+  auto close_nad = [&](std::size_t end) {
+    if (nad_start != kInvalidIndex) {
+      groups.push_back({GroupType::kNonAdjacent,
+                        static_cast<index_t>(end) - nad_start, nad_start});
+      nad_start = kInvalidIndex;
+    }
+  };
+  while (i < offsets.size()) {
+    // Length of the adjacent run starting at i.
+    std::size_t run = 1;
+    while (i + run < offsets.size() &&
+           offsets[i + run] == offsets[i + run - 1] + 1) {
+      ++run;
+    }
+    if (run >= 2) {
+      close_nad(i);
+      groups.push_back({GroupType::kAdjacent, static_cast<index_t>(run),
+                        static_cast<index_t>(i)});
+    } else {
+      if (nad_start == kInvalidIndex) nad_start = static_cast<index_t>(i);
+    }
+    i += run;
+  }
+  close_nad(offsets.size());
+  return groups;
+}
+
+index_t DiagonalPattern::max_adjacent_width() const {
+  index_t w = 0;
+  for (const auto& g : groups) {
+    if (g.type == GroupType::kAdjacent) w = std::max(w, g.num_diagonals);
+  }
+  return w;
+}
+
+double DiagonalPattern::adjacent_fraction() const {
+  if (offsets.empty()) return 0.0;
+  index_t ad = 0;
+  for (const auto& g : groups) {
+    if (g.type == GroupType::kAdjacent) ad += g.num_diagonals;
+  }
+  return double(ad) / double(offsets.size());
+}
+
+std::string pattern_to_string(const DiagonalPattern& p) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < p.groups.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '(' << (p.groups[i].type == GroupType::kAdjacent ? "AD" : "NAD")
+       << ',' << p.groups[i].num_diagonals << ')';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace crsd

@@ -1,0 +1,114 @@
+// Binary serialization of built CRSD matrices. Construction (pattern
+// discovery) costs a multi-pass analysis; production users build once and
+// reload, the same way OpenCL program binaries are cached. Little-endian
+// POD stream with a magic/version header and the value type tagged.
+#pragma once
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "core/crsd_matrix.hpp"
+
+namespace crsd {
+
+namespace detail {
+
+inline constexpr char kCrsdMagic[8] = {'C', 'R', 'S', 'D', 'v', '0', '0', '1'};
+
+template <typename P>
+void write_pod(std::ostream& os, const P& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(P));
+}
+
+template <typename P>
+P read_pod(std::istream& is) {
+  P v;
+  is.read(reinterpret_cast<char*>(&v), sizeof(P));
+  CRSD_CHECK_MSG(is.good(), "truncated CRSD stream");
+  return v;
+}
+
+template <typename P>
+void write_vec(std::ostream& os, const std::vector<P>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(P)));
+}
+
+template <typename P>
+std::vector<P> read_vec(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<P> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(P)));
+  CRSD_CHECK_MSG(is.good(), "truncated CRSD stream");
+  return v;
+}
+
+}  // namespace detail
+
+/// Writes `m` to a binary stream.
+template <Real T>
+void write_crsd(std::ostream& os, const CrsdMatrix<T>& m) {
+  os.write(detail::kCrsdMagic, sizeof(detail::kCrsdMagic));
+  detail::write_pod<std::uint8_t>(os, std::is_same_v<T, double> ? 8 : 4);
+  detail::write_pod<index_t>(os, m.num_rows());
+  detail::write_pod<index_t>(os, m.num_cols());
+  detail::write_pod<index_t>(os, m.mrows());
+  detail::write_pod<size64_t>(os, m.nnz());
+  detail::write_pod<index_t>(os, m.num_patterns());
+  for (const auto& p : m.patterns()) {
+    detail::write_pod<index_t>(os, p.start_row);
+    detail::write_pod<index_t>(os, p.num_segments);
+    detail::write_vec(os, p.offsets);
+  }
+  detail::write_vec(os, m.dia_values());
+  detail::write_vec(os, m.scatter_rows());
+  detail::write_pod<index_t>(os, m.scatter_width());
+  detail::write_vec(os, m.scatter_col());
+  detail::write_vec(os, m.scatter_val());
+  CRSD_CHECK_MSG(os.good(), "write failure while serializing CRSD");
+}
+
+/// Reads a CRSD matrix written by write_crsd. Throws on magic/precision
+/// mismatch or truncation. Structural invariants are re-validated by the
+/// CrsdMatrix constructor.
+template <Real T>
+CrsdMatrix<T> read_crsd(std::istream& is) {
+  char magic[sizeof(detail::kCrsdMagic)];
+  is.read(magic, sizeof(magic));
+  CRSD_CHECK_MSG(is.good() && std::memcmp(magic, detail::kCrsdMagic,
+                                          sizeof(magic)) == 0,
+                 "not a CRSD binary stream");
+  const auto value_bytes = detail::read_pod<std::uint8_t>(is);
+  CRSD_CHECK_MSG(value_bytes == sizeof(T),
+                 "precision mismatch: stream holds " << int(value_bytes)
+                     << "-byte values, requested " << sizeof(T));
+  CrsdStorage<T> s;
+  s.num_rows = detail::read_pod<index_t>(is);
+  s.num_cols = detail::read_pod<index_t>(is);
+  s.mrows = detail::read_pod<index_t>(is);
+  s.nnz = detail::read_pod<size64_t>(is);
+  const auto num_patterns = detail::read_pod<index_t>(is);
+  CRSD_CHECK_MSG(num_patterns >= 0 && num_patterns <= s.num_rows + 1,
+                 "implausible pattern count");
+  s.patterns.reserve(static_cast<std::size_t>(num_patterns));
+  for (index_t p = 0; p < num_patterns; ++p) {
+    DiagonalPattern pat;
+    pat.start_row = detail::read_pod<index_t>(is);
+    pat.num_segments = detail::read_pod<index_t>(is);
+    pat.offsets = detail::read_vec<diag_offset_t>(is);
+    pat.groups = group_diagonals(pat.offsets);
+    s.patterns.push_back(std::move(pat));
+  }
+  s.dia_val = detail::read_vec<T>(is);
+  s.scatter_rowno = detail::read_vec<index_t>(is);
+  s.scatter_width = detail::read_pod<index_t>(is);
+  s.scatter_col = detail::read_vec<index_t>(is);
+  s.scatter_val = detail::read_vec<T>(is);
+  return CrsdMatrix<T>(std::move(s));
+}
+
+}  // namespace crsd

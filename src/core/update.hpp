@@ -1,0 +1,81 @@
+// In-place value refresh for a built CRSD matrix — the inspector/executor
+// workflow of time-dependent PDE solvers: the discretization's sparsity is
+// fixed across time steps, only coefficients change, so pattern discovery
+// runs once and each step only rewrites the value stream (and keeps any
+// compiled codelet valid, since codelets are specialized to structure).
+#pragma once
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/crsd_matrix.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+/// Overwrites `m`'s values with those of `a`, which must have exactly the
+/// sparsity structure `m` was built from (same dimensions and the same
+/// nonzero positions). Filled-zero slots stay zero. Throws crsd::Error if
+/// any entry of `a` has no slot in `m` or the entry counts disagree.
+template <Real T>
+void update_values(CrsdMatrix<T>& m, const Coo<T>& a) {
+  CRSD_CHECK_MSG(a.is_canonical(), "update_values requires canonical COO");
+  CRSD_CHECK_MSG(a.num_rows() == m.num_rows() && a.num_cols() == m.num_cols(),
+                 "dimension mismatch");
+  CRSD_CHECK_MSG(a.nnz() == m.nnz(),
+                 "nonzero count mismatch: matrix was built with "
+                     << m.nnz() << " entries, update carries " << a.nnz());
+
+  std::vector<T> dia_val(m.dia_values().size(), T(0));
+  std::vector<T> scatter_val(m.scatter_val().size(), T(0));
+
+  const auto& rows = a.row_indices();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  const auto& scatter_rows = m.scatter_rows();
+  const index_t nsr = m.num_scatter_rows();
+  const index_t mrows = m.mrows();
+
+  // Per-scatter-row fill cursor (ELL slots are consumed in column order,
+  // which canonical COO provides).
+  std::vector<index_t> scatter_fill(static_cast<std::size_t>(nsr), 0);
+
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    const index_t r = rows[k];
+    const auto sc_it =
+        std::lower_bound(scatter_rows.begin(), scatter_rows.end(), r);
+    if (sc_it != scatter_rows.end() && *sc_it == r) {
+      // Scatter row: the whole row lives in the ELL side matrix.
+      const index_t slot_row =
+          static_cast<index_t>(sc_it - scatter_rows.begin());
+      index_t& fill = scatter_fill[static_cast<std::size_t>(slot_row)];
+      CRSD_CHECK_MSG(fill < m.scatter_width(),
+                     "row " << r << " has more entries than the built "
+                               "scatter width");
+      const size64_t slot = static_cast<size64_t>(fill) * nsr +
+                            static_cast<size64_t>(slot_row);
+      CRSD_CHECK_MSG(m.scatter_col()[slot] == cols[k],
+                     "structure mismatch at (" << r << ", " << cols[k]
+                                               << "): scatter column differs");
+      scatter_val[slot] = vals[k];
+      ++fill;
+      continue;
+    }
+    const index_t seg = r / mrows;
+    const index_t p = m.pattern_of_segment(seg);
+    const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+    const diag_offset_t off = cols[k] - r;
+    const auto it =
+        std::lower_bound(pat.offsets.begin(), pat.offsets.end(), off);
+    CRSD_CHECK_MSG(it != pat.offsets.end() && *it == off,
+                   "structure mismatch at (" << r << ", " << cols[k]
+                       << "): no diagonal slot and not a scatter row");
+    const index_t d = static_cast<index_t>(it - pat.offsets.begin());
+    const index_t seg_in_p = seg - m.cum_segments()[static_cast<std::size_t>(p)];
+    dia_val[m.slot(p, seg_in_p, d, r % mrows)] = vals[k];
+  }
+
+  m.replace_values(std::move(dia_val), std::move(scatter_val));
+}
+
+}  // namespace crsd

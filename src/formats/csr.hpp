@@ -1,0 +1,105 @@
+// Compressed Sparse Row — the general-purpose baseline format (the paper
+// compares against NVIDIA's CSR kernels on GPU and MKL's CSR on CPU).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+template <Real T>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from a canonical COO (sorted, deduplicated).
+  static CsrMatrix from_coo(const Coo<T>& a) {
+    CRSD_CHECK_MSG(a.is_canonical(), "CSR requires canonical COO input");
+    CsrMatrix m;
+    m.num_rows_ = a.num_rows();
+    m.num_cols_ = a.num_cols();
+    m.row_ptr_.assign(static_cast<std::size_t>(a.num_rows()) + 1, 0);
+    m.col_idx_ = a.col_indices();
+    m.val_ = a.values();
+    for (index_t r : a.row_indices()) {
+      ++m.row_ptr_[static_cast<std::size_t>(r) + 1];
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(a.num_rows()); ++r) {
+      m.row_ptr_[r + 1] += m.row_ptr_[r];
+    }
+    return m;
+  }
+
+  index_t num_rows() const { return num_rows_; }
+  index_t num_cols() const { return num_cols_; }
+  size64_t nnz() const { return val_.size(); }
+
+  const std::vector<index_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<index_t>& col_idx() const { return col_idx_; }
+  const std::vector<T>& values() const { return val_; }
+
+  /// y = A*x, single thread.
+  void spmv(const T* x, T* y) const {
+    for (index_t r = 0; r < num_rows_; ++r) {
+      T sum = T(0);
+      const index_t begin = row_ptr_[static_cast<std::size_t>(r)];
+      const index_t end = row_ptr_[static_cast<std::size_t>(r) + 1];
+      for (index_t k = begin; k < end; ++k) {
+        sum += val_[static_cast<std::size_t>(k)] *
+               x[col_idx_[static_cast<std::size_t>(k)]];
+      }
+      y[r] = sum;
+    }
+  }
+
+  /// y = A*x on `pool` (static row partition, MKL-style).
+  void spmv_parallel(ThreadPool& pool, const T* x, T* y) const {
+    pool.parallel_for(0, num_rows_, [&](index_t rb, index_t re, int) {
+      for (index_t r = rb; r < re; ++r) {
+        T sum = T(0);
+        const index_t begin = row_ptr_[static_cast<std::size_t>(r)];
+        const index_t end = row_ptr_[static_cast<std::size_t>(r) + 1];
+        for (index_t k = begin; k < end; ++k) {
+          sum += val_[static_cast<std::size_t>(k)] *
+                 x[col_idx_[static_cast<std::size_t>(k)]];
+        }
+        y[r] = sum;
+      }
+    });
+  }
+
+  /// Reconstructs the canonical COO this matrix stores (inspection and
+  /// round-trip verification).
+  Coo<T> to_coo() const {
+    Coo<T> out(num_rows_, num_cols_);
+    out.reserve(nnz());
+    for (index_t r = 0; r < num_rows_; ++r) {
+      for (index_t k = row_ptr_[static_cast<std::size_t>(r)];
+           k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+        out.add(r, col_idx_[static_cast<std::size_t>(k)],
+                val_[static_cast<std::size_t>(k)]);
+      }
+    }
+    out.mark_canonical();  // CSR rows are stored in canonical order
+    return out;
+  }
+
+  /// Bytes of stored arrays (row_ptr + col_idx + values).
+  size64_t footprint_bytes() const {
+    return row_ptr_.size() * sizeof(index_t) +
+           col_idx_.size() * sizeof(index_t) + val_.size() * sizeof(T);
+  }
+
+ private:
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  std::vector<index_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<T> val_;
+};
+
+}  // namespace crsd

@@ -1,0 +1,161 @@
+// DIA (diagonal) format, as in Saad and Bell & Garland: one full-length
+// value lane per occupied diagonal, padded with zeros where the diagonal is
+// absent or out of range. This is the format whose padding blow-up on
+// scattered-diagonal matrices motivates CRSD.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/stats.hpp"
+
+namespace crsd {
+
+template <Real T>
+class DiaMatrix {
+ public:
+  DiaMatrix() = default;
+
+  /// Value elements DIA needs for a matrix with the given structure.
+  static size64_t required_elements(const StructureStats& stats) {
+    return stats.dia_padded_elements();
+  }
+
+  /// Builds from canonical COO. Throws crsd::Error if the padded value array
+  /// would exceed `max_elements` — callers use this to reproduce the paper's
+  /// device-memory overflow for the af_*_k101 matrices in double precision.
+  static DiaMatrix from_coo(
+      const Coo<T>& a,
+      size64_t max_elements = std::numeric_limits<size64_t>::max()) {
+    CRSD_CHECK_MSG(a.is_canonical(), "DIA requires canonical COO input");
+    DiaMatrix m;
+    m.num_rows_ = a.num_rows();
+    m.num_cols_ = a.num_cols();
+    m.nnz_ = a.nnz();
+
+    // Collect occupied offsets (input is sorted by row, not offset).
+    std::vector<diag_offset_t> offsets;
+    {
+      std::vector<bool> seen(
+          static_cast<std::size_t>(a.num_rows()) + a.num_cols(), false);
+      const auto& rows = a.row_indices();
+      const auto& cols = a.col_indices();
+      for (size64_t k = 0; k < a.nnz(); ++k) {
+        const std::size_t slot =
+            static_cast<std::size_t>(cols[k] - rows[k] + a.num_rows() - 1);
+        if (!seen[slot]) {
+          seen[slot] = true;
+          offsets.push_back(cols[k] - rows[k]);
+        }
+      }
+      std::sort(offsets.begin(), offsets.end());
+    }
+
+    const size64_t elements =
+        offsets.size() * static_cast<size64_t>(a.num_rows());
+    CRSD_CHECK_MSG(elements <= max_elements,
+                   "DIA padded storage (" << elements << " elements, "
+                                          << offsets.size()
+                                          << " diagonals) exceeds the limit of "
+                                          << max_elements << " elements");
+
+    m.offsets_ = std::move(offsets);
+    m.val_.assign(elements, T(0));
+
+    // Lane layout is diagonal-major (val[d * rows + r]), the layout GPU DIA
+    // kernels use so that consecutive threads read consecutive addresses.
+    std::vector<index_t> offset_slot(
+        static_cast<std::size_t>(a.num_rows()) + a.num_cols(), kInvalidIndex);
+    for (std::size_t d = 0; d < m.offsets_.size(); ++d) {
+      offset_slot[static_cast<std::size_t>(m.offsets_[d] + a.num_rows() - 1)] =
+          static_cast<index_t>(d);
+    }
+    const auto& rows = a.row_indices();
+    const auto& cols = a.col_indices();
+    const auto& vals = a.values();
+    for (size64_t k = 0; k < a.nnz(); ++k) {
+      const index_t d =
+          offset_slot[static_cast<std::size_t>(cols[k] - rows[k] +
+                                               a.num_rows() - 1)];
+      m.val_[static_cast<size64_t>(d) * a.num_rows() +
+             static_cast<size64_t>(rows[k])] = vals[k];
+    }
+    return m;
+  }
+
+  index_t num_rows() const { return num_rows_; }
+  index_t num_cols() const { return num_cols_; }
+  size64_t nnz() const { return nnz_; }
+  index_t num_diagonals() const { return static_cast<index_t>(offsets_.size()); }
+
+  const std::vector<diag_offset_t>& offsets() const { return offsets_; }
+  const std::vector<T>& values() const { return val_; }
+
+  /// y = A*x, single thread. Iterates diagonals outer so each lane streams.
+  void spmv(const T* x, T* y) const {
+    std::fill(y, y + num_rows_, T(0));
+    for (std::size_t d = 0; d < offsets_.size(); ++d) {
+      const diag_offset_t off = offsets_[d];
+      const T* lane = val_.data() + d * static_cast<size64_t>(num_rows_);
+      const index_t r0 = off < 0 ? -off : 0;
+      const index_t r1 = std::min<index_t>(
+          num_rows_, static_cast<index_t>(num_cols_ - off));
+      for (index_t r = r0; r < r1; ++r) {
+        y[r] += lane[r] * x[r + off];
+      }
+    }
+  }
+
+  /// y = A*x on `pool`: rows partitioned, each thread walks all diagonals
+  /// over its row block (no write conflicts).
+  void spmv_parallel(ThreadPool& pool, const T* x, T* y) const {
+    pool.parallel_for(0, num_rows_, [&](index_t rb, index_t re, int) {
+      std::fill(y + rb, y + re, T(0));
+      for (std::size_t d = 0; d < offsets_.size(); ++d) {
+        const diag_offset_t off = offsets_[d];
+        const T* lane = val_.data() + d * static_cast<size64_t>(num_rows_);
+        const index_t r0 = std::max<index_t>(rb, off < 0 ? -off : 0);
+        const index_t r1 = std::min<index_t>(
+            re, static_cast<index_t>(num_cols_ - off));
+        for (index_t r = r0; r < r1; ++r) {
+          y[r] += lane[r] * x[r + off];
+        }
+      }
+    });
+  }
+
+  /// Reconstructs the canonical COO (explicit zeros in padded slots drop).
+  Coo<T> to_coo() const {
+    Coo<T> out(num_rows_, num_cols_);
+    out.reserve(nnz_);
+    for (std::size_t d = 0; d < offsets_.size(); ++d) {
+      const diag_offset_t off = offsets_[d];
+      const T* lane = val_.data() + d * static_cast<size64_t>(num_rows_);
+      const index_t r0 = off < 0 ? -off : 0;
+      const index_t r1 = std::min<index_t>(
+          num_rows_, static_cast<index_t>(num_cols_ - off));
+      for (index_t r = r0; r < r1; ++r) {
+        if (lane[r] != T(0)) out.add(r, r + off, lane[r]);
+      }
+    }
+    out.canonicalize();
+    return out;
+  }
+
+  size64_t footprint_bytes() const {
+    return offsets_.size() * sizeof(diag_offset_t) + val_.size() * sizeof(T);
+  }
+
+ private:
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  size64_t nnz_ = 0;
+  std::vector<diag_offset_t> offsets_;
+  std::vector<T> val_;
+};
+
+}  // namespace crsd

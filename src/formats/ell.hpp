@@ -1,0 +1,135 @@
+// ELLPACK/ITPACK format: K = max nnz/row slots per row, column-major
+// (lane layout val[k * rows + r]) as GPU ELL kernels store it. Padded slots
+// carry column index kInvalidIndex and value 0.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+template <Real T>
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+
+  /// Builds from canonical COO with width = max nnz/row. If `width_limit`
+  /// >= 0 the width is clamped and only the first `width_limit` entries of
+  /// each row are stored (the HYB builder uses this; overflow entries are
+  /// returned through `overflow` if provided).
+  static EllMatrix from_coo(const Coo<T>& a, index_t width_limit = -1,
+                            Coo<T>* overflow = nullptr) {
+    CRSD_CHECK_MSG(a.is_canonical(), "ELL requires canonical COO input");
+    EllMatrix m;
+    m.num_rows_ = a.num_rows();
+    m.num_cols_ = a.num_cols();
+
+    std::vector<index_t> row_fill(static_cast<std::size_t>(a.num_rows()), 0);
+    const auto& rows = a.row_indices();
+    for (size64_t k = 0; k < a.nnz(); ++k) {
+      ++row_fill[static_cast<std::size_t>(rows[k])];
+    }
+    index_t width = 0;
+    for (index_t w : row_fill) width = std::max(width, w);
+    if (width_limit >= 0) width = std::min(width, width_limit);
+    m.width_ = width;
+
+    const size64_t slots =
+        static_cast<size64_t>(width) * static_cast<size64_t>(a.num_rows());
+    m.col_idx_.assign(slots, kInvalidIndex);
+    m.val_.assign(slots, T(0));
+
+    std::fill(row_fill.begin(), row_fill.end(), 0);
+    const auto& cols = a.col_indices();
+    const auto& vals = a.values();
+    for (size64_t k = 0; k < a.nnz(); ++k) {
+      const index_t r = rows[k];
+      index_t& fill = row_fill[static_cast<std::size_t>(r)];
+      if (fill < width) {
+        const size64_t slot = static_cast<size64_t>(fill) * a.num_rows() +
+                              static_cast<size64_t>(r);
+        m.col_idx_[slot] = cols[k];
+        m.val_[slot] = vals[k];
+        ++fill;
+        ++m.nnz_;
+      } else {
+        CRSD_CHECK_MSG(overflow != nullptr,
+                       "row " << r << " exceeds ELL width " << width);
+        overflow->add(r, cols[k], vals[k]);
+      }
+    }
+    return m;
+  }
+
+  index_t num_rows() const { return num_rows_; }
+  index_t num_cols() const { return num_cols_; }
+  index_t width() const { return width_; }
+  size64_t nnz() const { return nnz_; }
+  size64_t padded_elements() const { return val_.size(); }
+
+  const std::vector<index_t>& col_idx() const { return col_idx_; }
+  const std::vector<T>& values() const { return val_; }
+
+  /// y = A*x, single thread. Slot-major iteration streams both lanes.
+  void spmv(const T* x, T* y) const {
+    std::fill(y, y + num_rows_, T(0));
+    accumulate_rows(0, num_rows_, x, y);
+  }
+
+  /// y = A*x on `pool` (row partition).
+  void spmv_parallel(ThreadPool& pool, const T* x, T* y) const {
+    pool.parallel_for(0, num_rows_, [&](index_t rb, index_t re, int) {
+      std::fill(y + rb, y + re, T(0));
+      accumulate_rows(rb, re, x, y);
+    });
+  }
+
+  /// y[rb..re) += A[rb..re)*x — exposed because the CRSD scatter phase and
+  /// the HYB kernel reuse it.
+  void accumulate_rows(index_t rb, index_t re, const T* x, T* y) const {
+    for (index_t k = 0; k < width_; ++k) {
+      const index_t* cols =
+          col_idx_.data() + static_cast<size64_t>(k) * num_rows_;
+      const T* vals = val_.data() + static_cast<size64_t>(k) * num_rows_;
+      for (index_t r = rb; r < re; ++r) {
+        const index_t c = cols[r];
+        if (c != kInvalidIndex) y[r] += vals[r] * x[c];
+      }
+    }
+  }
+
+  /// Reconstructs the canonical COO from the populated slots.
+  Coo<T> to_coo() const {
+    Coo<T> out(num_rows_, num_cols_);
+    out.reserve(nnz_);
+    for (index_t k = 0; k < width_; ++k) {
+      for (index_t r = 0; r < num_rows_; ++r) {
+        const size64_t slot =
+            static_cast<size64_t>(k) * num_rows_ + static_cast<size64_t>(r);
+        if (col_idx_[slot] != kInvalidIndex && val_[slot] != T(0)) {
+          out.add(r, col_idx_[slot], val_[slot]);
+        }
+      }
+    }
+    out.canonicalize();
+    return out;
+  }
+
+  size64_t footprint_bytes() const {
+    return col_idx_.size() * sizeof(index_t) + val_.size() * sizeof(T);
+  }
+
+ private:
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  index_t width_ = 0;
+  size64_t nnz_ = 0;
+  std::vector<index_t> col_idx_;
+  std::vector<T> val_;
+};
+
+}  // namespace crsd

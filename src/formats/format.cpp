@@ -1,0 +1,35 @@
+#include "formats/format.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace crsd {
+
+const char* format_name(Format f) {
+  switch (f) {
+    case Format::kCsr: return "CSR";
+    case Format::kDia: return "DIA";
+    case Format::kEll: return "ELL";
+    case Format::kHyb: return "HYB";
+    case Format::kCoo: return "COO";
+    case Format::kCrsd: return "CRSD";
+  }
+  return "?";
+}
+
+Format parse_format(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "csr") return Format::kCsr;
+  if (lower == "dia") return Format::kDia;
+  if (lower == "ell") return Format::kEll;
+  if (lower == "hyb") return Format::kHyb;
+  if (lower == "coo") return Format::kCoo;
+  if (lower == "crsd") return Format::kCrsd;
+  throw Error("unknown format name: " + name);
+}
+
+}  // namespace crsd

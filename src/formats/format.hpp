@@ -1,0 +1,17 @@
+// Format identifiers shared by benches, the advisor example, and tables.
+#pragma once
+
+#include <string>
+
+namespace crsd {
+
+/// Storage formats evaluated in the paper (plus flat COO).
+enum class Format { kCsr, kDia, kEll, kHyb, kCoo, kCrsd };
+
+/// Display name matching the paper's figures ("DIA", "ELL", ...).
+const char* format_name(Format f);
+
+/// Parses a name (case-insensitive). Throws crsd::Error on unknown names.
+Format parse_format(const std::string& name);
+
+}  // namespace crsd

@@ -1,0 +1,136 @@
+// HYB = ELL + COO tail, after Bell & Garland. A width threshold K splits
+// each row: the first K entries go to ELL (regular, fast), the overflow to
+// COO. The default K reproduces their behaviour on the paper's suite:
+// uniform-width matrices (1–14) stay entirely in ELL; the astrophysics
+// matrices put a fraction of a percent of entries in COO.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "formats/ell.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+template <Real T>
+class HybMatrix {
+ public:
+  HybMatrix() = default;
+
+  /// Chooses the ELL width K by minimizing a storage/throughput cost model
+  /// (after cusp's split heuristic): every ELL slot — useful or padding —
+  /// costs 1 unit; every COO tail entry costs kCooCostFactor units (the COO
+  /// kernel moves 3 words per entry and reduces serially). Uniform row
+  /// widths yield the maximum width (pure ELL); heavy-tailed rows truncate.
+  static index_t default_split_width(const Coo<T>& a) {
+    static constexpr double kCooCostFactor = 3.0;
+    std::vector<index_t> row_fill(static_cast<std::size_t>(a.num_rows()), 0);
+    for (index_t r : a.row_indices()) {
+      ++row_fill[static_cast<std::size_t>(r)];
+    }
+    index_t max_width = 0;
+    for (index_t w : row_fill) max_width = std::max(max_width, w);
+
+    // rows_wider[k] = #rows with nnz > k; the COO tail at width k holds
+    // sum_{j>k} rows_wider[j] entries.
+    std::vector<size64_t> rows_wider(static_cast<std::size_t>(max_width) + 2,
+                                     0);
+    for (index_t w : row_fill) ++rows_wider[static_cast<std::size_t>(w)];
+    for (index_t k = max_width; k >= 0; --k) {
+      rows_wider[static_cast<std::size_t>(k)] +=
+          rows_wider[static_cast<std::size_t>(k) + 1];
+    }
+    size64_t coo_nnz = 0;
+    for (index_t k = 1; k <= max_width; ++k) {
+      coo_nnz += rows_wider[static_cast<std::size_t>(k)];
+    }
+    index_t best_k = 0;
+    double best_cost = kCooCostFactor * double(coo_nnz);
+    for (index_t k = 1; k <= max_width; ++k) {
+      coo_nnz -= rows_wider[static_cast<std::size_t>(k)];
+      const double cost = double(a.num_rows()) * double(k) +
+                          kCooCostFactor * double(coo_nnz);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_k = k;
+      }
+    }
+    return best_k;
+  }
+
+  /// Builds with the given split width (or the default when < 0).
+  static HybMatrix from_coo(const Coo<T>& a, index_t split_width = -1) {
+    CRSD_CHECK_MSG(a.is_canonical(), "HYB requires canonical COO input");
+    HybMatrix m;
+    if (split_width < 0) split_width = default_split_width(a);
+    Coo<T> tail(a.num_rows(), a.num_cols());
+    m.ell_ = EllMatrix<T>::from_coo(a, split_width, &tail);
+    tail.canonicalize();
+    m.coo_row_ = tail.row_indices();
+    m.coo_col_ = tail.col_indices();
+    m.coo_val_ = tail.values();
+    return m;
+  }
+
+  index_t num_rows() const { return ell_.num_rows(); }
+  index_t num_cols() const { return ell_.num_cols(); }
+  size64_t nnz() const { return ell_.nnz() + coo_val_.size(); }
+  size64_t coo_nnz() const { return coo_val_.size(); }
+  const EllMatrix<T>& ell() const { return ell_; }
+  const std::vector<index_t>& coo_row() const { return coo_row_; }
+  const std::vector<index_t>& coo_col() const { return coo_col_; }
+  const std::vector<T>& coo_val() const { return coo_val_; }
+
+  /// y = A*x, single thread.
+  void spmv(const T* x, T* y) const {
+    ell_.spmv(x, y);
+    accumulate_coo(x, y);
+  }
+
+  /// y = A*x on `pool`. The COO tail is tiny (sub-percent of nnz) and is
+  /// applied serially after the parallel ELL phase; row-sorted COO would
+  /// otherwise need per-thread row ranges.
+  void spmv_parallel(ThreadPool& pool, const T* x, T* y) const {
+    ell_.spmv_parallel(pool, x, y);
+    accumulate_coo(x, y);
+  }
+
+  /// Reconstructs the canonical COO from the ELL part plus the tail.
+  Coo<T> to_coo() const {
+    Coo<T> merged(num_rows(), num_cols());
+    const Coo<T> head = ell_.to_coo();
+    merged.reserve(head.nnz() + coo_val_.size());
+    for (size64_t k = 0; k < head.nnz(); ++k) {
+      merged.add(head.row_indices()[k], head.col_indices()[k],
+                 head.values()[k]);
+    }
+    for (std::size_t k = 0; k < coo_val_.size(); ++k) {
+      merged.add(coo_row_[k], coo_col_[k], coo_val_[k]);
+    }
+    merged.canonicalize();
+    return merged;
+  }
+
+  size64_t footprint_bytes() const {
+    return ell_.footprint_bytes() +
+           coo_row_.size() * sizeof(index_t) +
+           coo_col_.size() * sizeof(index_t) + coo_val_.size() * sizeof(T);
+  }
+
+ private:
+  void accumulate_coo(const T* x, T* y) const {
+    for (std::size_t k = 0; k < coo_val_.size(); ++k) {
+      y[coo_row_[k]] += coo_val_[k] * x[coo_col_[k]];
+    }
+  }
+
+  EllMatrix<T> ell_;
+  std::vector<index_t> coo_row_;
+  std::vector<index_t> coo_col_;
+  std::vector<T> coo_val_;
+};
+
+}  // namespace crsd

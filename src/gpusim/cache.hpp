@@ -1,0 +1,72 @@
+// Set-associative read-only cache model (the Fermi texture/read-only data
+// path the Bell–Garland kernels route source-vector loads through). One
+// instance per simulated compute unit; lines are global-memory transaction
+// granules. LRU replacement, deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace crsd::gpusim {
+
+class ReadOnlyCache {
+ public:
+  /// `line_bytes` must be a power of two.
+  ReadOnlyCache(size64_t capacity_bytes, int ways, int line_bytes)
+      : line_bytes_(line_bytes), ways_(ways) {
+    CRSD_CHECK_MSG(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+                   "line size must be a power of two");
+    CRSD_CHECK_MSG(ways >= 1, "need at least one way");
+    const size64_t lines = capacity_bytes / static_cast<size64_t>(line_bytes);
+    disabled_ = lines == 0;
+    num_sets_ = std::max<size64_t>(1, lines / static_cast<size64_t>(ways));
+    tags_.assign(num_sets_ * static_cast<size64_t>(ways), kEmpty);
+    stamps_.assign(tags_.size(), 0);
+  }
+
+  /// Looks up the line containing byte address `addr`; inserts on miss.
+  /// Returns true on hit. A zero-capacity cache (cache-less device model)
+  /// always misses.
+  bool access(size64_t addr) {
+    if (disabled_) return false;
+    const size64_t line = addr / static_cast<size64_t>(line_bytes_);
+    const size64_t set = line % num_sets_;
+    const size64_t base = set * static_cast<size64_t>(ways_);
+    ++tick_;
+    size64_t victim = base;
+    for (int w = 0; w < ways_; ++w) {
+      const size64_t slot = base + static_cast<size64_t>(w);
+      if (tags_[slot] == line) {
+        stamps_[slot] = tick_;
+        return true;
+      }
+      if (stamps_[slot] < stamps_[victim]) victim = slot;
+    }
+    tags_[victim] = line;
+    stamps_[victim] = tick_;
+    return false;
+  }
+
+  void reset() {
+    std::fill(tags_.begin(), tags_.end(), kEmpty);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    tick_ = 0;
+  }
+
+  int line_bytes() const { return line_bytes_; }
+
+ private:
+  static constexpr size64_t kEmpty = ~size64_t{0};
+  int line_bytes_;
+  int ways_;
+  bool disabled_ = false;
+  size64_t num_sets_;
+  std::vector<size64_t> tags_;
+  std::vector<size64_t> stamps_;
+  size64_t tick_ = 0;
+};
+
+}  // namespace crsd::gpusim

@@ -1,0 +1,62 @@
+// Event counters accumulated by simulated kernels. The timing model turns
+// these into an estimated runtime; benches report both the counters and the
+// derived GFLOPS.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace crsd::gpusim {
+
+struct Counters {
+  /// Useful floating-point operations (2 per stored multiply-add that
+  /// contributes to y, including operations on filled zeros — the padding
+  /// waste DIA pays is real work on the device).
+  size64_t flops = 0;
+
+  /// Additional ALU issue slots that do no useful arithmetic: lanes idled by
+  /// divergence (a wavefront runs max(row length) iterations in CSR-scalar),
+  /// index arithmetic executed per lane, predicated-off slots.
+  size64_t alu_slots = 0;
+
+  /// Global memory traffic after coalescing: number of transactions and the
+  /// bytes they move (transactions * transaction_bytes).
+  size64_t global_load_transactions = 0;
+  size64_t global_load_bytes = 0;
+  size64_t global_store_transactions = 0;
+  size64_t global_store_bytes = 0;
+
+  /// Reads that hit the read-only (texture) cache — they cost no global
+  /// bandwidth but are tallied for reporting.
+  size64_t cache_hits = 0;
+  size64_t cache_misses = 0;
+
+  /// Local (shared) memory traffic in bytes.
+  size64_t local_bytes = 0;
+
+  /// Work-group barriers executed.
+  size64_t barriers = 0;
+
+  /// Wavefronts launched (occupancy input for the bandwidth derating).
+  size64_t wavefronts = 0;
+
+  Counters& operator+=(const Counters& o) {
+    flops += o.flops;
+    alu_slots += o.alu_slots;
+    global_load_transactions += o.global_load_transactions;
+    global_load_bytes += o.global_load_bytes;
+    global_store_transactions += o.global_store_transactions;
+    global_store_bytes += o.global_store_bytes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    local_bytes += o.local_bytes;
+    barriers += o.barriers;
+    wavefronts += o.wavefronts;
+    return *this;
+  }
+
+  size64_t total_global_bytes() const {
+    return global_load_bytes + global_store_bytes;
+  }
+};
+
+}  // namespace crsd::gpusim

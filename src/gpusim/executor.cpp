@@ -1,0 +1,116 @@
+#include "gpusim/executor.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace crsd::gpusim {
+
+double estimate_seconds(const DeviceSpec& spec, const Counters& c,
+                        const LaunchConfig& cfg) {
+  const double peak_flops = spec.peak_gflops(cfg.double_precision) * 1e9;
+  const double t_alu = double(c.flops + c.alu_slots) / peak_flops;
+
+  // Occupancy derating: with too few wavefronts in flight the device cannot
+  // hide global latency, so effective bandwidth drops.
+  const double saturation =
+      double(spec.num_compute_units) * spec.latency_hiding_wavefronts;
+  const double util =
+      std::min(1.0, double(std::max<size64_t>(c.wavefronts, 1)) / saturation);
+  const double t_mem =
+      double(c.total_global_bytes()) / (spec.global_bandwidth_gbps * 1e9 * util);
+
+  const double t_local =
+      double(c.local_bytes) / (spec.local_bandwidth_gbps * 1e9);
+
+  const double t_barrier = double(c.barriers) * spec.barrier_cycles /
+                           (spec.core_clock_ghz * 1e9) /
+                           double(spec.num_compute_units);
+
+  return double(cfg.launches) * spec.launch_overhead_seconds +
+         std::max({t_alu, t_mem, t_local}) + t_barrier;
+}
+
+LaunchResult launch(Device& device, const LaunchConfig& cfg,
+                    const std::function<void(WorkGroupCtx&)>& body,
+                    ThreadPool* pool) {
+  const DeviceSpec& spec = device.spec();
+  CRSD_CHECK_MSG(cfg.num_groups >= 1, "need at least one work-group");
+  CRSD_CHECK_MSG(cfg.group_size >= 1 &&
+                     cfg.group_size <= spec.max_workgroup_size,
+                 "work-group size " << cfg.group_size
+                                    << " unsupported by device (max "
+                                    << spec.max_workgroup_size << ")");
+
+  const int ncu = spec.num_compute_units;
+  std::vector<Counters> per_cu(static_cast<std::size_t>(ncu));
+
+  auto run_cu = [&](index_t cu) {
+    ReadOnlyCache cache(spec.cache_bytes_per_cu, spec.cache_ways,
+                        spec.transaction_bytes);
+    Counters& counters = per_cu[static_cast<std::size_t>(cu)];
+    for (index_t g = cu; g < cfg.num_groups; g += ncu) {
+      WorkGroupCtx ctx(spec, counters, cache, g, cfg.group_size);
+      body(ctx);
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->parallel_for(0, ncu, [&](index_t b, index_t e, int) {
+      for (index_t cu = b; cu < e; ++cu) run_cu(cu);
+    });
+  } else {
+    for (index_t cu = 0; cu < ncu; ++cu) run_cu(cu);
+  }
+
+  LaunchResult result;
+  for (const Counters& c : per_cu) result.counters += c;
+  result.seconds = estimate_seconds(spec, result.counters, cfg);
+  result.launches = cfg.launches;
+  return result;
+}
+
+DeviceSpec DeviceSpec::tesla_c2050() {
+  DeviceSpec spec;
+  spec.name = "Tesla C2050 (simulated)";
+  // Table IV: 448 CUDA cores at 1.15 GHz, 3 GB device memory. Fermi GF100:
+  // 14 SMs x 32 cores, 144 GB/s GDDR5, 1.03 TFLOPS SP / 515 GFLOPS DP.
+  return spec;
+}
+
+DeviceSpec DeviceSpec::geforce_gtx280() {
+  DeviceSpec spec;
+  spec.name = "GeForce GTX 280 (simulated)";
+  spec.num_compute_units = 30;
+  spec.wavefront_size = 32;
+  spec.max_workgroup_size = 512;
+  spec.global_mem_bytes = 1ull << 30;
+  spec.core_clock_ghz = 1.30;
+  spec.peak_gflops_single = 933.0;
+  spec.peak_gflops_double = 78.0;  // GT200's 1/12-rate double precision
+  spec.global_bandwidth_gbps = 141.7;
+  spec.local_bandwidth_gbps = 900.0;
+  spec.local_mem_bytes_per_cu = 16 << 10;
+  spec.cache_bytes_per_cu = 8 << 10;  // texture cache only
+  return spec;
+}
+
+DeviceSpec DeviceSpec::amd_cypress() {
+  DeviceSpec spec;
+  spec.name = "Radeon HD 5870 'Cypress' (simulated)";
+  spec.num_compute_units = 20;
+  spec.wavefront_size = 64;
+  spec.max_workgroup_size = 256;
+  spec.global_mem_bytes = 1ull << 30;
+  spec.core_clock_ghz = 0.85;
+  spec.peak_gflops_single = 2720.0;
+  spec.peak_gflops_double = 544.0;
+  spec.global_bandwidth_gbps = 153.6;
+  spec.local_bandwidth_gbps = 2176.0;
+  spec.local_mem_bytes_per_cu = 32 << 10;
+  spec.cache_bytes_per_cu = 8 << 10;
+  return spec;
+}
+
+}  // namespace crsd::gpusim

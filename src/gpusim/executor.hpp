@@ -1,0 +1,50 @@
+// NDRange executor + timing model. Work-groups are assigned to compute
+// units round-robin; each CU processes its groups in order against its own
+// read-only cache, so results and counters are deterministic. CUs can run on
+// host threads — per-CU counters are private and summed at the end.
+#pragma once
+
+#include <functional>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/workgroup.hpp"
+
+namespace crsd::gpusim {
+
+struct LaunchConfig {
+  index_t num_groups = 0;
+  index_t group_size = 0;
+  bool double_precision = true;
+  /// Number of kernel launches this logical operation needs (HYB's ELL+COO
+  /// pair pays two launch overheads).
+  int launches = 1;
+};
+
+struct LaunchResult {
+  Counters counters;
+  double seconds = 0.0;
+  /// Kernel launches behind this result (HYB's ELL+COO pair reports 2);
+  /// used when re-estimating time from scaled counters.
+  int launches = 1;
+
+  /// Paper metric: GFLOPS = 2*nnz / time, with nnz the matrix's true
+  /// nonzeros — padding work lowers this number, as on real hardware.
+  double gflops(size64_t nnz) const {
+    return seconds <= 0.0 ? 0.0 : 2.0 * double(nnz) / seconds / 1e9;
+  }
+};
+
+/// Converts an event trace into an estimated runtime on `spec`.
+double estimate_seconds(const DeviceSpec& spec, const Counters& c,
+                        const LaunchConfig& cfg);
+
+/// Runs `body` once per work-group and estimates the kernel's runtime.
+/// `pool` (optional) spreads CUs over host threads.
+LaunchResult launch(Device& device, const LaunchConfig& cfg,
+                    const std::function<void(WorkGroupCtx&)>& body,
+                    ThreadPool* pool = nullptr);
+
+}  // namespace crsd::gpusim

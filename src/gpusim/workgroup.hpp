@@ -1,0 +1,152 @@
+// Work-group execution context: what a simulated kernel sees. Kernels are
+// C++ callables invoked once per work-group; they perform the real
+// arithmetic on host arrays and record the memory/ALU events the equivalent
+// OpenCL kernel would generate, in wavefront-lockstep semantics.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+
+namespace crsd::gpusim {
+
+class WorkGroupCtx {
+ public:
+  WorkGroupCtx(const DeviceSpec& spec, Counters& counters,
+               ReadOnlyCache& cache, index_t group_id, index_t group_size)
+      : spec_(spec), c_(counters), cache_(cache), group_id_(group_id),
+        group_size_(group_size) {
+    c_.wavefronts += static_cast<size64_t>(
+        (group_size + spec.wavefront_size - 1) / spec.wavefront_size);
+  }
+
+  index_t group_id() const { return group_id_; }
+  index_t local_size() const { return group_size_; }
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Useful floating-point work (counts toward reported GFLOPS *and* time).
+  void flops(size64_t n) { c_.flops += n; }
+
+  /// Wasted issue slots: divergence padding, predicated-off lanes. Counts
+  /// toward time only.
+  void alu(size64_t n) { c_.alu_slots += n; }
+
+  /// One wavefront-batched gather: `lanes` work-items read elements
+  /// `idx[0..lanes)` of `buf` (element size `elem_size` bytes). Lanes are
+  /// processed in wavefront chunks; within a chunk, distinct 128-byte
+  /// segments become transactions (the coalescing rule of §III-B). When
+  /// `cached`, segments go through the CU's read-only cache first (the
+  /// source-vector path).
+  void global_gather(const Buffer& buf, const size64_t* idx, index_t lanes,
+                     int elem_size, bool cached) {
+    const int wave = spec_.wavefront_size;
+    for (index_t base = 0; base < lanes; base += wave) {
+      const index_t chunk = std::min<index_t>(wave, lanes - base);
+      segs_.clear();
+      for (index_t i = 0; i < chunk; ++i) {
+        const size64_t addr =
+            buf.vbase + idx[base + i] * static_cast<size64_t>(elem_size);
+        segs_.push_back(addr / static_cast<size64_t>(spec_.transaction_bytes));
+      }
+      std::sort(segs_.begin(), segs_.end());
+      segs_.erase(std::unique(segs_.begin(), segs_.end()), segs_.end());
+      record_segments(cached);
+    }
+  }
+
+  /// Contiguous per-lane read: lane i reads element first_elem + i. The
+  /// common fully-coalesced case; cheaper than building an index array.
+  void global_read_block(const Buffer& buf, size64_t first_elem, index_t lanes,
+                         int elem_size, bool cached = false) {
+    const int wave = spec_.wavefront_size;
+    for (index_t base = 0; base < lanes; base += wave) {
+      const index_t chunk = std::min<index_t>(wave, lanes - base);
+      const size64_t lo = buf.vbase + (first_elem + base) *
+                                          static_cast<size64_t>(elem_size);
+      const size64_t hi =
+          buf.vbase +
+          (first_elem + base + chunk) * static_cast<size64_t>(elem_size) - 1;
+      segs_.clear();
+      for (size64_t s = lo / spec_.transaction_bytes;
+           s <= hi / spec_.transaction_bytes; ++s) {
+        segs_.push_back(s);
+      }
+      record_segments(cached);
+    }
+  }
+
+  /// Contiguous per-lane write (result vector stores).
+  void global_write_block(const Buffer& buf, size64_t first_elem,
+                          index_t lanes, int elem_size) {
+    const int wave = spec_.wavefront_size;
+    for (index_t base = 0; base < lanes; base += wave) {
+      const index_t chunk = std::min<index_t>(wave, lanes - base);
+      const size64_t lo = buf.vbase + (first_elem + base) *
+                                          static_cast<size64_t>(elem_size);
+      const size64_t hi =
+          buf.vbase +
+          (first_elem + base + chunk) * static_cast<size64_t>(elem_size) - 1;
+      const size64_t n =
+          hi / spec_.transaction_bytes - lo / spec_.transaction_bytes + 1;
+      c_.global_store_transactions += n;
+      c_.global_store_bytes += n * static_cast<size64_t>(spec_.transaction_bytes);
+    }
+  }
+
+  /// Scattered per-lane store (e.g. writing y[scatter_rowno[i]]): distinct
+  /// 128-byte segments per wavefront become store transactions.
+  void global_scatter_write(const Buffer& buf, const size64_t* idx,
+                            index_t lanes, int elem_size) {
+    const int wave = spec_.wavefront_size;
+    for (index_t base = 0; base < lanes; base += wave) {
+      const index_t chunk = std::min<index_t>(wave, lanes - base);
+      segs_.clear();
+      for (index_t i = 0; i < chunk; ++i) {
+        const size64_t addr =
+            buf.vbase + idx[base + i] * static_cast<size64_t>(elem_size);
+        segs_.push_back(addr / static_cast<size64_t>(spec_.transaction_bytes));
+      }
+      std::sort(segs_.begin(), segs_.end());
+      segs_.erase(std::unique(segs_.begin(), segs_.end()), segs_.end());
+      c_.global_store_transactions += segs_.size();
+      c_.global_store_bytes +=
+          segs_.size() * static_cast<size64_t>(spec_.transaction_bytes);
+    }
+  }
+
+  /// Local (shared) memory traffic.
+  void local_read(size64_t bytes) { c_.local_bytes += bytes; }
+  void local_write(size64_t bytes) { c_.local_bytes += bytes; }
+
+  /// Work-group barrier (local-memory staging pays these; §IV-A explains
+  /// the wang3/wang4 slowdown with them).
+  void barrier() { ++c_.barriers; }
+
+ private:
+  void record_segments(bool cached) {
+    for (size64_t s : segs_) {
+      if (cached) {
+        if (cache_.access(s * static_cast<size64_t>(spec_.transaction_bytes))) {
+          ++c_.cache_hits;
+          continue;
+        }
+        ++c_.cache_misses;
+      }
+      ++c_.global_load_transactions;
+      c_.global_load_bytes += static_cast<size64_t>(spec_.transaction_bytes);
+    }
+  }
+
+  const DeviceSpec& spec_;
+  Counters& c_;
+  ReadOnlyCache& cache_;
+  index_t group_id_;
+  index_t group_size_;
+  std::vector<size64_t> segs_;  // scratch, reused across calls
+};
+
+}  // namespace crsd::gpusim

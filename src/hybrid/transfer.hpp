@@ -1,0 +1,29 @@
+// Host <-> device transfer model. The paper's conclusion: "The advantage
+// will become less if we need transfer the source vector x and destination
+// vector y between GPU and CPU for each SpMV operation." This module makes
+// that cost explicit so the hybrid scheduler can reason about it.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace crsd::hybrid {
+
+/// Interconnect description.
+struct PcieSpec {
+  /// Effective host<->device bandwidth (PCIe 2.0 x16 sustains ~6 GB/s of
+  /// its 8 GB/s raw on pinned memory; pageable is worse).
+  double bandwidth_gbps = 6.0;
+  /// Per-transfer setup latency (driver + DMA descriptor).
+  double latency_seconds = 1.0e-5;
+
+  /// The C2050's host link (PCIe 2.0 x16).
+  static PcieSpec pcie_gen2_x16() { return PcieSpec{}; }
+};
+
+/// Time to move `bytes` across the link in one transfer.
+inline double transfer_seconds(const PcieSpec& pcie, size64_t bytes) {
+  if (bytes == 0) return 0.0;
+  return pcie.latency_seconds + double(bytes) / (pcie.bandwidth_gbps * 1e9);
+}
+
+}  // namespace crsd::hybrid

@@ -1,0 +1,86 @@
+// CRSD configuration auto-tuner, in the spirit of OSKI's install-time
+// search (the paper's related work): because CRSD construction exposes real
+// knobs — row segment size, idle-section fill/break thresholds, local-memory
+// staging — and because the SpMV cost of a candidate is cheap to evaluate on
+// the simulated device, the best configuration for a matrix can be searched
+// instead of guessed.
+#pragma once
+
+#include <vector>
+
+#include "core/builder.hpp"
+#include "kernels/crsd_gpu.hpp"
+
+namespace crsd::kernels {
+
+/// Candidate grid. Values of mrows that are not multiples of the device's
+/// wavefront size are skipped (the §III-B constraint).
+struct AutotuneSpace {
+  std::vector<index_t> mrows = {32, 64, 128, 256};
+  std::vector<index_t> fill_max_gap_segments = {0, 1, 4};
+  std::vector<double> live_min_fill = {0.25, 0.5};
+  std::vector<bool> use_local_memory = {true, false};
+};
+
+struct AutotuneTrial {
+  CrsdConfig config;
+  bool local_memory = true;
+  double seconds = 0.0;
+  CrsdStats stats;
+};
+
+struct AutotuneResult {
+  CrsdConfig best_config;
+  bool best_local_memory = true;
+  double best_seconds = 0.0;
+  std::vector<AutotuneTrial> trials;  ///< every evaluated candidate
+};
+
+/// Exhaustively evaluates the candidate grid with one simulated SpMV each
+/// and returns the fastest configuration.
+template <Real T>
+AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
+                             const AutotuneSpace& space = {},
+                             ThreadPool* pool = nullptr) {
+  CRSD_CHECK_MSG(!space.mrows.empty(), "empty search space");
+  std::vector<T> x(static_cast<std::size_t>(a.num_cols()), T(1));
+  std::vector<T> y(static_cast<std::size_t>(a.num_rows()));
+
+  AutotuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+  for (index_t mrows : space.mrows) {
+    if (mrows % dev.spec().wavefront_size != 0) continue;
+    for (index_t gap : space.fill_max_gap_segments) {
+      for (double min_fill : space.live_min_fill) {
+        CrsdConfig cfg;
+        cfg.mrows = mrows;
+        cfg.fill_max_gap_segments = gap;
+        cfg.live_min_fill = min_fill;
+        const CrsdMatrix<T> m = build_crsd(a, cfg);
+        for (bool local : space.use_local_memory) {
+          CrsdGpuOptions opts;
+          opts.use_local_memory = local;
+          const gpusim::LaunchResult r =
+              gpu_spmv_crsd(dev, m, x.data(), y.data(), opts, pool);
+          AutotuneTrial trial;
+          trial.config = cfg;
+          trial.local_memory = local;
+          trial.seconds = r.seconds;
+          trial.stats = m.stats();
+          if (trial.seconds < result.best_seconds) {
+            result.best_seconds = trial.seconds;
+            result.best_config = cfg;
+            result.best_local_memory = local;
+          }
+          result.trials.push_back(std::move(trial));
+        }
+      }
+    }
+  }
+  CRSD_CHECK_MSG(!result.trials.empty(),
+                 "no candidate was legal on this device (mrows must be a "
+                 "multiple of the wavefront size)");
+  return result;
+}
+
+}  // namespace crsd::kernels

@@ -1,0 +1,226 @@
+// Simulated GPU CRSD SpMV kernel (§III-B): one work-group per row segment,
+// one work-item per row. All work-items of a group process the same diagonal
+// pattern, so they take the same execution path — no thread divergence. The
+// value stream is diagonal-major/lane-minor, so every value load coalesces.
+// Adjacent-group source-vector windows are staged through local memory
+// behind a barrier. Scatter rows are recomputed from the ELL side matrix and
+// overwrite y after the diagonal phase.
+//
+// `jit_codelet` switches the cost model between the interpreted kernel
+// (pattern metadata fetched from global memory, per-element index
+// arithmetic) and the runtime-generated codelet of §III (indices baked into
+// the instruction stream as immediates, diagonal loop unrolled). The
+// numerical work is identical; the codegen module proves the generated
+// source computes the same thing.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/crsd_matrix.hpp"
+#include "gpusim/executor.hpp"
+
+namespace crsd::kernels {
+
+struct CrsdGpuOptions {
+  /// Stage AD-group x windows in local memory (costs barriers; §IV-A shows
+  /// this losing on wang3/wang4 where the AD share is small).
+  bool use_local_memory = true;
+  /// Model the runtime-generated codelet instead of the interpreted kernel.
+  bool jit_codelet = true;
+};
+
+template <Real T>
+gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
+                                   const T* x, T* y,
+                                   const CrsdGpuOptions& opts = {},
+                                   ThreadPool* pool = nullptr) {
+  const index_t n = m.num_rows();
+  const index_t mrows = m.mrows();
+  CRSD_CHECK_MSG(mrows % dev.spec().wavefront_size == 0,
+                 "mrows (" << mrows << ") must be a multiple of the wavefront "
+                           << "size (" << dev.spec().wavefront_size
+                           << ") on the GPU");
+
+  const auto& dia_val = m.dia_values();
+  const index_t nsr = m.num_scatter_rows();
+
+  // Device allocations: diagonal values, scatter ELL, vectors, and (for the
+  // interpreted kernel) the index metadata.
+  gpusim::Buffer b_v = dev.alloc(dia_val.size() * sizeof(T));
+  gpusim::Buffer b_x =
+      dev.alloc(static_cast<size64_t>(m.num_cols()) * sizeof(T));
+  gpusim::Buffer b_y = dev.alloc(static_cast<size64_t>(n) * sizeof(T));
+  gpusim::Buffer b_srow = dev.alloc(m.scatter_rows().size() * sizeof(index_t));
+  gpusim::Buffer b_scol = dev.alloc(m.scatter_col().size() * sizeof(index_t));
+  gpusim::Buffer b_sval = dev.alloc(m.scatter_val().size() * sizeof(T));
+  size64_t index_entries = 0;
+  for (const auto& p : m.patterns()) {
+    index_entries += 2 + p.offsets.size();
+  }
+  gpusim::Buffer b_idx = dev.alloc(index_entries * sizeof(index_t));
+
+  gpusim::LaunchConfig diag_cfg;
+  diag_cfg.num_groups = m.num_segments_total();
+  diag_cfg.group_size = mrows;
+  diag_cfg.double_precision = std::is_same_v<T, double>;
+
+  auto diag_body = [&, mrows](gpusim::WorkGroupCtx& ctx) {
+    const index_t g = ctx.group_id();
+    const index_t p = m.pattern_of_segment(g);
+    const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+    const index_t seg_in_p = g - m.cum_segments()[static_cast<std::size_t>(p)];
+    const index_t row0 = g * mrows;
+    const index_t lanes = std::min<index_t>(mrows, n - row0);
+    const index_t ndias = pat.num_diagonals();
+    const size64_t unit0 =
+        m.pattern_value_offsets()[static_cast<std::size_t>(p)] +
+        static_cast<size64_t>(seg_in_p) * pat.slots_per_segment(mrows);
+
+    if (!opts.jit_codelet) {
+      // Interpreted kernel: fetch the pattern's offset table and walk the
+      // cumulative-segment table to locate p (log2 P probes).
+      ctx.global_read_block(b_idx, 0, ndias + 2, sizeof(index_t),
+                            /*cached=*/true);
+      index_t probes = 1;
+      while ((index_t{1} << probes) < m.num_patterns()) ++probes;
+      ctx.alu(static_cast<size64_t>(probes) * mrows);
+    }
+
+    std::vector<T> sums(static_cast<std::size_t>(lanes), T(0));
+    for (const auto& grp : pat.groups) {
+      const bool staged = opts.use_local_memory &&
+                          grp.type == GroupType::kAdjacent &&
+                          grp.num_diagonals >= 2;
+      if (staged && lanes > 0) {
+        // Stage x[row0+first .. row0+lanes-1+last] into local memory: one
+        // coalesced sweep of lanes + width - 1 elements, then a barrier.
+        const diag_offset_t first =
+            pat.offsets[static_cast<std::size_t>(grp.first_diagonal)];
+        const index_t window = lanes + grp.num_diagonals - 1;
+        const index_t start = m.clamp_col(row0 + first);
+        const index_t window_clamped =
+            std::min<index_t>(window, m.num_cols() - start);
+        ctx.global_read_block(b_x, static_cast<size64_t>(start),
+                              std::max<index_t>(window_clamped, 1), sizeof(T));
+        ctx.local_write(static_cast<size64_t>(window) * sizeof(T));
+        ctx.barrier();
+      }
+      for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+        const index_t d = grp.first_diagonal + gd;
+        const diag_offset_t off = pat.offsets[static_cast<std::size_t>(d)];
+        // Coalesced value load of this diagonal's lanes.
+        ctx.global_read_block(
+            b_v, unit0 + static_cast<size64_t>(d) * mrows, lanes, sizeof(T));
+        if (staged) {
+          ctx.local_read(static_cast<size64_t>(lanes) * sizeof(T));
+        } else {
+          ctx.global_read_block(b_x,
+                                static_cast<size64_t>(m.clamp_col(row0 + off)),
+                                lanes, sizeof(T), /*cached=*/true);
+        }
+        size64_t useful = 0;
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          const T v = dia_val[unit0 + static_cast<size64_t>(d) * mrows +
+                              static_cast<size64_t>(lane)];
+          sums[static_cast<std::size_t>(lane)] +=
+              v * x[m.clamp_col(row0 + lane + off)];
+          if (v != T(0)) ++useful;
+        }
+        ctx.flops(2 * useful);
+        ctx.alu(2 * (static_cast<size64_t>(lanes) - useful) +
+                2 * static_cast<size64_t>(mrows - lanes));
+        if (!opts.jit_codelet) {
+          // Per-lane index arithmetic the codelet folds into immediates.
+          ctx.alu(2 * static_cast<size64_t>(mrows));
+        }
+      }
+      if (staged && lanes > 0) {
+        ctx.barrier();  // the buffer is reused by the next AD group
+      }
+    }
+    for (index_t lane = 0; lane < lanes; ++lane) {
+      y[row0 + lane] = sums[static_cast<std::size_t>(lane)];
+    }
+    if (lanes > 0) {
+      ctx.global_write_block(b_y, static_cast<size64_t>(row0), lanes,
+                             sizeof(T));
+    }
+  };
+
+  gpusim::LaunchResult result = gpusim::launch(dev, diag_cfg, diag_body, pool);
+
+  // Scatter phase: executed inside the same kernel launch after the diagonal
+  // part (§III-B), so it is modeled as extra work-groups with zero
+  // additional launch overhead. Run as a second pass so that the overwrite
+  // of y is ordered after the diagonal writes even when CUs run on threads.
+  if (nsr > 0) {
+    const auto& srow = m.scatter_rows();
+    const auto& scol = m.scatter_col();
+    const auto& sval = m.scatter_val();
+    gpusim::LaunchConfig scatter_cfg;
+    scatter_cfg.group_size = mrows;
+    scatter_cfg.num_groups = (nsr + mrows - 1) / mrows;
+    scatter_cfg.double_precision = diag_cfg.double_precision;
+    scatter_cfg.launches = 0;  // same launch as the diagonal phase
+
+    auto scatter_body = [&, mrows](gpusim::WorkGroupCtx& ctx) {
+      const index_t i0 = ctx.group_id() * mrows;
+      const index_t lanes = std::min<index_t>(mrows, nsr - i0);
+      if (lanes <= 0) return;
+      ctx.global_read_block(b_srow, static_cast<size64_t>(i0), lanes,
+                            sizeof(index_t));
+      std::vector<T> sums(static_cast<std::size_t>(lanes), T(0));
+      std::vector<size64_t> gather(static_cast<std::size_t>(lanes));
+      for (index_t k = 0; k < m.scatter_width(); ++k) {
+        const size64_t slot0 =
+            static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i0);
+        // ELL column-major over scatter rows: coalesced.
+        ctx.global_read_block(b_scol, slot0, lanes, sizeof(index_t));
+        ctx.global_read_block(b_sval, slot0, lanes, sizeof(T));
+        size64_t useful = 0;
+        for (index_t i = 0; i < lanes; ++i) {
+          const index_t c = scol[slot0 + static_cast<size64_t>(i)];
+          if (c != kInvalidIndex) {
+            sums[static_cast<std::size_t>(i)] +=
+                sval[slot0 + static_cast<size64_t>(i)] * x[c];
+            gather[static_cast<std::size_t>(useful)] =
+                static_cast<size64_t>(c);
+            ++useful;
+          }
+        }
+        ctx.global_gather(b_x, gather.data(), static_cast<index_t>(useful),
+                          sizeof(T), /*cached=*/true);
+        ctx.flops(2 * useful);
+        ctx.alu(2 * (static_cast<size64_t>(lanes) - useful));
+      }
+      std::vector<size64_t> targets(static_cast<std::size_t>(lanes));
+      for (index_t i = 0; i < lanes; ++i) {
+        const index_t r = srow[static_cast<std::size_t>(i0 + i)];
+        y[r] = sums[static_cast<std::size_t>(i)];  // overwrite (§II-D)
+        targets[static_cast<std::size_t>(i)] = static_cast<size64_t>(r);
+      }
+      ctx.global_scatter_write(b_y, targets.data(), lanes, sizeof(T));
+    };
+
+    const gpusim::LaunchResult tail =
+        gpusim::launch(dev, scatter_cfg, scatter_body, pool);
+    // The paper fuses the scatter part into the same kernel launch; model
+    // the whole thing as one launch so the tail shares the diagonal phase's
+    // occupancy instead of being derated as a tiny stand-alone grid.
+    result.counters += tail.counters;
+    result.seconds =
+        gpusim::estimate_seconds(dev.spec(), result.counters, diag_cfg);
+  }
+
+  dev.free(b_v);
+  dev.free(b_x);
+  dev.free(b_y);
+  dev.free(b_srow);
+  dev.free(b_scol);
+  dev.free(b_sval);
+  dev.free(b_idx);
+  return result;
+}
+
+}  // namespace crsd::kernels

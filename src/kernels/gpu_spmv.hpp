@@ -1,0 +1,59 @@
+// Umbrella header: all simulated-GPU SpMV kernels (Bell & Garland baselines
+// plus CRSD), with a convenience dispatcher used by benches and examples.
+#pragma once
+
+#include "core/builder.hpp"
+#include "formats/format.hpp"
+#include "kernels/crsd_gpu.hpp"
+#include "kernels/csr_gpu.hpp"
+#include "kernels/dia_gpu.hpp"
+#include "kernels/ell_gpu.hpp"
+#include "kernels/hyb_gpu.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd::kernels {
+
+/// Builds `format` from `a` and runs one simulated SpMV, writing y.
+/// CSR uses the vector kernel (the stronger Bell–Garland variant on the
+/// suite's row widths). Throws crsd::Error if the format does not fit in
+/// device memory (DIA on af_*_k101 in double precision).
+template <Real T>
+gpusim::LaunchResult gpu_spmv(gpusim::Device& dev, Format format,
+                              const Coo<T>& a, const T* x, T* y,
+                              const CrsdConfig& crsd_cfg = {},
+                              ThreadPool* pool = nullptr) {
+  switch (format) {
+    case Format::kCsr: {
+      const auto m = CsrMatrix<T>::from_coo(a);
+      return gpu_spmv_csr_vector(dev, m, x, y, 128, pool);
+    }
+    case Format::kDia: {
+      const size64_t limit =
+          (dev.spec().global_mem_bytes - dev.allocated_bytes()) / sizeof(T);
+      const auto m = DiaMatrix<T>::from_coo(a, limit);
+      return gpu_spmv_dia(dev, m, x, y, 128, pool);
+    }
+    case Format::kEll: {
+      const auto m = EllMatrix<T>::from_coo(a);
+      return gpu_spmv_ell(dev, m, x, y, 128, pool);
+    }
+    case Format::kHyb: {
+      const auto m = HybMatrix<T>::from_coo(a);
+      return gpu_spmv_hyb(dev, m, x, y, 128, pool);
+    }
+    case Format::kCrsd: {
+      const auto m = build_crsd(a, crsd_cfg);
+      return gpu_spmv_crsd(dev, m, x, y, CrsdGpuOptions{}, pool);
+    }
+    case Format::kCoo: {
+      // Flat accumulate kernel over the raw triplets.
+      std::fill(y, y + a.num_rows(), T(0));
+      return gpu_spmv_coo_accumulate(dev, a.row_indices(), a.col_indices(),
+                                     a.values(), a.num_rows(), a.num_cols(),
+                                     x, y, 128, pool);
+    }
+  }
+  throw Error("unhandled format in gpu_spmv");
+}
+
+}  // namespace crsd::kernels

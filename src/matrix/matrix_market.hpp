@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) I/O — the interchange format of the NIST collection
+// the paper draws its test matrices from. Supports coordinate real/integer/
+// pattern with general/symmetric/skew-symmetric storage.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+/// Parses a Matrix Market stream into a canonical COO matrix.
+/// Throws crsd::Error on malformed input or unsupported variants
+/// (array/dense and complex fields are not supported).
+Coo<double> read_matrix_market(std::istream& in);
+
+/// Convenience: reads the file at `path`.
+Coo<double> read_matrix_market_file(const std::string& path);
+
+/// Writes `a` as "matrix coordinate real general" with 1-based indices.
+void write_matrix_market(std::ostream& out, const Coo<double>& a);
+
+/// Convenience: writes to the file at `path` (overwrites).
+void write_matrix_market_file(const std::string& path, const Coo<double>& a);
+
+}  // namespace crsd

@@ -1,0 +1,41 @@
+// The 23-matrix evaluation suite of the paper (Table V), regenerated
+// synthetically. Each spec records the matrix's published identity
+// (name, dimensions, nnz) plus the structure parameters our generator uses
+// to reproduce its diagonal distribution. Benches can generate at reduced
+// `scale` (structure-preserving: same diagonal counts and nnz/row, fewer
+// rows) so the full sweep fits a small machine; footprint/OOM accounting is
+// always done against the *full-size* numbers recorded here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+/// One matrix of the paper's Table V.
+struct MatrixSpec {
+  int id = 0;                 ///< 1-based index used in the paper's figures.
+  std::string name;           ///< Matrix Market / application name.
+  index_t full_rows = 0;      ///< Published dimension.
+  size64_t full_nnz = 0;      ///< Published nonzero count.
+  /// Number of occupied diagonals at full size (drives the DIA footprint
+  /// and the af_* out-of-memory reproduction).
+  size64_t full_num_diagonals = 0;
+  std::string family;         ///< Structure family (for docs/tables).
+
+  /// Generates a structure-preserving instance. scale in (0, 1]; 1 is the
+  /// published size. Deterministic.
+  std::function<Coo<double>(double scale)> generate;
+};
+
+/// All 23 matrices, ordered as in Table V.
+const std::vector<MatrixSpec>& paper_suite();
+
+/// Looks up a suite matrix by id (1..23). Throws if out of range.
+const MatrixSpec& paper_matrix(int id);
+
+}  // namespace crsd

@@ -1,0 +1,67 @@
+// ASCII spy plot of a sparse matrix — the textual analogue of the paper's
+// Fig. 1/Fig. 2 structure pictures. Each character cell covers a rectangle
+// of the matrix and its glyph encodes the cell's nonzero density.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd {
+
+/// Renders `a` as a density map with at most `max_width` columns (the
+/// height follows the aspect ratio, capped at max_width/2 lines).
+/// Glyphs: ' ' empty, '.' sparse, ':' light, '*' dense, '#' full.
+template <Real T>
+std::string spy_string(const Coo<T>& a, int max_width = 64) {
+  CRSD_CHECK_MSG(max_width >= 2, "spy needs at least 2 columns");
+  CRSD_CHECK_MSG(a.num_rows() >= 1 && a.num_cols() >= 1, "empty matrix");
+  const int width = static_cast<int>(
+      std::min<index_t>(max_width, a.num_cols()));
+  const int height = static_cast<int>(std::min<index_t>(
+      std::max<index_t>(1, max_width / 2), a.num_rows()));
+  std::vector<size64_t> bins(static_cast<std::size_t>(width) * height, 0);
+
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    const int i = static_cast<int>(
+        static_cast<std::int64_t>(a.row_indices()[k]) * height /
+        a.num_rows());
+    const int j = static_cast<int>(
+        static_cast<std::int64_t>(a.col_indices()[k]) * width /
+        a.num_cols());
+    ++bins[static_cast<std::size_t>(i) * width + j];
+  }
+  // Cell capacity (for density normalization).
+  const double cell =
+      double(a.num_rows()) / height * (double(a.num_cols()) / width);
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width + 3) * (height + 2)));
+  out += '+' + std::string(static_cast<std::size_t>(width), '-') + "+\n";
+  for (int i = 0; i < height; ++i) {
+    out += '|';
+    for (int j = 0; j < width; ++j) {
+      const double density =
+          double(bins[static_cast<std::size_t>(i) * width + j]) / cell;
+      char glyph = ' ';
+      if (density > 0.75) {
+        glyph = '#';
+      } else if (density > 0.25) {
+        glyph = '*';
+      } else if (density > 0.05) {
+        glyph = ':';
+      } else if (density > 0.0) {
+        glyph = '.';
+      }
+      out += glyph;
+    }
+    out += "|\n";
+  }
+  out += '+' + std::string(static_cast<std::size_t>(width), '-') + "+\n";
+  return out;
+}
+
+}  // namespace crsd

@@ -1,0 +1,78 @@
+// CPU performance model for the paper's §IV-B comparison. The paper
+// measures MKL CSR/DIA on a two-socket Xeon X5550 and divides CRSD's GPU
+// time by it (Figs. 11/12, Table VI). This container has one core, so the
+// multicore numbers come from a roofline model: SpMV is bandwidth-bound,
+// time = max(bytes / bandwidth(threads), flops / flop_rate(threads)). Real
+// wall-clock kernels exist too (bench_micro_spmv) for machines where
+// measuring is meaningful.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "core/crsd_matrix.hpp"
+#include "matrix/stats.hpp"
+
+namespace crsd::perf {
+
+/// Host system description.
+struct CpuSystemSpec {
+  std::string name;
+  int sockets = 2;
+  int cores_per_socket = 4;
+  double clock_ghz = 2.67;
+  /// Sustained flops per cycle per core (SSE2 mul+add).
+  double flops_per_cycle_double = 4.0;
+  double flops_per_cycle_single = 8.0;
+  /// Effective SpMV-sweep bandwidth a single thread sustains, and the
+  /// node-wide ceiling. These are calibrated to MKL 10.2 CSR behaviour the
+  /// paper measured (Table VI implies only ~2.2x scaling from 1 to 8
+  /// threads: gathers and NUMA effects keep threaded SpMV far below the
+  /// STREAM ceiling), not to raw DRAM capability.
+  double bw_per_thread_gbps = 7.5;
+  double bw_total_gbps = 18.0;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+
+  double bandwidth_gbps(int threads) const {
+    return std::min(bw_per_thread_gbps * threads, bw_total_gbps);
+  }
+
+  double flop_rate(int threads, bool double_precision) const {
+    const double per_core = clock_ghz * 1e9 *
+                            (double_precision ? flops_per_cycle_double
+                                              : flops_per_cycle_single);
+    return per_core * std::min(threads, total_cores());
+  }
+
+  /// Table IV: two-socket quad-core Intel Xeon X5550, 2.67 GHz, 8 GB.
+  static CpuSystemSpec xeon_x5550_2s();
+};
+
+/// Byte/flop traffic of one SpMV sweep in a given format, derived from the
+/// matrix structure. `value_bytes` is sizeof(double) or sizeof(float).
+struct SweepCost {
+  size64_t bytes = 0;
+  size64_t flops = 0;
+};
+
+/// MKL-style CSR: values + 4-byte column indices + row pointers + x + y.
+SweepCost csr_sweep_cost(const StructureStats& s, int value_bytes);
+
+/// DIA: every padded diagonal slot is streamed.
+SweepCost dia_sweep_cost(const StructureStats& s, int value_bytes);
+
+/// ELL: padded slots with values and column indices.
+SweepCost ell_sweep_cost(const StructureStats& s, int value_bytes);
+
+/// CRSD on CPU: the diagonal value stream (fill included), the scatter ELL,
+/// x and y; index metadata is compiled into the codelet so it costs nothing
+/// per sweep.
+SweepCost crsd_sweep_cost(const CrsdStats& s, index_t num_rows,
+                          int value_bytes);
+
+/// Roofline estimate of one SpMV sweep.
+double cpu_spmv_seconds(const CpuSystemSpec& spec, const SweepCost& cost,
+                        int threads, bool double_precision);
+
+}  // namespace crsd::perf

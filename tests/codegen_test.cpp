@@ -1,0 +1,201 @@
+// Tests for the runtime code generator and JIT driver: generated-source
+// structure (Fig. 6 markers), compiled-codelet numerics vs reference,
+// cache behaviour, and error paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include "codegen/crsd_jit_kernel.hpp"
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/paper_suite.hpp"
+
+namespace crsd::codegen {
+namespace {
+
+// Per-test-binary JIT cache so tests never collide with a user's cache.
+JitCompiler fresh_compiler() {
+  JitCompiler::Options opts;
+  opts.cache_dir = (std::filesystem::temp_directory_path() /
+                    ("crsd-test-cache-" + std::to_string(::getpid())))
+                       .string();
+  return JitCompiler(opts);
+}
+
+Coo<double> fig2_matrix() {
+  Coo<double> a(6, 9);
+  auto v = [](index_t r, index_t c) { return 10.0 * r + c + 1.0; };
+  for (index_t r : {0, 1}) {
+    for (diag_offset_t off : {0, 2, 3, 5, 7}) a.add(r, r + off, v(r, r + off));
+  }
+  for (index_t r : {2, 3, 4, 5}) {
+    a.add(r, r - 2, v(r, r - 2));
+    if (r != 4) a.add(r, r - 1, v(r, r - 1));
+    a.add(r, r + 2, v(r, r + 2));
+  }
+  a.add(5, 5, v(5, 5));
+  a.canonicalize();
+  return a;
+}
+
+TEST(CpuCodeletSource, ContainsUnrolledDiagonalsAndConstants) {
+  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  const std::string src = generate_cpu_codelet_source(m);
+  // Index information baked in: pattern ranges, slot strides, offsets.
+  EXPECT_NE(src.find("crsd_codelet_diag"), std::string::npos);
+  EXPECT_NE(src.find("crsd_codelet_scatter"), std::string::npos);
+  EXPECT_NE(src.find("pattern 0: {(NAD,1),(AD,2),(NAD,2)}"),
+            std::string::npos);
+  EXPECT_NE(src.find("pattern 1: {(AD,2),(NAD,1)}"), std::string::npos);
+  // Unrolled lines with immediate offsets (x[r + 2], x[r - 2], ...).
+  EXPECT_NE(src.find("* x["), std::string::npos);
+  EXPECT_NE(src.find("unit[lane + 0]"), std::string::npos);
+  // No index arrays are referenced in the diagonal phase.
+  EXPECT_EQ(src.find("crsd_dia_index"), std::string::npos);
+}
+
+TEST(CpuCodeletSource, EmptyScatterGeneratesNoLoop) {
+  const auto a = dense_band(128, 2);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  ASSERT_EQ(m.num_scatter_rows(), 0);
+  const std::string src = generate_cpu_codelet_source(m);
+  EXPECT_NE(src.find("_scatter"), std::string::npos);
+  EXPECT_EQ(src.find("scatter_rowno[i]"), std::string::npos);
+}
+
+TEST(OpenClSource, Fig6StructureMarkers) {
+  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  const std::string src = generate_opencl_kernel_source(m);
+  EXPECT_NE(src.find("__kernel void crsd_spmv"), std::string::npos);
+  EXPECT_NE(src.find("get_group_id(0)"), std::string::npos);
+  EXPECT_NE(src.find("switch ("), std::string::npos);
+  EXPECT_NE(src.find("case 0:"), std::string::npos);
+  EXPECT_NE(src.find("case 1:"), std::string::npos);
+  // AD groups are staged through local memory behind barriers.
+  EXPECT_NE(src.find("__local"), std::string::npos);
+  EXPECT_NE(src.find("barrier(CLK_LOCAL_MEM_FENCE);"), std::string::npos);
+  EXPECT_NE(src.find("xbuf[local_id + 1]"), std::string::npos);
+  // Scatter tail present and double-precision pragma enabled.
+  EXPECT_NE(src.find("scatter_rowno[sid]"), std::string::npos);
+  EXPECT_NE(src.find("cl_khr_fp64"), std::string::npos);
+}
+
+TEST(OpenClSource, NoLocalMemoryVariantHasNoBarriers) {
+  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  OpenClCodeletOptions opts;
+  opts.use_local_memory = false;
+  const std::string src = generate_opencl_kernel_source(m, opts);
+  EXPECT_EQ(src.find("barrier("), std::string::npos);
+}
+
+TEST(OpenClSource, FloatVariantSkipsFp64Pragma) {
+  const auto a = fig2_matrix().cast<float>();
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 2});
+  const std::string src = generate_opencl_kernel_source(m);
+  EXPECT_EQ(src.find("cl_khr_fp64"), std::string::npos);
+  EXPECT_NE(src.find("float sum"), std::string::npos);
+}
+
+TEST(Jit, CompilerIsAvailableInThisEnvironment) {
+  // The whole point of this reproduction is runtime codegen; the test
+  // environment must provide a compiler.
+  EXPECT_TRUE(JitCompiler::compiler_available());
+}
+
+TEST(Jit, CompileLoadRunFig2) {
+  const auto a = fig2_matrix();
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 2});
+  JitCompiler compiler = fresh_compiler();
+  const CrsdJitKernel<double> kernel(m, compiler);
+  std::vector<double> x(9), want(6), got(6, -1.0);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.3 * double(i) - 1.0;
+  a.spmv_reference(x.data(), want.data());
+  kernel.spmv(m, x.data(), got.data());
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(got[i], want[i], 1e-12) << i;
+}
+
+TEST(Jit, DiskCacheHitsOnSecondBuild) {
+  const auto a = dense_band(256, 3);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  JitCompiler compiler = fresh_compiler();
+  const CrsdJitKernel<double> k1(m, compiler);
+  EXPECT_EQ(compiler.compilations(), 1);
+  EXPECT_EQ(compiler.cache_hits(), 0);
+  const CrsdJitKernel<double> k2(m, compiler);
+  EXPECT_EQ(compiler.compilations(), 1);
+  EXPECT_EQ(compiler.cache_hits(), 1);
+  EXPECT_EQ(k1.source(), k2.source());
+}
+
+TEST(Jit, CompileErrorCarriesDiagnostics) {
+  JitCompiler compiler = fresh_compiler();
+  try {
+    compiler.compile_and_load("this is not C++\n");
+    FAIL() << "expected crsd::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("JIT compilation failed"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("error"), std::string::npos);
+  }
+}
+
+TEST(Jit, MissingSymbolThrows) {
+  JitCompiler compiler = fresh_compiler();
+  JitLibrary lib =
+      compiler.compile_and_load("extern \"C\" int crsd_answer() { return 42; }\n");
+  auto fn = lib.symbol_as<int (*)()>("crsd_answer");
+  EXPECT_EQ(fn(), 42);
+  EXPECT_THROW(lib.symbol("nope_not_here"), Error);
+}
+
+class JitSuiteMatrices : public ::testing::TestWithParam<int> {};
+
+TEST_P(JitSuiteMatrices, CompiledCodeletMatchesInterpreted) {
+  const auto& spec = paper_matrix(GetParam());
+  const auto a = spec.generate(0.02);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  JitCompiler compiler = fresh_compiler();
+  const CrsdJitKernel<double> kernel(m, compiler);
+  Rng rng(40);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<double> interp(static_cast<std::size_t>(a.num_rows())),
+      jit(static_cast<std::size_t>(a.num_rows()), -1.0),
+      jit_par(static_cast<std::size_t>(a.num_rows()), -1.0);
+  m.spmv(x.data(), interp.data());
+  kernel.spmv(m, x.data(), jit.data());
+  ThreadPool pool(4);
+  kernel.spmv_parallel(pool, m, x.data(), jit_par.data());
+  for (std::size_t i = 0; i < interp.size(); ++i) {
+    // Identical accumulation order -> bitwise equality.
+    EXPECT_EQ(jit[i], interp[i]) << "row " << i;
+    EXPECT_EQ(jit_par[i], interp[i]) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, JitSuiteMatrices,
+                         ::testing::Values(3, 5, 9, 18, 21),
+                         [](const auto& suite_info) {
+                           return paper_matrix(suite_info.param).name;
+                         });
+
+TEST(Jit, SinglePrecisionCodelet) {
+  Rng rng(41);
+  const auto a = astro_convection(8, 8, 5, true, rng).cast<float>();
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  JitCompiler compiler = fresh_compiler();
+  const CrsdJitKernel<float> kernel(m, compiler);
+  EXPECT_NE(kernel.source().find("using T = float;"), std::string::npos);
+  std::vector<float> x(static_cast<std::size_t>(a.num_cols()), 0.5f);
+  std::vector<float> want(static_cast<std::size_t>(a.num_rows())),
+      got(static_cast<std::size_t>(a.num_rows()));
+  m.spmv(x.data(), want.data());
+  kernel.spmv(m, x.data(), got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+}  // namespace
+}  // namespace crsd::codegen

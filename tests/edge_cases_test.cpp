@@ -1,0 +1,193 @@
+// Edge-case tests across the whole stack: empty matrices, single
+// rows/columns, extreme offsets, tall/wide rectangles, and boundary lane
+// handling in the simulated kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/builder.hpp"
+#include "common/rng.hpp"
+#include "core/dump.hpp"
+#include "formats/csr.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/hyb.hpp"
+#include "kernels/gpu_spmv.hpp"
+
+namespace crsd {
+namespace {
+
+template <typename M>
+void expect_zero_output(const M& m, index_t rows, index_t cols) {
+  std::vector<double> x(static_cast<std::size_t>(cols), 3.0);
+  std::vector<double> y(static_cast<std::size_t>(rows), -1.0);
+  m.spmv(x.data(), y.data());
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, EmptyMatrixAllFormats) {
+  Coo<double> a(8, 8);
+  a.canonicalize();
+  EXPECT_EQ(a.nnz(), 0u);
+  expect_zero_output(CsrMatrix<double>::from_coo(a), 8, 8);
+  expect_zero_output(DiaMatrix<double>::from_coo(a), 8, 8);
+  expect_zero_output(EllMatrix<double>::from_coo(a), 8, 8);
+  expect_zero_output(HybMatrix<double>::from_coo(a), 8, 8);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 4});
+  EXPECT_EQ(m.num_patterns(), 1);  // one empty pattern covering everything
+  EXPECT_EQ(m.patterns()[0].num_diagonals(), 0);
+  expect_zero_output(m, 8, 8);
+}
+
+TEST(EdgeCases, EmptyMatrixOnSimulatedGpu) {
+  Coo<double> a(128, 128);
+  a.canonicalize();
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  std::vector<double> x(128, 1.0), y(128, -1.0);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  kernels::gpu_spmv_crsd(dev, m, x.data(), y.data());
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, OneByOne) {
+  Coo<double> a(1, 1);
+  a.add(0, 0, 4.0);
+  a.canonicalize();
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  double x = 2.5, y = 0;
+  m.spmv(&x, &y);
+  EXPECT_DOUBLE_EQ(y, 10.0);
+  // Single entries are scatter points by the paper's rule (fewer than
+  // live_min_nnz on the diagonal within the segment).
+  EXPECT_EQ(m.num_scatter_rows(), 1);
+}
+
+TEST(EdgeCases, SingleColumnMatrix) {
+  Coo<double> a(64, 1);
+  for (index_t r = 0; r < 64; r += 2) a.add(r, 0, double(r + 1));
+  a.canonicalize();
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  double x = 2.0;
+  std::vector<double> y(64, -1);
+  m.spmv(&x, y.data());
+  for (index_t r = 0; r < 64; ++r) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(r)],
+                     r % 2 == 0 ? 2.0 * (r + 1) : 0.0);
+  }
+}
+
+TEST(EdgeCases, SingleRowMatrix) {
+  Coo<double> a(1, 100);
+  for (index_t c = 0; c < 100; c += 7) a.add(0, c, 1.0);
+  a.canonicalize();
+  std::vector<double> x(100, 1.0);
+  double y = 0;
+  build_crsd(a).spmv(x.data(), &y);
+  EXPECT_DOUBLE_EQ(y, 15.0);  // ceil(100/7)
+  EllMatrix<double>::from_coo(a).spmv(x.data(), &y);
+  EXPECT_DOUBLE_EQ(y, 15.0);
+}
+
+TEST(EdgeCases, ExtremeCornerOffsets) {
+  // Only the two extreme corners populated: offsets ±(n-1).
+  Coo<double> a(50, 50);
+  a.add(0, 49, 1.0);
+  a.add(49, 0, 2.0);
+  a.add(25, 25, 3.0);
+  a.canonicalize();
+  std::vector<double> x(50);
+  for (std::size_t i = 0; i < 50; ++i) x[i] = double(i);
+  std::vector<double> want(50), got(50);
+  a.spmv_reference(x.data(), want.data());
+  build_crsd(a, CrsdConfig{.mrows = 8}).spmv(x.data(), got.data());
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
+  DiaMatrix<double>::from_coo(a).spmv(x.data(), got.data());
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
+}
+
+TEST(EdgeCases, TallAndWideOnGpuKernels) {
+  for (auto [rows, cols] : {std::pair<index_t, index_t>{300, 40},
+                            std::pair<index_t, index_t>{40, 300}}) {
+    Rng rng(static_cast<std::uint64_t>(rows));
+    Coo<double> a(rows, cols);
+    for (index_t r = 0; r < rows; ++r) {
+      for (int k = 0; k < 3; ++k) {
+        a.add(r, rng.next_index(0, cols - 1), rng.next_double(-1, 1));
+      }
+    }
+    a.canonicalize();
+    std::vector<double> x(static_cast<std::size_t>(cols), 0.5);
+    std::vector<double> want(static_cast<std::size_t>(rows)),
+        got(static_cast<std::size_t>(rows));
+    a.spmv_reference(x.data(), want.data());
+    gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+    kernels::gpu_spmv(dev, Format::kCrsd, a, x.data(), got.data());
+    for (index_t r = 0; r < rows; ++r) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(r)],
+                  want[static_cast<std::size_t>(r)], 1e-12);
+    }
+    kernels::gpu_spmv(dev, Format::kEll, a, x.data(), got.data());
+    for (index_t r = 0; r < rows; ++r) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(r)],
+                  want[static_cast<std::size_t>(r)], 1e-12);
+    }
+  }
+}
+
+TEST(EdgeCases, DumpOfEmptyAndScatterOnlyMatrices) {
+  Coo<double> empty(4, 4);
+  empty.canonicalize();
+  std::ostringstream os1;
+  dump_crsd(os1, build_crsd(empty, CrsdConfig{.mrows = 2}));
+  EXPECT_NE(os1.str().find("num_scatter_rows = 0"), std::string::npos);
+
+  Coo<double> lone(4, 4);
+  lone.add(2, 0, 5.0);
+  lone.canonicalize();
+  std::ostringstream os2;
+  dump_crsd(os2, build_crsd(lone, CrsdConfig{.mrows = 2}));
+  EXPECT_NE(os2.str().find("scatter_rowno = {R2}"), std::string::npos);
+}
+
+TEST(EdgeCases, LastSegmentPartialOnGpu) {
+  // 100 rows with mrows=64: the second work-group has only 36 live lanes.
+  const auto a = [&] {
+    Coo<double> m(100, 100);
+    for (index_t r = 0; r < 100; ++r) m.add(r, r, double(r + 1));
+    for (index_t r = 0; r + 1 < 100; ++r) m.add(r, r + 1, 0.5);
+    m.canonicalize();
+    return m;
+  }();
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  std::vector<double> x(100, 1.0), want(100), got(100, -1);
+  a.spmv_reference(x.data(), want.data());
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  kernels::gpu_spmv_crsd(dev, m, x.data(), got.data());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
+}
+
+TEST(EdgeCases, DenseMatrixAsCrsd) {
+  // Fully dense 40x40: one pattern, one big AD group, zero fill.
+  Coo<double> a(40, 40);
+  Rng rng(5);
+  for (index_t r = 0; r < 40; ++r) {
+    for (index_t c = 0; c < 40; ++c) a.add(r, c, rng.next_double(0.1, 1.0));
+  }
+  a.canonicalize();
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 40});
+  ASSERT_EQ(m.num_patterns(), 1);
+  // The two single-entry corner diagonals (±39) fall below the scatter
+  // threshold, so rows 0 and 39 move to the scatter part and the pattern
+  // keeps the 77 diagonals -38..38 as one adjacent group.
+  EXPECT_EQ(m.patterns()[0].num_diagonals(), 77);
+  EXPECT_EQ(m.num_scatter_rows(), 2);
+  EXPECT_EQ(m.patterns()[0].groups.size(), 1u);
+  EXPECT_EQ(m.patterns()[0].groups[0].type, GroupType::kAdjacent);
+  std::vector<double> x(40, 1.0), want(40), got(40);
+  a.spmv_reference(x.data(), want.data());
+  m.spmv(x.data(), got.data());
+  for (int i = 0; i < 40; ++i) EXPECT_NEAR(got[i], want[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace crsd

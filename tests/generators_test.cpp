@@ -1,0 +1,184 @@
+// Tests for the synthetic matrix generators: dimensions, nnz accounting,
+// diagonal structure, determinism, and the structural properties each family
+// is supposed to exhibit.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/stats.hpp"
+
+namespace crsd {
+namespace {
+
+std::set<diag_offset_t> offsets_of(const Coo<double>& a) {
+  std::set<diag_offset_t> out;
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    out.insert(a.col_indices()[k] - a.row_indices()[k]);
+  }
+  return out;
+}
+
+TEST(Stencil, FivePointStructure) {
+  const auto a = stencil_5pt_2d(6, 4);
+  EXPECT_EQ(a.num_rows(), 24);
+  EXPECT_EQ(offsets_of(a), (std::set<diag_offset_t>{-6, -1, 0, 1, 6}));
+  // Interior rows have 5 entries, corners 3.
+  const StructureStats s = compute_stats(a);
+  EXPECT_EQ(s.max_nnz_per_row, 5);
+  EXPECT_EQ(s.min_nnz_per_row, 3);
+  // nnz = 5*n - 2*nx - 2*ny boundary truncation.
+  EXPECT_EQ(s.nnz, 5u * 24 - 2 * 6 - 2 * 4);
+}
+
+TEST(Stencil, FivePointIsDiagonallyDominantSpd) {
+  const auto a = stencil_5pt_2d(5, 5);
+  // Row sums strictly positive (weak dominance with the +shift).
+  std::vector<double> x(25, 1.0), y(25);
+  a.spmv_reference(x.data(), y.data());
+  for (double v : y) EXPECT_GT(v, 0.0);
+}
+
+TEST(Stencil, SevenPoint3D) {
+  const auto a = stencil_7pt_3d(4, 3, 2);
+  EXPECT_EQ(a.num_rows(), 24);
+  EXPECT_EQ(offsets_of(a),
+            (std::set<diag_offset_t>{-12, -4, -1, 0, 1, 4, 12}));
+}
+
+TEST(Stencil, TwentySevenPoint3D) {
+  const auto a = stencil_27pt_3d(5, 5, 5);
+  EXPECT_EQ(a.num_rows(), 125);
+  const StructureStats s = compute_stats(a);
+  EXPECT_EQ(s.num_diagonals(), 27u);
+  EXPECT_EQ(s.max_nnz_per_row, 27);
+}
+
+TEST(Stencil, SquareStencilHas25Diagonals) {
+  const auto a = stencil_square_2d(16, 12, 2);
+  const StructureStats s = compute_stats(a);
+  EXPECT_EQ(s.num_diagonals(), 25u);  // kim1/kim2 structure
+  EXPECT_EQ(s.max_nnz_per_row, 25);
+}
+
+TEST(DenseBand, WidthAndAdjacency) {
+  const auto a = dense_band(100, 3);
+  const StructureStats s = compute_stats(a);
+  EXPECT_EQ(s.num_diagonals(), 7u);
+  EXPECT_EQ(s.max_nnz_per_row, 7);
+  // All offsets contiguous: one big AD group.
+  EXPECT_EQ(offsets_of(a),
+            (std::set<diag_offset_t>{-3, -2, -1, 0, 1, 2, 3}));
+}
+
+TEST(FullDiagonals, ExactOffsets) {
+  Rng rng(1);
+  const auto a = full_diagonals(50, {-7, 0, 3}, rng);
+  EXPECT_EQ(offsets_of(a), (std::set<diag_offset_t>{-7, 0, 3}));
+  const StructureStats s = compute_stats(a);
+  // Each diagonal fully populated.
+  for (const auto& d : s.diagonals) EXPECT_EQ(d.nnz, d.length);
+}
+
+TEST(PatternedDiagonals, BlockLocalOffsets) {
+  Rng rng(2);
+  std::vector<PatternBlock> blocks(2);
+  blocks[0] = {50, {0, 1, 2}};
+  blocks[1] = {50, {0, 10}};
+  const auto a = patterned_diagonals(100, blocks, 1.0, rng);
+  // Rows < 50 must never touch offset 10; rows >= 50 never offset 1.
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    const diag_offset_t off = a.col_indices()[k] - a.row_indices()[k];
+    if (a.row_indices()[k] < 50) {
+      EXPECT_TRUE(off == 0 || off == 1 || off == 2);
+    } else {
+      EXPECT_TRUE(off == 0 || off == 10);
+    }
+  }
+}
+
+TEST(PatternedDiagonals, RejectsIncompleteCover) {
+  Rng rng(3);
+  std::vector<PatternBlock> blocks(1);
+  blocks[0] = {10, {0}};
+  EXPECT_THROW(patterned_diagonals(20, blocks, 1.0, rng), Error);
+}
+
+TEST(FemShellLike, DiagonalCountGrowsWithBlocks) {
+  Rng rng(4);
+  const auto a = fem_shell_like(4096, 8, 2, 6, 1.0, rng);
+  const StructureStats s = compute_stats(a);
+  // 5 core + 8*6 private = 53 distinct diagonals.
+  EXPECT_EQ(s.num_diagonals(), 53u);
+  // Per-row width stays near core+extra regardless of total diagonals.
+  EXPECT_LE(s.max_nnz_per_row, 11);
+}
+
+TEST(FemShellLike, DeterministicForSeed) {
+  Rng r1(5), r2(5);
+  const auto a = fem_shell_like(1024, 4, 1, 3, 1.0, r1);
+  const auto b = fem_shell_like(1024, 4, 1, 3, 1.0, r2);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.col_indices(), b.col_indices());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(BrokenDiagonals, CoverageAndSections) {
+  Rng rng(6);
+  const auto a =
+      broken_diagonals(1000, {{5, 0.5, 2}, {-5, 1.0, 1}}, rng);
+  const StructureStats s = compute_stats(a);
+  ASSERT_EQ(s.num_diagonals(), 3u);
+  // Main diagonal full.
+  EXPECT_EQ(s.diagonals[1].offset, 0);
+  EXPECT_EQ(s.diagonals[1].nnz, 1000u);
+  // offset -5 full length; offset +5 about half.
+  EXPECT_EQ(s.diagonals[0].nnz, s.diagonals[0].length);
+  EXPECT_NEAR(double(s.diagonals[2].nnz) / double(s.diagonals[2].length), 0.5,
+              0.01);
+}
+
+TEST(AstroConvection, UnstructuredHasMoreScatterAndSections) {
+  Rng r1(7), r2(7);
+  const auto structured = astro_convection(12, 12, 8, false, r1);
+  const auto unstructured = astro_convection(12, 12, 8, true, r2);
+  EXPECT_EQ(structured.num_rows(), 12 * 12 * 8);
+  const StructureStats ss = compute_stats(structured);
+  const StructureStats us = compute_stats(unstructured);
+  // Backbone + couplings on both; unstructured adds scatter everywhere.
+  EXPECT_GE(ss.num_diagonals(), 11u);
+  EXPECT_GT(us.num_diagonals(), ss.num_diagonals());
+}
+
+TEST(InjectScatter, AddsRequestedEntries) {
+  Rng rng(8);
+  auto a = stencil_5pt_2d(10, 10);
+  const size64_t before = a.nnz();
+  inject_scatter(a, 50, rng);
+  // A few collisions with existing entries are possible; most must land.
+  EXPECT_GE(a.nnz(), before + 40);
+  EXPECT_TRUE(a.is_canonical());
+}
+
+TEST(MakeDiagonallyDominant, EveryRowDominant) {
+  Rng rng(9);
+  auto a = full_diagonals(64, {-3, 0, 7}, rng);
+  make_diagonally_dominant(a, 0.5);
+  std::vector<double> diag(64, 0.0), offsum(64, 0.0);
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    const index_t r = a.row_indices()[k];
+    if (r == a.col_indices()[k]) {
+      diag[static_cast<std::size_t>(r)] = a.values()[k];
+    } else {
+      offsum[static_cast<std::size_t>(r)] += std::abs(a.values()[k]);
+    }
+  }
+  for (index_t r = 0; r < 64; ++r) {
+    EXPECT_GT(diag[static_cast<std::size_t>(r)],
+              offsum[static_cast<std::size_t>(r)]);
+  }
+}
+
+}  // namespace
+}  // namespace crsd

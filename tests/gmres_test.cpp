@@ -1,0 +1,116 @@
+// Tests for restarted GMRES over the library's SpMV backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "formats/csr.hpp"
+#include "matrix/generators.hpp"
+#include "solver/solvers.hpp"
+
+namespace crsd::solver {
+namespace {
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  Rng rng(4);
+  auto a = broken_diagonals(300, {{2, 0.9, 2}, {-5, 0.7, 2}, {1, 1.0, 1}}, rng);
+  make_diagonally_dominant(a, 1.0);
+  const auto m = CsrMatrix<double>::from_coo(a);
+  const index_t n = a.num_rows();
+  std::vector<double> x_star(static_cast<std::size_t>(n));
+  for (auto& v : x_star) v = rng.next_double(-1, 1);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.spmv_reference(x_star.data(), b.data());
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 1000;
+  opts.tolerance = 1e-12;
+  const SolveResult r = gmres<double>(
+      n, [&](const double* in, double* out) { m.spmv(in, out); }, b.data(),
+      x.data(), 30, opts);
+  EXPECT_TRUE(r.converged) << r.iterations << " " << r.residual_norm;
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_star[static_cast<std::size_t>(i)], 1e-7);
+  }
+}
+
+TEST(Gmres, MatchesCgOnSpdSystem) {
+  const auto a = stencil_5pt_2d(16, 16);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  auto apply = [&](const double* in, double* out) { m.spmv(in, out); };
+  const index_t n = a.num_rows();
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x_cg(b.size(), 0.0), x_gm(b.size(), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 2000;
+  opts.tolerance = 1e-12;
+  const SolveResult rc =
+      conjugate_gradient<double>(n, apply, b.data(), x_cg.data(), opts);
+  const SolveResult rg =
+      gmres<double>(n, apply, b.data(), x_gm.data(), 40, opts);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rg.converged);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(x_gm[i], x_cg[i], 1e-7);
+  }
+}
+
+TEST(Gmres, SmallRestartStillConverges) {
+  Rng rng(5);
+  auto a = broken_diagonals(150, {{3, 0.8, 1}, {-1, 1.0, 1}}, rng);
+  make_diagonally_dominant(a, 2.0);
+  const auto m = CsrMatrix<double>::from_coo(a);
+  const index_t n = a.num_rows();
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 2000;
+  opts.tolerance = 1e-10;
+  const SolveResult r = gmres<double>(
+      n, [&](const double* in, double* out) { m.spmv(in, out); }, b.data(),
+      x.data(), 5, opts);
+  EXPECT_TRUE(r.converged);
+  // Verify by residual.
+  std::vector<double> ax(b.size());
+  a.spmv_reference(x.data(), ax.data());
+  double res = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    res += (b[i] - ax[i]) * (b[i] - ax[i]);
+  }
+  EXPECT_LT(std::sqrt(res), 1e-8);
+}
+
+TEST(Gmres, ZeroRhsConvergesImmediately) {
+  Coo<double> a(10, 10);
+  for (index_t i = 0; i < 10; ++i) a.add(i, i, 2.0);
+  a.canonicalize();
+  std::vector<double> b(10, 0.0), x(10, 0.0);
+  const SolveResult r = gmres<double>(
+      10, [&](const double* in, double* out) { a.spmv_reference(in, out); },
+      b.data(), x.data());
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Gmres, ExactConvergenceWithinOneCycleForTinySystem) {
+  // 4x4 system, restart 4: GMRES is exact after at most n steps.
+  Coo<double> a(4, 4);
+  a.add(0, 0, 4.0); a.add(0, 1, 1.0);
+  a.add(1, 1, 3.0); a.add(1, 2, -1.0);
+  a.add(2, 2, 5.0); a.add(2, 0, 2.0);
+  a.add(3, 3, 2.0);
+  a.canonicalize();
+  std::vector<double> b = {1, 2, 3, 4}, x(4, 0.0);
+  SolveOptions opts;
+  opts.tolerance = 1e-13;
+  const SolveResult r = gmres<double>(
+      4, [&](const double* in, double* out) { a.spmv_reference(in, out); },
+      b.data(), x.data(), 4, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 4);
+}
+
+}  // namespace
+}  // namespace crsd::solver

@@ -1,0 +1,123 @@
+// Structural invariants over the whole suite: statistics consistency,
+// CRSD accounting identities, HYB split optimality, and builder/pattern
+// coherence — checked for all 23 matrices.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/builder.hpp"
+#include "formats/hyb.hpp"
+#include "matrix/paper_suite.hpp"
+#include "matrix/stats.hpp"
+
+namespace crsd {
+namespace {
+
+class SuiteInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteInvariants, StatsAreInternallyConsistent) {
+  const auto a = paper_matrix(GetParam()).generate(0.02);
+  const StructureStats s = compute_stats(a);
+  // Per-diagonal nnz sums to the total.
+  size64_t sum = 0;
+  for (const auto& d : s.diagonals) {
+    sum += d.nnz;
+    EXPECT_LE(d.nnz, d.length);
+    EXPECT_EQ(d.length, diagonal_length(s.num_rows, s.num_cols, d.offset));
+  }
+  EXPECT_EQ(sum, s.nnz);
+  // Padded sizes dominate the true nonzero count.
+  EXPECT_GE(s.dia_padded_elements(), s.nnz);
+  EXPECT_GE(s.ell_padded_elements(), s.nnz);
+  EXPECT_LE(s.min_nnz_per_row, s.avg_nnz_per_row + 1e-9);
+  EXPECT_GE(s.max_nnz_per_row + 1e-9, s.avg_nnz_per_row);
+}
+
+TEST_P(SuiteInvariants, CrsdAccountingIdentities) {
+  const auto a = paper_matrix(GetParam()).generate(0.02);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const CrsdStats st = m.stats();
+  // Every true nonzero lives exactly once: diagonal part + scatter part.
+  EXPECT_EQ(st.dia_nnz + st.scatter_nnz, a.nnz());
+  // Slot count equals the per-pattern sum of the location formula.
+  size64_t slots = 0;
+  for (const auto& p : m.patterns()) {
+    slots += static_cast<size64_t>(p.num_segments) *
+             p.slots_per_segment(m.mrows());
+  }
+  EXPECT_EQ(slots, st.dia_slots);
+  EXPECT_EQ(m.dia_values().size(), slots);
+  // Pattern runs tile the segment range exactly.
+  EXPECT_EQ(m.cum_segments().front(), 0);
+  EXPECT_EQ(m.cum_segments().back(), m.num_segments_total());
+  // AD fraction is a fraction.
+  EXPECT_GE(st.ad_diag_fraction, 0.0);
+  EXPECT_LE(st.ad_diag_fraction, 1.0);
+}
+
+TEST_P(SuiteInvariants, PatternsAreWellFormed) {
+  const auto a = paper_matrix(GetParam()).generate(0.02);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  for (const auto& p : m.patterns()) {
+    // Offsets strictly ascending, groups partition them in order.
+    for (std::size_t i = 1; i < p.offsets.size(); ++i) {
+      EXPECT_LT(p.offsets[i - 1], p.offsets[i]);
+    }
+    index_t covered = 0;
+    for (const auto& g : p.groups) {
+      EXPECT_EQ(g.first_diagonal, covered);
+      EXPECT_GE(g.num_diagonals, 1);
+      if (g.type == GroupType::kAdjacent) {
+        EXPECT_GE(g.num_diagonals, 2);
+        for (index_t d = 1; d < g.num_diagonals; ++d) {
+          EXPECT_EQ(p.offsets[static_cast<std::size_t>(g.first_diagonal + d)],
+                    p.offsets[static_cast<std::size_t>(g.first_diagonal + d -
+                                                       1)] +
+                        1);
+        }
+      }
+      covered += g.num_diagonals;
+    }
+    EXPECT_EQ(covered, p.num_diagonals());
+  }
+}
+
+TEST_P(SuiteInvariants, HybSplitIsLocallyOptimal) {
+  const auto a = paper_matrix(GetParam()).generate(0.02);
+  const index_t k = HybMatrix<double>::default_split_width(a);
+  // Cost model: rows*K + 3*coo_nnz(K); the chosen K must not lose to K±1.
+  auto cost_at = [&](index_t width) {
+    if (width < 0) return std::numeric_limits<double>::infinity();
+    std::vector<index_t> row_nnz(static_cast<std::size_t>(a.num_rows()), 0);
+    for (index_t r : a.row_indices()) {
+      ++row_nnz[static_cast<std::size_t>(r)];
+    }
+    size64_t coo = 0;
+    for (index_t w : row_nnz) {
+      if (w > width) coo += static_cast<size64_t>(w - width);
+    }
+    return double(a.num_rows()) * double(width) + 3.0 * double(coo);
+  };
+  EXPECT_LE(cost_at(k), cost_at(k - 1) + 1e-6);
+  EXPECT_LE(cost_at(k), cost_at(k + 1) + 1e-6);
+}
+
+TEST_P(SuiteInvariants, FootprintOrderingSane) {
+  const auto a = paper_matrix(GetParam()).generate(0.02);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  // CRSD's footprint is at least the raw value payload and at most DIA's.
+  EXPECT_GE(m.footprint_bytes(), a.nnz() * sizeof(double));
+  const auto s = compute_stats(a);
+  EXPECT_LE(m.footprint_bytes(),
+            s.dia_padded_elements() * sizeof(double) +
+                s.num_diagonals() * sizeof(index_t) +
+                2 * a.nnz() * (sizeof(double) + sizeof(index_t)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, SuiteInvariants, ::testing::Range(1, 24),
+                         [](const auto& suite_info) {
+                           return paper_matrix(suite_info.param).name;
+                         });
+
+}  // namespace
+}  // namespace crsd

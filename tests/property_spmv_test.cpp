@@ -1,0 +1,208 @@
+// Property tests: every storage format must compute the same y = A*x as the
+// COO reference, across random structures, the paper suite at small scale,
+// both precisions, and a sweep of CRSD configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "formats/csr.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/hyb.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/paper_suite.hpp"
+
+namespace crsd {
+namespace {
+
+template <Real T>
+std::vector<T> random_vector(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = static_cast<T>(rng.next_double(-1.0, 1.0));
+  return x;
+}
+
+/// Relative-error check: |got - want| <= tol * (1 + |want|).
+template <Real T>
+void expect_close(const std::vector<T>& got, const std::vector<T>& want,
+                  double tol, const char* label) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double g = static_cast<double>(got[i]);
+    const double w = static_cast<double>(want[i]);
+    ASSERT_LE(std::abs(g - w), tol * (1.0 + std::abs(w)))
+        << label << " row " << i;
+  }
+}
+
+template <Real T>
+void check_all_formats(const Coo<T>& a, double tol) {
+  const auto x = random_vector<T>(a.num_cols(), 99);
+  std::vector<T> want(static_cast<std::size_t>(a.num_rows()));
+  a.spmv_reference(x.data(), want.data());
+  std::vector<T> y(want.size());
+
+  CsrMatrix<T>::from_coo(a).spmv(x.data(), y.data());
+  expect_close(y, want, tol, "CSR");
+  DiaMatrix<T>::from_coo(a).spmv(x.data(), y.data());
+  expect_close(y, want, tol, "DIA");
+  EllMatrix<T>::from_coo(a).spmv(x.data(), y.data());
+  expect_close(y, want, tol, "ELL");
+  HybMatrix<T>::from_coo(a).spmv(x.data(), y.data());
+  expect_close(y, want, tol, "HYB");
+  build_crsd(a).spmv(x.data(), y.data());
+  expect_close(y, want, tol, "CRSD");
+}
+
+// ---------------------------------------------------------------------------
+// Random structured matrices: (generator kind, seed) sweep.
+
+class RandomStructureSpmv
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+Coo<double> make_random_structure(int kind, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case 0: {  // pure random scatter
+      Coo<double> a(200, 200);
+      for (int k = 0; k < 900; ++k) {
+        a.add(rng.next_index(0, 199), rng.next_index(0, 199),
+              rng.next_double(-1, 1));
+      }
+      a.canonicalize();
+      return a;
+    }
+    case 1:  // banded + scatter
+    {
+      auto a = dense_band(300, 4);
+      inject_scatter(a, 60, rng);
+      return a;
+    }
+    case 2:  // patterned diagonals
+      return fem_shell_like(1024, 6, 2, 5, 1.0, rng);
+    case 3:  // broken diagonals
+      return broken_diagonals(
+          700, {{9, 0.4, 3}, {-9, 0.7, 2}, {1, 0.9, 1}, {-250, 0.3, 4}}, rng);
+    case 4:  // astro
+      return astro_convection(9, 9, 7, (seed % 2) == 0, rng);
+    default:  // rectangular-ish band (rows != cols exercised via offsets)
+    {
+      Coo<double> a(257, 311);
+      for (index_t r = 0; r < 257; ++r) {
+        for (diag_offset_t off : {-40, 0, 1, 2, 54}) {
+          const std::int64_t c = r + off;
+          if (c >= 0 && c < 311 && rng.next_bool(0.8)) {
+            a.add(r, static_cast<index_t>(c), rng.next_double(-1, 1));
+          }
+        }
+      }
+      a.canonicalize();
+      return a;
+    }
+  }
+}
+
+TEST_P(RandomStructureSpmv, AllFormatsMatchReferenceDouble) {
+  const auto [kind, seed] = GetParam();
+  const auto a = make_random_structure(kind, 1000 + seed);
+  check_all_formats(a, 1e-12);
+}
+
+TEST_P(RandomStructureSpmv, AllFormatsMatchReferenceSingle) {
+  const auto [kind, seed] = GetParam();
+  const auto a = make_random_structure(kind, 2000 + seed);
+  check_all_formats(a.cast<float>(), 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Structures, RandomStructureSpmv,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 3)),
+                         [](const auto& suite_info) {
+                           return "kind" +
+                                  std::to_string(std::get<0>(suite_info.param)) +
+                                  "_seed" +
+                                  std::to_string(std::get<1>(suite_info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// CRSD configuration sweep on one gnarly matrix.
+
+class CrsdConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CrsdConfigSweep, MatchesReference) {
+  const auto [mrows, gap, min_fill_pct] = GetParam();
+  Rng rng(77);
+  const auto a = astro_convection(8, 8, 6, true, rng);
+  CrsdConfig cfg;
+  cfg.mrows = mrows;
+  cfg.fill_max_gap_segments = gap;
+  cfg.live_min_fill = min_fill_pct / 100.0;
+  const auto m = build_crsd(a, cfg);
+  const auto x = random_vector<double>(a.num_cols(), 5);
+  std::vector<double> want(static_cast<std::size_t>(a.num_rows())),
+      got(static_cast<std::size_t>(a.num_rows()));
+  a.spmv_reference(x.data(), want.data());
+  m.spmv(x.data(), got.data());
+  expect_close(got, want, 1e-12, "CRSD");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CrsdConfigSweep,
+    ::testing::Combine(::testing::Values(1, 7, 32, 64, 512),
+                       ::testing::Values(0, 1, 4),
+                       ::testing::Values(0, 50, 100)),
+    [](const auto& suite_info) {
+      return "mrows" + std::to_string(std::get<0>(suite_info.param)) + "_gap" +
+             std::to_string(std::get<1>(suite_info.param)) + "_fill" +
+             std::to_string(std::get<2>(suite_info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Paper suite at small scale: every matrix, every format, both precisions.
+
+class PaperSuiteSpmv : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperSuiteSpmv, AllFormatsMatchReference) {
+  const auto& spec = paper_matrix(GetParam());
+  const auto a = spec.generate(0.02);
+  check_all_formats(a, 1e-12);
+  check_all_formats(a.cast<float>(), 3e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, PaperSuiteSpmv, ::testing::Range(1, 24),
+                         [](const auto& suite_info) {
+                           return paper_matrix(suite_info.param).name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Linearity property: SpMV must be linear in x for every format.
+
+TEST(Linearity, CrsdIsLinearOperator) {
+  Rng rng(123);
+  const auto a = fem_shell_like(2048, 6, 2, 4, 1.0, rng);
+  const auto m = build_crsd(a);
+  const auto x1 = random_vector<double>(a.num_cols(), 1);
+  const auto x2 = random_vector<double>(a.num_cols(), 2);
+  std::vector<double> combo(x1.size());
+  const double alpha = 0.7, beta = -1.3;
+  for (std::size_t i = 0; i < combo.size(); ++i) {
+    combo[i] = alpha * x1[i] + beta * x2[i];
+  }
+  std::vector<double> y1(x1.size()), y2(x1.size()), yc(x1.size());
+  m.spmv(x1.data(), y1.data());
+  m.spmv(x2.data(), y2.data());
+  m.spmv(combo.data(), yc.data());
+  for (std::size_t i = 0; i < yc.size(); ++i) {
+    EXPECT_NEAR(yc[i], alpha * y1[i] + beta * y2[i],
+                1e-9 * (1.0 + std::abs(yc[i])));
+  }
+}
+
+}  // namespace
+}  // namespace crsd

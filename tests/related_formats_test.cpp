@@ -1,0 +1,173 @@
+// Tests for the related-work baseline formats (§V of the paper): BCSR
+// register blocking and delta-compressed CSR, plus the spy-plot inspector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "formats/bcsr.hpp"
+#include "formats/csr.hpp"
+#include "formats/dcsr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/paper_suite.hpp"
+#include "matrix/spy.hpp"
+
+namespace crsd {
+namespace {
+
+std::vector<double> random_vector(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  return x;
+}
+
+template <typename M>
+void expect_spmv_matches(const M& m, const Coo<double>& ref) {
+  const auto x = random_vector(ref.num_cols(), 17);
+  std::vector<double> want(static_cast<std::size_t>(ref.num_rows()));
+  std::vector<double> got(want.size(), -3.0);
+  ref.spmv_reference(x.data(), want.data());
+  m.spmv(x.data(), got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-12) << "row " << i;
+  }
+}
+
+// Block-structured FEM-like matrix: dense 3x3 blocks on a block-tridiagonal
+// layout (the SPARSITY/OSKI motivating structure).
+Coo<double> block_tridiagonal(index_t nb, index_t bs) {
+  Rng rng(23);
+  Coo<double> a(nb * bs, nb * bs);
+  for (index_t i = 0; i < nb; ++i) {
+    for (index_t j = std::max<index_t>(0, i - 1);
+         j <= std::min<index_t>(nb - 1, i + 1); ++j) {
+      for (index_t r = 0; r < bs; ++r) {
+        for (index_t c = 0; c < bs; ++c) {
+          a.add(i * bs + r, j * bs + c, rng.next_double(0.1, 1.0));
+        }
+      }
+    }
+  }
+  a.canonicalize();
+  return a;
+}
+
+TEST(Bcsr, SpmvMatchesAcrossBlockShapes) {
+  Rng rng(31);
+  const auto a = astro_convection(8, 8, 5, true, rng);
+  for (index_t br : {1, 2, 3, 4}) {
+    for (index_t bc : {1, 2, 5}) {
+      expect_spmv_matches(BcsrMatrix<double>::from_coo(a, br, bc), a);
+    }
+  }
+}
+
+TEST(Bcsr, ParallelMatchesSerial) {
+  const auto a = block_tridiagonal(40, 3);
+  const auto m = BcsrMatrix<double>::from_coo(a, 3, 3);
+  const auto x = random_vector(a.num_cols(), 5);
+  std::vector<double> serial(static_cast<std::size_t>(a.num_rows()));
+  std::vector<double> parallel(serial.size(), -1);
+  m.spmv(x.data(), serial.data());
+  ThreadPool pool(4);
+  m.spmv_parallel(pool, x.data(), parallel.data());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Bcsr, AlignedBlocksHaveNoFillIn) {
+  const auto a = block_tridiagonal(20, 3);
+  const auto m = BcsrMatrix<double>::from_coo(a, 3, 3);
+  EXPECT_DOUBLE_EQ(m.fill_in(), 1.0);
+  EXPECT_EQ(m.num_blocks(), 20u * 3 - 2);  // tridiagonal block count
+  // Misaligned blocking pays fill-in.
+  const auto m42 = BcsrMatrix<double>::from_coo(a, 4, 2);
+  EXPECT_GT(m42.fill_in(), 1.1);
+}
+
+TEST(Bcsr, ChooserPicksNativeBlockSize) {
+  const auto a = block_tridiagonal(24, 3);
+  const auto [br, bc] = BcsrMatrix<double>::choose_block_size(a);
+  EXPECT_EQ(br, 3);
+  EXPECT_EQ(bc, 3);
+  // On a pure point matrix the chooser stays at 1x1-ish fill.
+  Rng rng(7);
+  Coo<double> pts(400, 400);
+  for (int k = 0; k < 800; ++k) {
+    pts.add(rng.next_index(0, 399), rng.next_index(0, 399), 1.0);
+  }
+  pts.canonicalize();
+  const auto [pr, pc] = BcsrMatrix<double>::choose_block_size(pts);
+  EXPECT_LE(pr * pc, 2);
+}
+
+TEST(Bcsr, FootprintBeatsCsrOnBlockMatrix) {
+  const auto a = block_tridiagonal(60, 4);
+  const auto bcsr = BcsrMatrix<double>::from_coo(a, 4, 4);
+  const auto csr = CsrMatrix<double>::from_coo(a);
+  EXPECT_LT(bcsr.footprint_bytes(), csr.footprint_bytes());
+}
+
+TEST(Dcsr, SpmvMatchesOnSuiteMatrices) {
+  for (int id : {3, 9, 18}) {
+    const auto a = paper_matrix(id).generate(0.02);
+    expect_spmv_matches(DcsrMatrix<double>::from_coo(a), a);
+  }
+}
+
+TEST(Dcsr, RoundTripExact) {
+  Rng rng(41);
+  auto a = dense_band(300, 4);
+  inject_scatter(a, 60, rng);
+  const auto m = DcsrMatrix<double>::from_coo(a);
+  const Coo<double> back = m.to_coo();
+  EXPECT_EQ(back.row_indices(), a.row_indices());
+  EXPECT_EQ(back.col_indices(), a.col_indices());
+  EXPECT_EQ(back.values(), a.values());
+}
+
+TEST(Dcsr, CompressesBandedIndexStream) {
+  const auto banded = dense_band(2048, 8);
+  const auto m = DcsrMatrix<double>::from_coo(banded);
+  // Deltas within the band are 1 byte; first-of-row entries cost 4.
+  EXPECT_LT(m.index_compression(), 0.4);
+  EXPECT_LT(m.footprint_bytes(),
+            CsrMatrix<double>::from_coo(banded).footprint_bytes());
+}
+
+TEST(Dcsr, HandlesLargeDeltasViaEscape) {
+  Coo<double> a(4, 1000000);
+  a.add(0, 0, 1.0);
+  a.add(0, 999999, 2.0);  // delta 999999 >> 255
+  a.add(1, 500000, 3.0);
+  a.canonicalize();
+  const auto m = DcsrMatrix<double>::from_coo(a);
+  expect_spmv_matches(m, a);
+  const Coo<double> back = m.to_coo();
+  EXPECT_EQ(back.col_indices(), a.col_indices());
+}
+
+TEST(Spy, DiagonalAndDensityGlyphs) {
+  // Pure main diagonal: the spy shows a diagonal line of non-space glyphs.
+  Coo<double> a(64, 64);
+  for (index_t i = 0; i < 64; ++i) a.add(i, i, 1.0);
+  a.canonicalize();
+  const std::string s = spy_string(a, 16);
+  EXPECT_NE(s.find('+'), std::string::npos);
+  // Dense matrix: mostly '#'.
+  Coo<double> dense(32, 32);
+  for (index_t r = 0; r < 32; ++r) {
+    for (index_t c = 0; c < 32; ++c) dense.add(r, c, 1.0);
+  }
+  dense.canonicalize();
+  const std::string d = spy_string(dense, 16);
+  EXPECT_GT(std::count(d.begin(), d.end(), '#'), 32);
+  // Empty-structure matrix renders all spaces inside the frame.
+  Coo<double> empty(16, 16);
+  empty.canonicalize();
+  const std::string e = spy_string(empty, 8);
+  EXPECT_EQ(std::count(e.begin(), e.end(), '#'), 0);
+}
+
+}  // namespace
+}  // namespace crsd

@@ -1,0 +1,97 @@
+// Round-trip property tests: for every storage format F and every suite
+// matrix A, F(A).to_coo() must equal A exactly (same triplets, same
+// values). This pins the *storage* itself, independent of SpMV.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/inspect.hpp"
+#include "formats/csr.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/hyb.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/paper_suite.hpp"
+
+namespace crsd {
+namespace {
+
+void expect_same_matrix(const Coo<double>& got, const Coo<double>& want,
+                        const char* label) {
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << label;
+  ASSERT_EQ(got.num_cols(), want.num_cols()) << label;
+  ASSERT_EQ(got.nnz(), want.nnz()) << label;
+  EXPECT_EQ(got.row_indices(), want.row_indices()) << label;
+  EXPECT_EQ(got.col_indices(), want.col_indices()) << label;
+  for (size64_t k = 0; k < want.nnz(); ++k) {
+    ASSERT_DOUBLE_EQ(got.values()[k], want.values()[k]) << label << " @" << k;
+  }
+}
+
+class RoundTripSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripSuite, AllFormatsReconstructExactly) {
+  const auto a = paper_matrix(GetParam()).generate(0.02);
+  expect_same_matrix(CsrMatrix<double>::from_coo(a).to_coo(), a, "CSR");
+  expect_same_matrix(DiaMatrix<double>::from_coo(a).to_coo(), a, "DIA");
+  expect_same_matrix(EllMatrix<double>::from_coo(a).to_coo(), a, "ELL");
+  expect_same_matrix(HybMatrix<double>::from_coo(a).to_coo(), a, "HYB");
+  expect_same_matrix(crsd_to_coo(build_crsd(a)), a, "CRSD");
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, RoundTripSuite, ::testing::Range(1, 24),
+                         [](const auto& suite_info) {
+                           return paper_matrix(suite_info.param).name;
+                         });
+
+TEST(RoundTrip, CrsdKeepsScatterRowsOnceRegardlessOfZeroing) {
+  Rng rng(9);
+  auto a = dense_band(512, 2);
+  inject_scatter(a, 40, rng);
+  for (bool zero : {true, false}) {
+    CrsdConfig cfg;
+    cfg.mrows = 32;
+    cfg.zero_scatter_rows_in_dia = zero;
+    const auto m = build_crsd(a, cfg);
+    ASSERT_GT(m.num_scatter_rows(), 0);
+    expect_same_matrix(crsd_to_coo(m), a, zero ? "zeroed" : "kept");
+  }
+}
+
+TEST(RoundTrip, CrsdMrowsSweep) {
+  Rng rng(10);
+  const auto a = astro_convection(8, 8, 5, true, rng);
+  for (index_t mrows : {1, 16, 64, 300}) {
+    CrsdConfig cfg;
+    cfg.mrows = mrows;
+    expect_same_matrix(crsd_to_coo(build_crsd(a, cfg)), a, "mrows");
+  }
+}
+
+TEST(RoundTrip, RectangularFormats) {
+  Rng rng(11);
+  Coo<double> a(37, 91);
+  for (index_t r = 0; r < 37; ++r) {
+    for (diag_offset_t off : {-10, 0, 1, 40, 80}) {
+      const std::int64_t c = r + off;
+      if (c >= 0 && c < 91 && rng.next_bool(0.7)) {
+        a.add(r, static_cast<index_t>(c), rng.next_double(0.1, 1.0));
+      }
+    }
+  }
+  a.canonicalize();
+  expect_same_matrix(CsrMatrix<double>::from_coo(a).to_coo(), a, "CSR");
+  expect_same_matrix(DiaMatrix<double>::from_coo(a).to_coo(), a, "DIA");
+  expect_same_matrix(EllMatrix<double>::from_coo(a).to_coo(), a, "ELL");
+  expect_same_matrix(crsd_to_coo(build_crsd(a)), a, "CRSD");
+}
+
+TEST(RoundTrip, SingleEntryMatrix) {
+  Coo<double> a(5, 5);
+  a.add(3, 1, 2.5);
+  a.canonicalize();
+  expect_same_matrix(crsd_to_coo(build_crsd(a)), a, "CRSD");
+  expect_same_matrix(HybMatrix<double>::from_coo(a).to_coo(), a, "HYB");
+}
+
+}  // namespace
+}  // namespace crsd

@@ -1,0 +1,169 @@
+// Tests for the iterative solvers over different SpMV backends (CSR, CRSD
+// interpreted, CRSD JIT codelet).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <unistd.h>
+
+#include "codegen/crsd_jit_kernel.hpp"
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "formats/csr.hpp"
+#include "matrix/generators.hpp"
+#include "solver/solvers.hpp"
+
+namespace crsd::solver {
+namespace {
+
+/// Manufactured solution: pick x*, compute b = A x*, solve, compare.
+template <typename Apply>
+void check_cg_recovers(const Coo<double>& a, Apply&& apply, double tol) {
+  const index_t n = a.num_rows();
+  Rng rng(1);
+  std::vector<double> x_star(static_cast<std::size_t>(n));
+  for (auto& v : x_star) v = rng.next_double(-1, 1);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.spmv_reference(x_star.data(), b.data());
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 2000;
+  opts.tolerance = 1e-12;
+  const SolveResult r = conjugate_gradient<double>(n, apply, b.data(),
+                                                   x.data(), opts);
+  EXPECT_TRUE(r.converged) << "iters=" << r.iterations
+                           << " res=" << r.residual_norm;
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_star[static_cast<std::size_t>(i)], tol)
+        << i;
+  }
+}
+
+TEST(ConjugateGradient, SolvesPoissonWithCsrBackend) {
+  const auto a = stencil_5pt_2d(24, 24);
+  const auto m = CsrMatrix<double>::from_coo(a);
+  check_cg_recovers(a, [&](const double* x, double* y) { m.spmv(x, y); },
+                    1e-7);
+}
+
+TEST(ConjugateGradient, SolvesPoissonWithCrsdBackend) {
+  const auto a = stencil_5pt_2d(24, 24);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  check_cg_recovers(a, [&](const double* x, double* y) { m.spmv(x, y); },
+                    1e-7);
+}
+
+TEST(ConjugateGradient, SolvesWithJitCodeletBackend) {
+  const auto a = stencil_5pt_2d(20, 20);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  codegen::JitCompiler::Options jopts;
+  jopts.cache_dir = (std::filesystem::temp_directory_path() /
+                     ("crsd-solver-cache-" + std::to_string(::getpid())))
+                        .string();
+  codegen::JitCompiler compiler(jopts);
+  const codegen::CrsdJitKernel<double> kernel(m, compiler);
+  check_cg_recovers(
+      a, [&](const double* x, double* y) { kernel.spmv(m, x, y); }, 1e-7);
+}
+
+TEST(ConjugateGradient, JacobiPreconditionerReducesIterations) {
+  // Badly scaled SPD system: D^(1/2) A D^(1/2) with wild diagonal.
+  const auto base = stencil_5pt_2d(16, 16);
+  const index_t n = base.num_rows();
+  Rng rng(2);
+  std::vector<double> scale(static_cast<std::size_t>(n));
+  for (auto& s : scale) s = std::pow(10.0, rng.next_double(-2, 2));
+  Coo<double> a(n, n);
+  for (size64_t k = 0; k < base.nnz(); ++k) {
+    const index_t r = base.row_indices()[k], c = base.col_indices()[k];
+    a.add(r, c,
+          base.values()[k] * scale[static_cast<std::size_t>(r)] *
+              scale[static_cast<std::size_t>(c)]);
+  }
+  a.canonicalize();
+  const auto m = CsrMatrix<double>::from_coo(a);
+  auto apply = [&](const double* x, double* y) { m.spmv(x, y); };
+
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x1(static_cast<std::size_t>(n), 0.0), x2 = x1;
+  SolveOptions opts;
+  opts.max_iterations = 5000;
+  opts.tolerance = 1e-10;
+  const SolveResult plain =
+      conjugate_gradient<double>(n, apply, b.data(), x1.data(), opts);
+  const SolveResult pre = conjugate_gradient<double>(
+      n, apply, b.data(), x2.data(), opts, jacobi_preconditioner(a));
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(ConjugateGradient, RejectsNonSpd) {
+  // Indefinite matrix: CG's p'Ap check must fire.
+  Coo<double> a(2, 2);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, -1.0);
+  a.canonicalize();
+  const auto m = CsrMatrix<double>::from_coo(a);
+  std::vector<double> b = {1.0, 1.0}, x = {0.0, 0.0};
+  EXPECT_THROW(conjugate_gradient<double>(
+                   2, [&](const double* in, double* out) { m.spmv(in, out); },
+                   b.data(), x.data()),
+               Error);
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem) {
+  Rng rng(3);
+  auto a = broken_diagonals(400, {{3, 0.8, 2}, {-7, 0.6, 3}, {1, 1.0, 1}}, rng);
+  make_diagonally_dominant(a, 1.0);
+  const auto m = CsrMatrix<double>::from_coo(a);
+  const index_t n = a.num_rows();
+  std::vector<double> x_star(static_cast<std::size_t>(n));
+  for (auto& v : x_star) v = rng.next_double(-1, 1);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.spmv_reference(x_star.data(), b.data());
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 2000;
+  opts.tolerance = 1e-12;
+  const SolveResult r = bicgstab<double>(
+      n, [&](const double* in, double* out) { m.spmv(in, out); }, b.data(),
+      x.data(), opts);
+  EXPECT_TRUE(r.converged) << r.iterations << " " << r.residual_norm;
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_star[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+TEST(Bicgstab, ConvergedOnFirstIterationForIdentity) {
+  Coo<double> a(8, 8);
+  for (index_t i = 0; i < 8; ++i) a.add(i, i, 1.0);
+  a.canonicalize();
+  std::vector<double> b(8, 3.0), x(8, 0.0);
+  const SolveResult r = bicgstab<double>(
+      8, [&](const double* in, double* out) { a.spmv_reference(in, out); },
+      b.data(), x.data());
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  for (double v : x) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(SolveOptions, MaxIterationsRespected) {
+  const auto a = stencil_5pt_2d(30, 30);
+  const auto m = CsrMatrix<double>::from_coo(a);
+  std::vector<double> b(static_cast<std::size_t>(a.num_rows()), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 3;
+  opts.tolerance = 1e-30;
+  const SolveResult r = conjugate_gradient<double>(
+      a.num_rows(), [&](const double* in, double* out) { m.spmv(in, out); },
+      b.data(), x.data(), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace crsd::solver

@@ -1,0 +1,103 @@
+// Tests for the figure-generation pipeline itself (bench/suite_runner):
+// option parsing, counter extrapolation, OOM handling, and speedup
+// summaries — the machinery every reproduced figure flows through.
+#include <gtest/gtest.h>
+
+#include "cpu_suite.hpp"
+#include "suite_runner.hpp"
+
+namespace crsd::bench {
+namespace {
+
+TEST(SuiteOptions, ParsesFlags) {
+  const char* argv[] = {"bench",  "--scale",           "0.1",
+                        "--matrix", "7",               "--mrows",
+                        "128",    "--no-local-memory", "--interpreted"};
+  const auto opts =
+      SuiteOptions::parse(static_cast<int>(std::size(argv)),
+                          const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(opts.scale, 0.1);
+  ASSERT_TRUE(opts.only_matrix.has_value());
+  EXPECT_EQ(*opts.only_matrix, 7);
+  EXPECT_EQ(opts.mrows, 128);
+  EXPECT_FALSE(opts.use_local_memory);
+  EXPECT_FALSE(opts.jit_codelet_model);
+}
+
+TEST(SuiteOptions, RejectsBadScale) {
+  const char* argv[] = {"bench", "--scale", "1.5"};
+  EXPECT_THROW(SuiteOptions::parse(3, const_cast<char**>(argv)), Error);
+}
+
+TEST(ScaleCounters, LinearInFactor) {
+  gpusim::Counters c;
+  c.flops = 100;
+  c.alu_slots = 10;
+  c.global_load_transactions = 7;
+  c.global_load_bytes = 896;
+  c.barriers = 3;
+  c.wavefronts = 5;
+  const auto doubled = scale_counters(c, 2.0);
+  EXPECT_EQ(doubled.flops, 200u);
+  EXPECT_EQ(doubled.global_load_bytes, 1792u);
+  EXPECT_EQ(doubled.barriers, 6u);
+  EXPECT_EQ(doubled.wavefronts, 10u);
+  const auto same = scale_counters(c, 1.0);
+  EXPECT_EQ(same.flops, c.flops);
+}
+
+TEST(SuiteRunner, SingleMatrixRowIsComplete) {
+  SuiteOptions opts;
+  opts.scale = 0.02;
+  opts.only_matrix = 9;  // kim1
+  const auto rows = run_gpu_suite<double>(opts);
+  ASSERT_EQ(rows.size(), 1u);
+  const SuiteRow& row = rows[0];
+  EXPECT_EQ(row.id, 9);
+  EXPECT_EQ(row.name, "kim1");
+  ASSERT_EQ(row.cells.size(), figure_formats().size());
+  for (Format f : figure_formats()) {
+    const Cell& cell = row.cell(f);
+    EXPECT_FALSE(cell.oom) << format_name(f);
+    EXPECT_GT(cell.gflops, 0.0) << format_name(f);
+    EXPECT_GT(cell.seconds, 0.0) << format_name(f);
+  }
+  // The kim structure: CRSD beats ELL, speedup accessor agrees.
+  EXPECT_NEAR(row.crsd_speedup_over(Format::kEll),
+              row.cell(Format::kEll).seconds /
+                  row.cell(Format::kCrsd).seconds,
+              1e-12);
+}
+
+TEST(SuiteRunner, OomCellsAreMarkedAndExcluded) {
+  SuiteOptions opts;
+  opts.scale = 0.02;
+  opts.only_matrix = 11;  // af_1_k101: DIA OOM at full size in double
+  const auto rows = run_gpu_suite<double>(opts);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].cell(Format::kDia).oom);
+  EXPECT_EQ(rows[0].crsd_speedup_over(Format::kDia), 0.0);
+  const auto summary = summarize_speedup(rows, Format::kDia);
+  EXPECT_EQ(summary.max, 0.0);  // no non-OOM cells contribute
+  // Single precision fits.
+  const auto rows_sgl = run_gpu_suite<float>(opts);
+  EXPECT_FALSE(rows_sgl[0].cell(Format::kDia).oom);
+}
+
+TEST(CpuSuite, RowTimesPositiveAndOrdered) {
+  SuiteOptions opts;
+  opts.scale = 0.02;
+  opts.only_matrix = 3;  // s3dkt3m2
+  const auto rows = run_cpu_comparison<double>(opts);
+  ASSERT_EQ(rows.size(), 1u);
+  const CpuRow& r = rows[0];
+  EXPECT_GT(r.t_crsd_gpu, 0.0);
+  // More threads never slower in the roofline model.
+  EXPECT_GE(r.t_csr_serial, r.t_csr_threads);
+  // DIA on a 389-diagonal matrix is far slower than CSR on CPU.
+  EXPECT_GT(r.t_dia_serial, 5.0 * r.t_csr_serial);
+  EXPECT_GT(r.speedup_csr_serial(), r.speedup_csr_threads());
+}
+
+}  // namespace
+}  // namespace crsd::bench

@@ -1,0 +1,142 @@
+// Tests for the inspector/executor value-refresh path (update_values) and
+// the parallel DCSR kernel added alongside it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "codegen/crsd_jit_kernel.hpp"
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "core/update.hpp"
+#include "formats/dcsr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/paper_suite.hpp"
+
+namespace crsd {
+namespace {
+
+Coo<double> rescaled(const Coo<double>& a, double factor, double shift) {
+  Coo<double> out(a.num_rows(), a.num_cols());
+  out.reserve(a.nnz());
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    out.add(a.row_indices()[k], a.col_indices()[k],
+            a.values()[k] * factor + shift);
+  }
+  out.mark_canonical();
+  return out;
+}
+
+TEST(UpdateValues, RefreshedMatrixComputesNewProduct) {
+  Rng rng(1);
+  auto a = astro_convection(8, 8, 6, true, rng);
+  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto a2 = rescaled(a, -2.5, 0.125);
+  update_values(m, a2);
+
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<double> want(static_cast<std::size_t>(a.num_rows()));
+  std::vector<double> got(want.size(), -1);
+  a2.spmv_reference(x.data(), want.data());
+  m.spmv(x.data(), got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-12) << i;
+  }
+}
+
+TEST(UpdateValues, KeepsCompiledCodeletValid) {
+  // The codelet is specialized to structure, not values: after a value
+  // refresh the same compiled kernel must compute the new product.
+  const auto a = stencil_5pt_2d(16, 16);
+  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  codegen::JitCompiler::Options jopts;
+  jopts.cache_dir = (std::filesystem::temp_directory_path() /
+                     ("crsd-upd-" + std::to_string(::getpid())))
+                        .string();
+  codegen::JitCompiler compiler(jopts);
+  const codegen::CrsdJitKernel<double> kernel(m, compiler);
+
+  const auto a2 = rescaled(a, 3.0, 0.0);
+  update_values(m, a2);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<double> want(static_cast<std::size_t>(a.num_rows()));
+  std::vector<double> got(want.size());
+  a2.spmv_reference(x.data(), want.data());
+  kernel.spmv(m, x.data(), got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-12);
+  }
+}
+
+TEST(UpdateValues, ScatterRowsRefreshedToo) {
+  Rng rng(2);
+  auto a = dense_band(256, 2);
+  inject_scatter(a, 30, rng);
+  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  ASSERT_GT(m.num_scatter_rows(), 0);
+  const auto a2 = rescaled(a, 0.5, -1.0);
+  update_values(m, a2);
+  std::vector<double> x(256, 1.0), want(256), got(256);
+  a2.spmv_reference(x.data(), want.data());
+  m.spmv(x.data(), got.data());
+  for (int i = 0; i < 256; ++i) EXPECT_NEAR(got[i], want[i], 1e-12);
+}
+
+TEST(UpdateValues, RejectsStructureChanges) {
+  const auto a = dense_band(128, 2);
+  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+
+  // Different nnz count.
+  Coo<double> fewer(128, 128);
+  for (index_t i = 0; i < 128; ++i) fewer.add(i, i, 1.0);
+  fewer.canonicalize();
+  EXPECT_THROW(update_values(m, fewer), Error);
+
+  // Same count, one entry moved off-structure.
+  Coo<double> moved(128, 128);
+  const auto& rows = a.row_indices();
+  const auto& cols = a.col_indices();
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    if (k == 0) {
+      moved.add(0, 100, 1.0);  // offset 100 does not exist in the band
+    } else {
+      moved.add(rows[k], cols[k], 1.0);
+    }
+  }
+  moved.canonicalize();
+  ASSERT_EQ(moved.nnz(), a.nnz());
+  EXPECT_THROW(update_values(m, moved), Error);
+
+  // Dimension mismatch.
+  Coo<double> small(64, 64);
+  small.add(0, 0, 1.0);
+  small.canonicalize();
+  EXPECT_THROW(update_values(m, small), Error);
+}
+
+TEST(UpdateValues, SuiteMatrixRoundTrip) {
+  const auto a = paper_matrix(18).generate(0.02);
+  auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  // Updating with the original values is a no-op.
+  const auto dia_before = m.dia_values();
+  update_values(m, a);
+  EXPECT_EQ(m.dia_values(), dia_before);
+}
+
+TEST(DcsrParallel, MatchesSerial) {
+  Rng rng(3);
+  auto a = dense_band(1024, 5);
+  inject_scatter(a, 100, rng);
+  const auto m = DcsrMatrix<double>::from_coo(a);
+  std::vector<double> x(1024);
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  std::vector<double> serial(1024), parallel(1024, -1);
+  m.spmv(x.data(), serial.data());
+  ThreadPool pool(4);
+  m.spmv_parallel(pool, x.data(), parallel.data());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace crsd

@@ -1,0 +1,132 @@
+// Defensive-validation tests: corrupted CRSD storage must be rejected by
+// the container's invariant checks, the JIT driver must fail loudly with a
+// broken compiler, and the logger must honour its threshold.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "codegen/jit.hpp"
+#include "common/log.hpp"
+#include "core/builder.hpp"
+#include "core/crsd_matrix.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/stats.hpp"
+
+namespace crsd {
+namespace {
+
+CrsdStorage<double> valid_storage() {
+  CrsdStorage<double> s;
+  s.num_rows = 8;
+  s.num_cols = 8;
+  s.mrows = 4;
+  s.nnz = 8;
+  DiagonalPattern p;
+  p.start_row = 0;
+  p.num_segments = 2;
+  p.offsets = {0};
+  p.groups = group_diagonals(p.offsets);
+  s.patterns.push_back(p);
+  s.dia_val.assign(8, 1.0);
+  return s;
+}
+
+TEST(StorageValidation, AcceptsWellFormed) {
+  EXPECT_NO_THROW({ CrsdMatrix<double> m(valid_storage()); (void)m; });
+}
+
+TEST(StorageValidation, RejectsBadMrows) {
+  auto s = valid_storage();
+  s.mrows = 0;
+  EXPECT_THROW(CrsdMatrix<double>(std::move(s)), Error);
+}
+
+TEST(StorageValidation, RejectsUncoveredSegments) {
+  auto s = valid_storage();
+  s.patterns[0].num_segments = 1;  // second segment uncovered
+  s.dia_val.resize(4);
+  EXPECT_THROW(CrsdMatrix<double>(std::move(s)), Error);
+}
+
+TEST(StorageValidation, RejectsValueArraySizeMismatch) {
+  auto s = valid_storage();
+  s.dia_val.resize(7);
+  EXPECT_THROW(CrsdMatrix<double>(std::move(s)), Error);
+}
+
+TEST(StorageValidation, RejectsWrongPatternStartRow) {
+  auto s = valid_storage();
+  s.patterns[0].start_row = 2;
+  EXPECT_THROW(CrsdMatrix<double>(std::move(s)), Error);
+}
+
+TEST(StorageValidation, RejectsInconsistentGroups) {
+  auto s = valid_storage();
+  // Claim two groups for a single diagonal.
+  s.patterns[0].groups.push_back(
+      DiagonalGroup{GroupType::kNonAdjacent, 1, 0});
+  EXPECT_THROW(CrsdMatrix<double>(std::move(s)), Error);
+}
+
+TEST(StorageValidation, RejectsUnsortedScatterRows) {
+  auto s = valid_storage();
+  s.scatter_rowno = {5, 2};
+  s.scatter_width = 1;
+  s.scatter_col.assign(2, kInvalidIndex);
+  s.scatter_val.assign(2, 0.0);
+  EXPECT_THROW(CrsdMatrix<double>(std::move(s)), Error);
+}
+
+TEST(StorageValidation, RejectsScatterArraySizeMismatch) {
+  auto s = valid_storage();
+  s.scatter_rowno = {3};
+  s.scatter_width = 2;
+  s.scatter_col.assign(1, kInvalidIndex);  // should be 2
+  s.scatter_val.assign(1, 0.0);
+  EXPECT_THROW(CrsdMatrix<double>(std::move(s)), Error);
+}
+
+TEST(JitValidation, BrokenCompilerFailsLoudly) {
+  codegen::JitCompiler::Options opts;
+  opts.compiler = "/bin/false";
+  opts.cache_dir = (std::filesystem::temp_directory_path() /
+                    ("crsd-badcc-" + std::to_string(::getpid())))
+                       .string();
+  codegen::JitCompiler compiler(opts);
+  EXPECT_THROW(compiler.compile_and_load("int x;"), Error);
+  EXPECT_EQ(compiler.cache_hits(), 0);
+}
+
+TEST(JitValidation, MissingCompilerBinaryFails) {
+  codegen::JitCompiler::Options opts;
+  opts.compiler = "/nonexistent/compiler-binary";
+  opts.cache_dir = (std::filesystem::temp_directory_path() /
+                    ("crsd-nocc-" + std::to_string(::getpid())))
+                       .string();
+  codegen::JitCompiler compiler(opts);
+  EXPECT_THROW(compiler.compile_and_load("int x;"), Error);
+}
+
+TEST(Log, ThresholdFilters) {
+  const LogLevel old = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  // Below-threshold macros are no-ops (observable via the threshold alone;
+  // emission goes to stderr). Exercise the macros for coverage.
+  CRSD_LOG_DEBUG("not shown " << 1);
+  CRSD_LOG_INFO("not shown " << 2);
+  set_log_threshold(LogLevel::kDebug);
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+  set_log_threshold(old);
+}
+
+TEST(CooValidation, NonCanonicalInputsRejectedEverywhere) {
+  Coo<double> a(4, 4);
+  a.add(0, 0, 1.0);  // never canonicalized
+  EXPECT_THROW(build_crsd(a), Error);
+  EXPECT_THROW(compute_stats(a), Error);
+}
+
+}  // namespace
+}  // namespace crsd
