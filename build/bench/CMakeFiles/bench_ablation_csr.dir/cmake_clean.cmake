@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_csr.dir/bench_ablation_csr.cpp.o"
+  "CMakeFiles/bench_ablation_csr.dir/bench_ablation_csr.cpp.o.d"
+  "bench_ablation_csr"
+  "bench_ablation_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

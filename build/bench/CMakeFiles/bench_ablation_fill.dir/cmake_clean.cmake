@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fill.dir/bench_ablation_fill.cpp.o"
+  "CMakeFiles/bench_ablation_fill.dir/bench_ablation_fill.cpp.o.d"
+  "bench_ablation_fill"
+  "bench_ablation_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

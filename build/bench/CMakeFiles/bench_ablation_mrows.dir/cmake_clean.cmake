@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mrows.dir/bench_ablation_mrows.cpp.o"
+  "CMakeFiles/bench_ablation_mrows.dir/bench_ablation_mrows.cpp.o.d"
+  "bench_ablation_mrows"
+  "bench_ablation_mrows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mrows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

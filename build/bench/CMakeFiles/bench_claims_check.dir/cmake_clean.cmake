@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claims_check.dir/bench_claims_check.cpp.o"
+  "CMakeFiles/bench_claims_check.dir/bench_claims_check.cpp.o.d"
+  "bench_claims_check"
+  "bench_claims_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claims_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

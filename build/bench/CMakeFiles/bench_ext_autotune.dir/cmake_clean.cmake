@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_autotune.dir/bench_ext_autotune.cpp.o"
+  "CMakeFiles/bench_ext_autotune.dir/bench_ext_autotune.cpp.o.d"
+  "bench_ext_autotune"
+  "bench_ext_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_solver.dir/bench_ext_solver.cpp.o"
+  "CMakeFiles/bench_ext_solver.dir/bench_ext_solver.cpp.o.d"
+  "bench_ext_solver"
+  "bench_ext_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

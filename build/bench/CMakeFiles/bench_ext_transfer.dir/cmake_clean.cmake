@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_transfer.dir/bench_ext_transfer.cpp.o"
+  "CMakeFiles/bench_ext_transfer.dir/bench_ext_transfer.cpp.o.d"
+  "bench_ext_transfer"
+  "bench_ext_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

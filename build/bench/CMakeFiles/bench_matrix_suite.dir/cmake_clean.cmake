@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matrix_suite.dir/bench_matrix_suite.cpp.o"
+  "CMakeFiles/bench_matrix_suite.dir/bench_matrix_suite.cpp.o.d"
+  "bench_matrix_suite"
+  "bench_matrix_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matrix_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

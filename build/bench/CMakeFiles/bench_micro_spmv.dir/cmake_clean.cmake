@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_spmv.dir/bench_micro_spmv.cpp.o"
+  "CMakeFiles/bench_micro_spmv.dir/bench_micro_spmv.cpp.o.d"
+  "bench_micro_spmv"
+  "bench_micro_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

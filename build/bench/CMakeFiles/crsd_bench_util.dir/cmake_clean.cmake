@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_bench_util.dir/cpu_suite.cpp.o"
+  "CMakeFiles/crsd_bench_util.dir/cpu_suite.cpp.o.d"
+  "CMakeFiles/crsd_bench_util.dir/suite_runner.cpp.o"
+  "CMakeFiles/crsd_bench_util.dir/suite_runner.cpp.o.d"
+  "lib/libcrsd_bench_util.a"
+  "lib/libcrsd_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libcrsd_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_spmv.dir/astro_spmv.cpp.o"
+  "CMakeFiles/astro_spmv.dir/astro_spmv.cpp.o.d"
+  "astro_spmv"
+  "astro_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_cli.dir/crsd_cli.cpp.o"
+  "CMakeFiles/crsd_cli.dir/crsd_cli.cpp.o.d"
+  "crsd_cli"
+  "crsd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_advisor.dir/format_advisor.cpp.o"
+  "CMakeFiles/format_advisor.dir/format_advisor.cpp.o.d"
+  "format_advisor"
+  "format_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/poisson_cg.cpp" "examples/CMakeFiles/poisson_cg.dir/poisson_cg.cpp.o" "gcc" "examples/CMakeFiles/poisson_cg.dir/poisson_cg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crsd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/crsd_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/crsd_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/crsd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/crsd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/crsd_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

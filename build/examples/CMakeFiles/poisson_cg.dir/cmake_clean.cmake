@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_cg.dir/poisson_cg.cpp.o"
+  "CMakeFiles/poisson_cg.dir/poisson_cg.cpp.o.d"
+  "poisson_cg"
+  "poisson_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

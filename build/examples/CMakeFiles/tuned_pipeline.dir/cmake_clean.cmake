@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuned_pipeline.dir/tuned_pipeline.cpp.o"
+  "CMakeFiles/tuned_pipeline.dir/tuned_pipeline.cpp.o.d"
+  "tuned_pipeline"
+  "tuned_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuned_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_codegen.dir/crsd_codegen.cpp.o"
+  "CMakeFiles/crsd_codegen.dir/crsd_codegen.cpp.o.d"
+  "CMakeFiles/crsd_codegen.dir/jit.cpp.o"
+  "CMakeFiles/crsd_codegen.dir/jit.cpp.o.d"
+  "libcrsd_codegen.a"
+  "libcrsd_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_common.dir/log.cpp.o"
+  "CMakeFiles/crsd_common.dir/log.cpp.o.d"
+  "CMakeFiles/crsd_common.dir/table.cpp.o"
+  "CMakeFiles/crsd_common.dir/table.cpp.o.d"
+  "CMakeFiles/crsd_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/crsd_common.dir/thread_pool.cpp.o.d"
+  "libcrsd_common.a"
+  "libcrsd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

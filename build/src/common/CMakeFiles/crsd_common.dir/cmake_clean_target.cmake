@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrsd_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_core.dir/pattern.cpp.o"
+  "CMakeFiles/crsd_core.dir/pattern.cpp.o.d"
+  "libcrsd_core.a"
+  "libcrsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

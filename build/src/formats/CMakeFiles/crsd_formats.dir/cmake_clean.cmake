@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_formats.dir/format.cpp.o"
+  "CMakeFiles/crsd_formats.dir/format.cpp.o.d"
+  "libcrsd_formats.a"
+  "libcrsd_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_gpusim.dir/executor.cpp.o"
+  "CMakeFiles/crsd_gpusim.dir/executor.cpp.o.d"
+  "libcrsd_gpusim.a"
+  "libcrsd_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

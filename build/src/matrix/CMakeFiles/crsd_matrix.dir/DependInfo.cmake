@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/generators.cpp" "src/matrix/CMakeFiles/crsd_matrix.dir/generators.cpp.o" "gcc" "src/matrix/CMakeFiles/crsd_matrix.dir/generators.cpp.o.d"
+  "/root/repo/src/matrix/matrix_market.cpp" "src/matrix/CMakeFiles/crsd_matrix.dir/matrix_market.cpp.o" "gcc" "src/matrix/CMakeFiles/crsd_matrix.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/matrix/paper_suite.cpp" "src/matrix/CMakeFiles/crsd_matrix.dir/paper_suite.cpp.o" "gcc" "src/matrix/CMakeFiles/crsd_matrix.dir/paper_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_matrix.dir/generators.cpp.o"
+  "CMakeFiles/crsd_matrix.dir/generators.cpp.o.d"
+  "CMakeFiles/crsd_matrix.dir/matrix_market.cpp.o"
+  "CMakeFiles/crsd_matrix.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/crsd_matrix.dir/paper_suite.cpp.o"
+  "CMakeFiles/crsd_matrix.dir/paper_suite.cpp.o.d"
+  "libcrsd_matrix.a"
+  "libcrsd_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

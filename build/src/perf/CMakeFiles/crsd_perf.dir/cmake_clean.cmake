@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsd_perf.dir/cpu_model.cpp.o"
+  "CMakeFiles/crsd_perf.dir/cpu_model.cpp.o.d"
+  "libcrsd_perf.a"
+  "libcrsd_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsd_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crsd_core.dir/crsd_core_test.cpp.o"
+  "CMakeFiles/test_crsd_core.dir/crsd_core_test.cpp.o.d"
+  "test_crsd_core"
+  "test_crsd_core.pdb"
+  "test_crsd_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

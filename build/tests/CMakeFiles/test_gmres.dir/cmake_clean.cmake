@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmres.dir/gmres_test.cpp.o"
+  "CMakeFiles/test_gmres.dir/gmres_test.cpp.o.d"
+  "test_gmres"
+  "test_gmres.pdb"
+  "test_gmres[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_cg.dir/gpu_cg_test.cpp.o"
+  "CMakeFiles/test_gpu_cg.dir/gpu_cg_test.cpp.o.d"
+  "test_gpu_cg"
+  "test_gpu_cg.pdb"
+  "test_gpu_cg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

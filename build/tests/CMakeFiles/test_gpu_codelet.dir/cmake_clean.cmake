@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_codelet.dir/gpu_codelet_test.cpp.o"
+  "CMakeFiles/test_gpu_codelet.dir/gpu_codelet_test.cpp.o.d"
+  "test_gpu_codelet"
+  "test_gpu_codelet.pdb"
+  "test_gpu_codelet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_codelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

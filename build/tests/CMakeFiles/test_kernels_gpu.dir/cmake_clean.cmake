@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_gpu.dir/kernels_gpu_test.cpp.o"
+  "CMakeFiles/test_kernels_gpu.dir/kernels_gpu_test.cpp.o.d"
+  "test_kernels_gpu"
+  "test_kernels_gpu.pdb"
+  "test_kernels_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_suite.dir/paper_suite_test.cpp.o"
+  "CMakeFiles/test_paper_suite.dir/paper_suite_test.cpp.o.d"
+  "test_paper_suite"
+  "test_paper_suite.pdb"
+  "test_paper_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

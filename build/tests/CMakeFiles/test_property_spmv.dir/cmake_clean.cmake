@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_spmv.dir/property_spmv_test.cpp.o"
+  "CMakeFiles/test_property_spmv.dir/property_spmv_test.cpp.o.d"
+  "test_property_spmv"
+  "test_property_spmv.pdb"
+  "test_property_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

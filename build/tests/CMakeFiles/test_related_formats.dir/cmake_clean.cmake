@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_related_formats.dir/related_formats_test.cpp.o"
+  "CMakeFiles/test_related_formats.dir/related_formats_test.cpp.o.d"
+  "test_related_formats"
+  "test_related_formats.pdb"
+  "test_related_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_related_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

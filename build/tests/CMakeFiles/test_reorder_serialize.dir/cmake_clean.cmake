@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reorder_serialize.dir/reorder_serialize_test.cpp.o"
+  "CMakeFiles/test_reorder_serialize.dir/reorder_serialize_test.cpp.o.d"
+  "test_reorder_serialize"
+  "test_reorder_serialize.pdb"
+  "test_reorder_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reorder_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_runner.dir/suite_runner_test.cpp.o"
+  "CMakeFiles/test_suite_runner.dir/suite_runner_test.cpp.o.d"
+  "test_suite_runner"
+  "test_suite_runner.pdb"
+  "test_suite_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

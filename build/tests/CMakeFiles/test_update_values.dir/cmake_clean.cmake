@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_values.dir/update_values_test.cpp.o"
+  "CMakeFiles/test_update_values.dir/update_values_test.cpp.o.d"
+  "test_update_values"
+  "test_update_values.pdb"
+  "test_update_values[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_crsd_core[1]_include.cmake")
+include("/root/repo/build/tests/test_property_spmv[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_model[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_related_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_codelet[1]_include.cmake")
+include("/root/repo/build/tests/test_reorder_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_gmres[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_update_values[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_cg[1]_include.cmake")
