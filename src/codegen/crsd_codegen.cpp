@@ -16,6 +16,9 @@ struct Meta {
   const std::vector<DiagonalPattern>* patterns = nullptr;
   const std::vector<index_t>* cum_segments = nullptr;
   const std::vector<size64_t>* val_offsets = nullptr;
+  /// Per-pattern clamp-free interior segment range (same split the
+  /// interpreted engine uses; computed by pattern_interior_segments).
+  std::vector<SegmentInterior> interior;
   index_t num_scatter_rows = 0;
   index_t scatter_width = 0;
   const char* type_name = "double";
@@ -44,6 +47,100 @@ std::string x_index_expr(const Meta& meta, const DiagonalPattern& p,
   return "x[crsd_clampi(" + shifted + ", 0, " + itos(meta.num_cols - 1) + ")]";
 }
 
+/// Emits the scalar clamped per-lane body for one segment `g` of pattern
+/// `p` — used for edge segments (partial lanes / out-of-range columns).
+void emit_cpu_edge_segment_body(CodeWriter& w, const Meta& meta,
+                                const DiagonalPattern& p, index_t seg0,
+                                size64_t base, size64_t slots) {
+  w.line("const T* unit = dia_val + " + itos(static_cast<std::int64_t>(base)) +
+         "ull + static_cast<std::uint64_t>(g - " + itos(seg0) + ") * " +
+         itos(static_cast<std::int64_t>(slots)) + "ull;");
+  w.line("const std::int32_t row0 = g * " + itos(meta.mrows) + ";");
+  w.line("const std::int32_t lanes = row0 + " + itos(meta.mrows) + " <= " +
+         itos(meta.num_rows) + " ? " + itos(meta.mrows) + " : " +
+         itos(meta.num_rows) + " - row0;");
+  w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
+  w.line("const std::int32_t r = row0 + lane;");
+  if (p.offsets.empty()) {
+    w.line("y[r] = T(0);");
+  } else {
+    w.line("T sum = T(0);");
+    // The unrolled per-diagonal lines: the paper's loop-unrolling
+    // optimization, with the column offsets as immediates.
+    for (index_t d = 0; d < p.num_diagonals(); ++d) {
+      const diag_offset_t off = p.offsets[static_cast<std::size_t>(d)];
+      w.line("sum += unit[lane + " +
+             itos(static_cast<std::int64_t>(d) * meta.mrows) + "] * " +
+             x_index_expr(meta, p, off, "r") + ";");
+    }
+    w.line("y[r] = sum;");
+  }
+  w.close();  // lane loop
+}
+
+/// Emits the clamp-free interior loop for one pattern: restrict-qualified
+/// stream pointers, constant trip counts, lane-innermost per-diagonal
+/// sweeps the compiler vectorizes, and a stack-staged x window for AD
+/// groups (the codelet analogue of the paper's local-memory staging).
+void emit_cpu_interior_loop(CodeWriter& w, const Meta& meta,
+                            const DiagonalPattern& p, index_t seg0,
+                            size64_t base, size64_t slots) {
+  const index_t m = meta.mrows;
+  w.open("for (std::int32_t g = i0; g < i1; ++g)");
+  w.line("const T* CRSD_RESTRICT unit = dia_val + " +
+         itos(static_cast<std::int64_t>(base)) +
+         "ull + static_cast<std::uint64_t>(g - " + itos(seg0) + ") * " +
+         itos(static_cast<std::int64_t>(slots)) + "ull;");
+  w.line("T* CRSD_RESTRICT yy = y + static_cast<std::int64_t>(g) * " +
+         itos(m) + ";");
+  w.line("const T* xx = x + static_cast<std::int64_t>(g) * " + itos(m) + ";");
+  bool init = true;
+  for (const auto& grp : p.groups) {
+    const bool staged =
+        grp.type == GroupType::kAdjacent && grp.num_diagonals >= 2;
+    if (staged) {
+      const diag_offset_t first =
+          p.offsets[static_cast<std::size_t>(grp.first_diagonal)];
+      const index_t window = m + grp.num_diagonals - 1;
+      w.open("");
+      w.line("// adjacent group " + itos(first) + ".." +
+             itos(first + grp.num_diagonals - 1) +
+             ": one staged x window feeds all " + itos(grp.num_diagonals) +
+             " diagonals");
+      w.line("T xbuf[" + itos(window) + "];");
+      w.open("for (std::int32_t i = 0; i < " + itos(window) + "; ++i)");
+      w.line("xbuf[i] = xx[i + " + itos(first) + "];");
+      w.close();
+      for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+        const index_t d = grp.first_diagonal + gd;
+        w.open("for (std::int32_t lane = 0; lane < " + itos(m) + "; ++lane)");
+        w.line("yy[lane] " + std::string(init ? "=" : "+=") + " unit[lane + " +
+               itos(static_cast<std::int64_t>(d) * m) + "] * xbuf[lane + " +
+               itos(gd) + "];");
+        w.close();
+        init = false;
+      }
+      w.close();
+    } else {
+      for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+        const index_t d = grp.first_diagonal + gd;
+        const diag_offset_t off = p.offsets[static_cast<std::size_t>(d)];
+        const std::string xoff =
+            off == 0 ? "lane"
+                     : (off > 0 ? "lane + " + itos(off)
+                                : "lane - " + itos(-std::int64_t{off}));
+        w.open("for (std::int32_t lane = 0; lane < " + itos(m) + "; ++lane)");
+        w.line("yy[lane] " + std::string(init ? "=" : "+=") + " unit[lane + " +
+               itos(static_cast<std::int64_t>(d) * m) + "] * xx[" + xoff +
+               "];");
+        w.close();
+        init = false;
+      }
+    }
+  }
+  w.close();  // interior segment loop
+}
+
 void emit_cpu_diag(CodeWriter& w, const Meta& meta,
                    const CpuCodeletOptions& opts) {
   w.open("extern \"C\" void " + opts.symbol_prefix +
@@ -56,42 +153,38 @@ void emit_cpu_diag(CodeWriter& w, const Meta& meta,
     const index_t seg1 = (*meta.cum_segments)[pi + 1];
     const size64_t base = (*meta.val_offsets)[pi];
     const size64_t slots = p.slots_per_segment(meta.mrows);
+    const SegmentInterior in = meta.interior[pi];
     w.line("// pattern " + itos(static_cast<std::int64_t>(pi)) + ": " +
            pattern_to_string(p) + ", rows [" + itos(p.start_row) + ", " +
            itos(std::min<index_t>(meta.num_rows,
                                   p.start_row + p.num_segments * meta.mrows)) +
-           "), segments [" + itos(seg0) + ", " + itos(seg1) + ")");
+           "), segments [" + itos(seg0) + ", " + itos(seg1) +
+           "), interior [" + itos(in.begin) + ", " + itos(in.end) + ")");
     w.open("");
     w.line("const std::int32_t g0 = seg_begin > " + itos(seg0) +
            " ? seg_begin : " + itos(seg0) + ";");
     w.line("const std::int32_t g1 = seg_end < " + itos(seg1) +
            " ? seg_end : " + itos(seg1) + ";");
-    w.open("for (std::int32_t g = g0; g < g1; ++g)");
-    w.line("const T* unit = dia_val + " + itos(static_cast<std::int64_t>(base)) +
-           "ull + static_cast<std::uint64_t>(g - " + itos(seg0) + ") * " +
-           itos(static_cast<std::int64_t>(slots)) + "ull;");
-    w.line("const std::int32_t row0 = g * " + itos(meta.mrows) + ";");
-    w.line("const std::int32_t lanes = row0 + " + itos(meta.mrows) + " <= " +
-           itos(meta.num_rows) + " ? " + itos(meta.mrows) + " : " +
-           itos(meta.num_rows) + " - row0;");
-    w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");
-    w.line("const std::int32_t r = row0 + lane;");
-    if (p.offsets.empty()) {
-      w.line("y[r] = T(0);");
+    if (in.begin >= in.end) {
+      // No interior: the whole pattern runs on the clamped edge path.
+      w.open("for (std::int32_t g = g0; g < g1; ++g)");
+      emit_cpu_edge_segment_body(w, meta, p, seg0, base, slots);
+      w.close();
     } else {
-      w.line("T sum = T(0);");
-      // The unrolled per-diagonal lines: the paper's loop-unrolling
-      // optimization, with the column offsets as immediates.
-      for (index_t d = 0; d < p.num_diagonals(); ++d) {
-        const diag_offset_t off = p.offsets[static_cast<std::size_t>(d)];
-        w.line("sum += unit[lane + " +
-               itos(static_cast<std::int64_t>(d) * meta.mrows) + "] * " +
-               x_index_expr(meta, p, off, "r") + ";");
-      }
-      w.line("y[r] = sum;");
+      w.line("const std::int32_t i0 = crsd_clampi(" + itos(in.begin) +
+             ", g0, g1);");
+      w.line("const std::int32_t i1 = crsd_clampi(" + itos(in.end) +
+             ", i0, g1);");
+      // Edge segments before and after the interior share one emitted body.
+      w.line("const std::int32_t edge_bounds[4] = {g0, i0, i1, g1};");
+      w.open("for (std::int32_t ei = 0; ei < 2; ++ei)");
+      w.open("for (std::int32_t g = edge_bounds[2 * ei]; "
+             "g < edge_bounds[2 * ei + 1]; ++g)");
+      emit_cpu_edge_segment_body(w, meta, p, seg0, base, slots);
+      w.close();
+      w.close();
+      emit_cpu_interior_loop(w, meta, p, seg0, base, slots);
     }
-    w.close();  // lane loop
-    w.close();  // segment loop
     w.close();  // pattern scope
   }
   w.close();  // function
@@ -101,13 +194,17 @@ void emit_cpu_scatter(CodeWriter& w, const Meta& meta,
                       const CpuCodeletOptions& opts) {
   w.open("extern \"C\" void " + opts.symbol_prefix +
          "_scatter(const T* scatter_val, const std::int32_t* scatter_col, "
-         "const std::int32_t* scatter_rowno, const T* x, T* y)");
+         "const std::int32_t* scatter_rowno, const T* x, T* y, "
+         "std::int32_t row_begin, std::int32_t row_end)");
   if (meta.num_scatter_rows == 0) {
     w.line("(void)scatter_val; (void)scatter_col; (void)scatter_rowno;");
-    w.line("(void)x; (void)y;");
+    w.line("(void)x; (void)y; (void)row_begin; (void)row_end;");
   } else {
     const index_t nsr = meta.num_scatter_rows;
-    w.open("for (std::int32_t i = 0; i < " + itos(nsr) + "; ++i)");
+    w.line("const std::int32_t i0 = row_begin < 0 ? 0 : row_begin;");
+    w.line("const std::int32_t i1 = row_end > " + itos(nsr) + " ? " +
+           itos(nsr) + " : row_end;");
+    w.open("for (std::int32_t i = i0; i < i1; ++i)");
     w.line("T sum = T(0);");
     for (index_t k = 0; k < meta.scatter_width; ++k) {
       const std::string slot = "i + " + itos(static_cast<std::int64_t>(k) * nsr);
@@ -132,6 +229,12 @@ std::string generate_cpu(const Meta& meta, const CpuCodeletOptions& opts) {
   w.line("#include <cstdint>");
   w.line();
   w.line("using T = " + std::string(meta.type_name) + ";");
+  w.line();
+  w.line("#if defined(_MSC_VER) && !defined(__clang__)");
+  w.line("#define CRSD_RESTRICT __restrict");
+  w.line("#else");
+  w.line("#define CRSD_RESTRICT __restrict__");
+  w.line("#endif");
   w.line();
   w.open("static inline std::int32_t crsd_clampi(std::int32_t v, "
          "std::int32_t lo, std::int32_t hi)");
@@ -445,6 +548,10 @@ Meta make_meta(const CrsdMatrix<T>& m) {
   meta.patterns = &m.patterns();
   meta.cum_segments = &m.cum_segments();
   meta.val_offsets = &m.pattern_value_offsets();
+  meta.interior.reserve(m.patterns().size());
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    meta.interior.push_back(m.interior_segments(p));
+  }
   meta.num_scatter_rows = m.num_scatter_rows();
   meta.scatter_width = m.scatter_width();
   meta.type_name = std::is_same_v<T, double> ? "double" : "float";

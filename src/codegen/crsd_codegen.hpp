@@ -25,8 +25,14 @@ struct CpuCodeletOptions {
   ///   <prefix>_diag(const T* dia_val, const T* x, T* y,
   ///                 int32_t seg_begin, int32_t seg_end)
   ///   <prefix>_scatter(const T* scatter_val, const int32_t* scatter_col,
-  ///                    const int32_t* scatter_rowno, const T* x, T* y)
-  /// with T = double or float depending on the matrix's precision.
+  ///                    const int32_t* scatter_rowno, const T* x, T* y,
+  ///                    int32_t row_begin, int32_t row_end)
+  /// with T = double or float depending on the matrix's precision. Both
+  /// phases take a range so callers can partition them across threads.
+  /// The diagonal phase carries the same interior/edge split as the
+  /// interpreted engine: clamp-free restrict-qualified lane-innermost
+  /// loops with constant trip counts for interior segments, the clamped
+  /// scalar path for edge segments.
   std::string symbol_prefix = "crsd_codelet";
 };
 

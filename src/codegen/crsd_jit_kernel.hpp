@@ -21,7 +21,8 @@ class CrsdJitKernel {
  public:
   using DiagFn = void (*)(const T*, const T*, T*, std::int32_t, std::int32_t);
   using ScatterFn = void (*)(const T*, const std::int32_t*,
-                             const std::int32_t*, const T*, T*);
+                             const std::int32_t*, const T*, T*, std::int32_t,
+                             std::int32_t);
 
   /// Generates and compiles the codelet for `m`'s structure.
   /// Throws crsd::Error if no compiler is available or compilation fails.
@@ -34,6 +35,7 @@ class CrsdJitKernel {
     scatter_ =
         lib_.template symbol_as<ScatterFn>(opts.symbol_prefix + "_scatter");
     num_segments_ = m.num_segments_total();
+    num_scatter_rows_ = m.num_scatter_rows();
   }
 
   const std::string& source() const { return source_; }
@@ -42,23 +44,31 @@ class CrsdJitKernel {
   /// was built from (or one with identical structure).
   void spmv(const CrsdMatrix<T>& m, const T* x, T* y) const {
     diag_(m.dia_values().data(), x, y, 0, num_segments_);
-    run_scatter(m, x, y);
+    run_scatter(m, x, y, 0, num_scatter_rows_);
   }
 
-  /// Parallel variant: segments are partitioned across the pool.
+  /// Parallel variant: segments are dealt out in chunks (patterns differ in
+  /// per-segment cost, so dynamic claiming load-balances), and the scatter
+  /// phase is spread over the pool as well (one writer per scatter row).
   void spmv_parallel(ThreadPool& pool, const CrsdMatrix<T>& m, const T* x,
                      T* y) const {
-    pool.parallel_for(0, num_segments_,
-                      [&](index_t sb, index_t se, int) {
-                        diag_(m.dia_values().data(), x, y, sb, se);
+    const index_t chunk = std::max<index_t>(
+        1, num_segments_ / (8 * static_cast<index_t>(pool.num_threads())));
+    pool.parallel_for_chunked(0, num_segments_, chunk,
+                              [&](index_t sb, index_t se, int) {
+                                diag_(m.dia_values().data(), x, y, sb, se);
+                              });
+    pool.parallel_for(0, num_scatter_rows_,
+                      [&](index_t b, index_t e, int) {
+                        run_scatter(m, x, y, b, e);
                       });
-    run_scatter(m, x, y);
   }
 
  private:
-  void run_scatter(const CrsdMatrix<T>& m, const T* x, T* y) const {
+  void run_scatter(const CrsdMatrix<T>& m, const T* x, T* y, index_t b,
+                   index_t e) const {
     scatter_(m.scatter_val().data(), m.scatter_col().data(),
-             m.scatter_rows().data(), x, y);
+             m.scatter_rows().data(), x, y, b, e);
   }
 
   std::string source_;
@@ -66,6 +76,7 @@ class CrsdJitKernel {
   DiagFn diag_ = nullptr;
   ScatterFn scatter_ = nullptr;
   index_t num_segments_ = 0;
+  index_t num_scatter_rows_ = 0;
 };
 
 }  // namespace crsd::codegen

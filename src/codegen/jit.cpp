@@ -55,6 +55,14 @@ std::string default_compiler() {
   return "c++";
 }
 
+std::string default_flags() {
+  if (const char* flags = std::getenv("CRSD_JIT_FLAGS");
+      flags != nullptr && *flags != '\0') {
+    return flags;
+  }
+  return "-O3 -shared -fPIC -std=c++20";
+}
+
 std::string default_cache_dir() {
   if (const char* dir = std::getenv("CRSD_JIT_CACHE");
       dir != nullptr && *dir != '\0') {
@@ -76,6 +84,7 @@ JitCompiler::JitCompiler() : JitCompiler(Options()) {}
 
 JitCompiler::JitCompiler(Options opts) : opts_(std::move(opts)) {
   if (opts_.compiler.empty()) opts_.compiler = default_compiler();
+  if (opts_.flags.empty()) opts_.flags = default_flags();
   if (opts_.cache_dir.empty()) opts_.cache_dir = default_cache_dir();
 }
 

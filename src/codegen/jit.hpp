@@ -44,7 +44,11 @@ class JitCompiler {
   struct Options {
     /// Compiler executable; empty -> $CXX, then "c++".
     std::string compiler;
-    std::string flags = "-O2 -shared -fPIC -std=c++20";
+    /// Empty -> $CRSD_JIT_FLAGS, then the -O3 default. Codelets are pure
+    /// straight-line loop nests, so the vectorizer tier is worth paying
+    /// for at compile time; -march flags are deliberately absent so JIT
+    /// and ahead-of-time code make identical fp-contraction choices.
+    std::string flags;
     /// Cache directory; empty -> $CRSD_JIT_CACHE, then
     /// <tmpdir>/crsd-jit-cache.
     std::string cache_dir;

@@ -78,7 +78,68 @@ void ThreadPool::parallel_for(
   }
 }
 
-void ThreadPool::worker_loop(int /*worker_id*/) {
+void ThreadPool::parallel_for_chunked(
+    index_t begin, index_t end, index_t chunk_size,
+    const std::function<void(index_t, index_t, int)>& fn) {
+  if (begin >= end) return;
+  chunk_size = std::max<index_t>(1, chunk_size);
+  const index_t n = end - begin;
+  if (num_threads_ == 1 || n <= chunk_size) {
+    fn(begin, end, 0);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CRSD_CHECK_MSG(outstanding_ == 0 && pending_.empty(),
+                   "nested/concurrent parallel_for on one ThreadPool is not "
+                   "supported");
+    first_error_ = nullptr;
+    // thread_id -1 = "claimed dynamically": the executing thread substitutes
+    // its own id. Queued back-to-front so pop_back() hands chunks out in
+    // ascending index order.
+    for (index_t cursor = end; cursor > begin;) {
+      const index_t lo = std::max<index_t>(
+          begin, cursor < chunk_size ? 0 : cursor - chunk_size);
+      pending_.push_back(Task{&fn, lo, cursor, -1});
+      cursor = lo;
+    }
+    outstanding_ = static_cast<int>(pending_.size());
+  }
+  cv_work_.notify_all();
+
+  // The calling thread drains the queue alongside the workers.
+  for (;;) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) break;
+      task = pending_.back();
+      pending_.pop_back();
+    }
+    try {
+      (*task.fn)(task.begin, task.end, 0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0 && pending_.empty()) cv_done_.notify_all();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return outstanding_ == 0 && pending_.empty(); });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(int worker_id) {
   for (;;) {
     Task task;
     {
@@ -89,7 +150,8 @@ void ThreadPool::worker_loop(int /*worker_id*/) {
       pending_.pop_back();
     }
     try {
-      (*task.fn)(task.begin, task.end, task.thread_id);
+      (*task.fn)(task.begin, task.end,
+                 task.thread_id >= 0 ? task.thread_id : worker_id);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();

@@ -37,6 +37,15 @@ class ThreadPool {
   void parallel_for(index_t begin, index_t end,
                     const std::function<void(index_t, index_t, int)>& fn);
 
+  /// Dynamically-scheduled variant: [begin, end) is cut into contiguous
+  /// chunks of at most `chunk_size` indices and the chunks are claimed by
+  /// whichever thread is free, so ranges whose per-index cost varies (e.g.
+  /// CRSD segments of patterns with different diagonal counts) load-balance
+  /// instead of leaving threads idle behind one expensive static block.
+  /// Same fn signature and blocking/exception semantics as parallel_for.
+  void parallel_for_chunked(index_t begin, index_t end, index_t chunk_size,
+                            const std::function<void(index_t, index_t, int)>& fn);
+
   /// Process-wide pool sized to hardware_concurrency (lazily constructed).
   static ThreadPool& global();
 

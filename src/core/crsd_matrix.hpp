@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "core/pattern.hpp"
@@ -84,6 +85,19 @@ class CrsdMatrix {
       cum_segments_.push_back(seg_cursor);
       pattern_val_offset_.push_back(val_cursor);
     }
+    // Per-pattern interior/edge split for the vectorized engine, and the
+    // widest AD-group staging window any pattern needs.
+    interior_.reserve(s_.patterns.size());
+    index_t max_window = 0;
+    for (std::size_t pi = 0; pi < s_.patterns.size(); ++pi) {
+      const auto& p = s_.patterns[pi];
+      interior_.push_back(pattern_interior_segments(
+          p, cum_segments_[pi], cum_segments_[pi + 1], s_.mrows, s_.num_rows,
+          s_.num_cols));
+      max_window = std::max<index_t>(
+          max_window, s_.mrows + std::max<index_t>(p.max_adjacent_width(), 1) - 1);
+    }
+    stage_window_ = max_window;
     CRSD_CHECK_MSG(seg_cursor == segs, "patterns must cover every row segment");
     CRSD_CHECK_MSG(val_cursor == s_.dia_val.size(),
                    "diagonal value array size mismatch");
@@ -143,20 +157,40 @@ class CrsdMatrix {
   const std::vector<index_t>& scatter_col() const { return s_.scatter_col; }
   const std::vector<T>& scatter_val() const { return s_.scatter_val; }
 
-  /// y = A*x, single thread: diagonal phase then scatter overwrite.
+  /// y = A*x, single thread, on the vectorized engine: branch-free interior
+  /// segments through the SIMD kernel, clamped edge segments through the
+  /// scalar path, then the scatter overwrite. Accumulation order per row is
+  /// identical to spmv_scalar, so the two agree bit-for-bit (modulo uniform
+  /// fp-contract settings).
   void spmv(const T* x, T* y) const {
-    spmv_segments(0, num_segments_total(), x, y);
-    spmv_scatter(x, y);
+    spmv_segments_vec(0, num_segments_total(), x, y);
+    spmv_scatter(0, num_scatter_rows(), x, y);
   }
 
-  /// y = A*x on `pool`: segments partitioned across threads (each segment's
-  /// rows are written by exactly one thread), then the scatter overwrite.
+  /// y = A*x, single thread, all segments on the scalar clamped path — the
+  /// pre-vectorization baseline, kept as the parity/bench reference.
+  void spmv_scalar(const T* x, T* y) const {
+    spmv_segments(0, num_segments_total(), x, y);
+    spmv_scatter(0, num_scatter_rows(), x, y);
+  }
+
+  /// y = A*x on `pool`: segments are dealt out in chunks small enough to
+  /// load-balance patterns with different diagonal counts (each segment's
+  /// rows are still written by exactly one thread), then the scatter rows
+  /// are spread over the pool too (each scatter row has one writer).
   void spmv_parallel(ThreadPool& pool, const T* x, T* y) const {
-    pool.parallel_for(0, num_segments_total(),
-                      [&](index_t sb, index_t se, int) {
-                        spmv_segments(sb, se, x, y);
+    const index_t segs = num_segments_total();
+    const index_t chunk =
+        std::max<index_t>(1, segs / (8 * static_cast<index_t>(
+                                             pool.num_threads())));
+    pool.parallel_for_chunked(0, segs, chunk,
+                              [&](index_t sb, index_t se, int) {
+                                spmv_segments_vec(sb, se, x, y);
+                              });
+    pool.parallel_for(0, num_scatter_rows(),
+                      [&](index_t b, index_t e, int) {
+                        spmv_scatter(b, e, x, y);
                       });
-    spmv_scatter(x, y);
   }
 
   /// Diagonal phase for global segments [seg_begin, seg_end) — the CPU
@@ -186,10 +220,44 @@ class CrsdMatrix {
     }
   }
 
-  /// Scatter phase: full-row recompute of every scatter row.
-  void spmv_scatter(const T* x, T* y) const {
+  /// Diagonal phase for global segments [seg_begin, seg_end) on the
+  /// vectorized engine: per pattern, the precomputed interior subrange runs
+  /// the clamp-free lane-innermost SIMD kernel; the (at most few) edge
+  /// segments fall back to the scalar clamped path.
+  void spmv_segments_vec(index_t seg_begin, index_t seg_end, const T* x,
+                         T* y) const {
+    // AD-group x staging buffer — the CPU analogue of the paper's local-
+    // memory window (§III): one contiguous copy serves every diagonal of
+    // the group. Allocated once per call (i.e. once per parallel chunk).
+    std::vector<T> xbuf(static_cast<std::size_t>(stage_window_));
+    for (std::size_t pi = 0;
+         pi < s_.patterns.size() && cum_segments_[pi] < seg_end; ++pi) {
+      const index_t g0 = std::max(seg_begin, cum_segments_[pi]);
+      const index_t g1 = std::min(seg_end, cum_segments_[pi + 1]);
+      if (g0 >= g1) continue;
+      const index_t ib = std::clamp(interior_[pi].begin, g0, g1);
+      const index_t ie = std::clamp(interior_[pi].end, ib, g1);
+      spmv_segments(g0, ib, x, y);
+      spmv_pattern_interior(static_cast<index_t>(pi), ib, ie, x, y,
+                            xbuf.data());
+      spmv_segments(ie, g1, x, y);
+    }
+  }
+
+  /// Interior range of pattern `p` (global segment ids) where the clamp-free
+  /// kernel applies; exposed for the code generator and tests.
+  const SegmentInterior& interior_segments(index_t p) const {
+    return interior_[static_cast<std::size_t>(p)];
+  }
+
+  /// Scatter phase over scatter-row indices [row_begin, row_end): full-row
+  /// recompute, overwriting y. Each scatter row is written exactly once, so
+  /// disjoint ranges can run on different threads.
+  void spmv_scatter(index_t row_begin, index_t row_end, const T* x,
+                    T* y) const {
     const index_t nsr = num_scatter_rows();
-    for (index_t i = 0; i < nsr; ++i) {
+    for (index_t i = std::max<index_t>(row_begin, 0);
+         i < std::min(row_end, nsr); ++i) {
       T sum = T(0);
       for (index_t k = 0; k < s_.scatter_width; ++k) {
         const size64_t slot_idx =
@@ -267,9 +335,59 @@ class CrsdMatrix {
   }
 
  private:
+  /// Clamp-free lane-innermost kernel for interior segments [g0, g1) of
+  /// pattern `p`. Every (row, diagonal) access is in-bounds by construction,
+  /// all three streams are unit-stride over lanes, and each diagonal is one
+  /// fused multiply-accumulate sweep over the segment. `xbuf` must hold at
+  /// least mrows + max_adjacent_width - 1 elements.
+  void spmv_pattern_interior(index_t p, index_t g0, index_t g1, const T* x,
+                             T* y, T* xbuf) const {
+    if (g0 >= g1) return;
+    const auto& pat = s_.patterns[static_cast<std::size_t>(p)];
+    const index_t m = s_.mrows;
+    const size64_t slots = pat.slots_per_segment(m);
+    const T* base = s_.dia_val.data() +
+                    pattern_val_offset_[static_cast<std::size_t>(p)];
+    const index_t seg0 = cum_segments_[static_cast<std::size_t>(p)];
+    for (index_t g = g0; g < g1; ++g) {
+      const T* CRSD_RESTRICT unit =
+          base + static_cast<size64_t>(g - seg0) * slots;
+      T* CRSD_RESTRICT yy = y + static_cast<size64_t>(g) * m;
+      const T* xx = x + static_cast<size64_t>(g) * m;  // x[row0 + lane]
+      bool init = true;
+      for (const auto& grp : pat.groups) {
+        if (grp.type == GroupType::kAdjacent && grp.num_diagonals >= 2) {
+          // Stage the group's shared x window once; diagonal gd of the
+          // group reads xbuf[lane + gd] — same values, one copy.
+          const diag_offset_t first =
+              pat.offsets[static_cast<std::size_t>(grp.first_diagonal)];
+          const index_t window = m + grp.num_diagonals - 1;
+          std::copy(xx + first, xx + first + window, xbuf);
+          for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+            const index_t d = grp.first_diagonal + gd;
+            simd::axpy_lanes(yy, unit + static_cast<size64_t>(d) * m,
+                             xbuf + gd, m, init);
+            init = false;
+          }
+        } else {
+          for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+            const index_t d = grp.first_diagonal + gd;
+            const diag_offset_t off =
+                pat.offsets[static_cast<std::size_t>(d)];
+            simd::axpy_lanes(yy, unit + static_cast<size64_t>(d) * m,
+                             xx + off, m, init);
+            init = false;
+          }
+        }
+      }
+    }
+  }
+
   CrsdStorage<T> s_;
   std::vector<index_t> cum_segments_;
   std::vector<size64_t> pattern_val_offset_;
+  std::vector<SegmentInterior> interior_;  ///< per pattern, global seg ids
+  index_t stage_window_ = 0;  ///< AD staging buffer size the engine needs
 };
 
 }  // namespace crsd

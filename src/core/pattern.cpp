@@ -1,5 +1,7 @@
 #include "core/pattern.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -58,6 +60,32 @@ double DiagonalPattern::adjacent_fraction() const {
     if (g.type == GroupType::kAdjacent) ad += g.num_diagonals;
   }
   return double(ad) / double(offsets.size());
+}
+
+SegmentInterior pattern_interior_segments(const DiagonalPattern& pat,
+                                          index_t seg_begin, index_t seg_end,
+                                          index_t mrows, index_t num_rows,
+                                          index_t num_cols) {
+  SegmentInterior none{seg_begin, seg_begin};
+  if (pat.offsets.empty() || mrows < 1) return none;
+  const std::int64_t dmin = pat.offsets.front();
+  const std::int64_t dmax = pat.offsets.back();
+  // Segment g (rows [g*mrows, g*mrows + mrows)) is interior iff
+  //   g*mrows + mrows <= num_rows            (all lanes exist)
+  //   g*mrows + dmin >= 0                    (leftmost column in range)
+  //   g*mrows + mrows - 1 + dmax < num_cols  (rightmost column in range)
+  const std::int64_t m = mrows;
+  std::int64_t row_lo = std::max<std::int64_t>(0, -dmin);
+  std::int64_t row_hi =  // largest admissible row0, inclusive
+      std::min<std::int64_t>(num_rows - m, num_cols - m - dmax);
+  if (row_hi < row_lo) return none;
+  const std::int64_t g_lo = (row_lo + m - 1) / m;  // ceil
+  const std::int64_t g_hi = row_hi / m;            // floor, inclusive
+  const index_t begin = static_cast<index_t>(
+      std::clamp<std::int64_t>(g_lo, seg_begin, seg_end));
+  const index_t end = static_cast<index_t>(
+      std::clamp<std::int64_t>(g_hi + 1, begin, seg_end));
+  return {begin, end};
 }
 
 std::string pattern_to_string(const DiagonalPattern& p) {

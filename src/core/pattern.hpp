@@ -61,4 +61,24 @@ struct DiagonalPattern {
 /// Renders a pattern in the paper's notation: "{(NAD,1),(AD,2),(NAD,2)}".
 std::string pattern_to_string(const DiagonalPattern& p);
 
+/// Global-segment subrange of a pattern where the branch-free interior
+/// kernel applies: every lane exists (the segment is full) and every
+/// `row + offset` is in [0, num_cols) for every live diagonal, so no clamp
+/// and no short-lane handling is needed. Segments of the pattern outside
+/// [begin, end) — at most a few at each boundary of the matrix — take the
+/// clamped edge path. Both the interpreted engine and the code generator
+/// derive their interior/edge split from this one function.
+struct SegmentInterior {
+  index_t begin = 0;  ///< first interior global segment id
+  index_t end = 0;    ///< one past the last; begin == end means "all edge"
+};
+
+/// Computes the interior range for `pat`, which owns global segments
+/// [seg_begin, seg_end) of a matrix with `mrows`-row segments and dimensions
+/// num_rows x num_cols.
+SegmentInterior pattern_interior_segments(const DiagonalPattern& pat,
+                                          index_t seg_begin, index_t seg_end,
+                                          index_t mrows, index_t num_rows,
+                                          index_t num_cols);
+
 }  // namespace crsd
