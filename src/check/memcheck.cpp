@@ -1,0 +1,192 @@
+#include "check/memcheck.hpp"
+
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace crsd::check {
+
+MemChecker::MemChecker(const gpusim::DeviceSpec& spec, Options opts)
+    : spec_(spec), opts_(opts) {}
+
+void MemChecker::reset() {
+  kernel_.clear();
+  launch_group_size_ = 0;
+  writes_.clear();
+  cur_group_ = -1;
+  epoch_writes_.clear();
+  epoch_reads_.clear();
+  diags_.clear();
+  dropped_ = 0;
+  seen_.clear();
+}
+
+void MemChecker::add(Diagnostic d) {
+  d.kernel = kernel_;
+  const auto key =
+      std::make_tuple(static_cast<int>(d.code), d.group, d.offset);
+  if (!seen_.insert(key).second) return;
+  if (diags_.size() >= opts_.max_diagnostics) {
+    ++dropped_;
+    return;
+  }
+  diags_.push_back(std::move(d));
+}
+
+void MemChecker::on_launch_begin(const std::string& kernel_name,
+                                 index_t /*num_groups*/, index_t group_size) {
+  kernel_ = kernel_name;
+  launch_group_size_ = group_size;
+  // Write ownership is a per-launch property: successive launches (the CRSD
+  // diag phase then scatter phase) may legitimately store the same y rows.
+  writes_.clear();
+  cur_group_ = -1;
+  epoch_writes_.clear();
+  epoch_reads_.clear();
+}
+
+void MemChecker::on_group_begin(index_t group_id, index_t /*group_size*/) {
+  cur_group_ = group_id;
+  epoch_writes_.clear();
+  epoch_reads_.clear();
+}
+
+void MemChecker::check_global_bounds(const gpusim::Buffer& buf, size64_t elem,
+                                     int elem_size, index_t group,
+                                     index_t lane, bool is_write) {
+  const size64_t end = (elem + 1) * static_cast<size64_t>(elem_size);
+  if (end <= buf.bytes) return;
+  Diagnostic d;
+  d.code = Code::kGlobalOutOfBounds;
+  d.group = group;
+  d.lane = lane;
+  d.offset = static_cast<std::int64_t>(elem * static_cast<size64_t>(elem_size));
+  std::ostringstream os;
+  os << "global " << (is_write ? "write" : "read") << " of element " << elem
+     << " (" << elem_size << " bytes) overruns buffer @" << buf.vbase << " of "
+     << buf.bytes << " bytes";
+  d.message = os.str();
+  add(std::move(d));
+}
+
+void MemChecker::on_global_read(const gpusim::Buffer& buf, size64_t elem,
+                                int elem_size, index_t group, index_t lane) {
+  check_global_bounds(buf, elem, elem_size, group, lane, /*is_write=*/false);
+}
+
+void MemChecker::on_global_write(const gpusim::Buffer& buf, size64_t elem,
+                                 int elem_size, index_t group, index_t lane) {
+  check_global_bounds(buf, elem, elem_size, group, lane, /*is_write=*/true);
+  const size64_t addr = buf.vbase + elem * static_cast<size64_t>(elem_size);
+  auto [it, inserted] = writes_.try_emplace(addr, Owner{group, lane});
+  if (inserted) return;
+  if (it->second.group == group && it->second.lane == lane) return;
+  Diagnostic d;
+  d.code = Code::kWriteConflict;
+  d.group = group;
+  d.lane = lane;
+  d.offset = static_cast<std::int64_t>(elem * static_cast<size64_t>(elem_size));
+  std::ostringstream os;
+  os << "element " << elem << " of buffer @" << buf.vbase
+     << " already written by group " << it->second.group << " lane "
+     << it->second.lane << " in this launch";
+  d.message = os.str();
+  add(std::move(d));
+}
+
+bool MemChecker::overlaps(const std::vector<ByteRange>& ranges, size64_t begin,
+                          size64_t end) {
+  for (const ByteRange& r : ranges) {
+    if (begin < r.end && r.begin < end) return true;
+  }
+  return false;
+}
+
+void MemChecker::on_local_write(index_t group, size64_t offset,
+                                size64_t bytes) {
+  const size64_t end = offset + bytes;
+  if (end > spec_.local_mem_bytes_per_cu) {
+    Diagnostic d;
+    d.code = Code::kLocalOutOfBounds;
+    d.group = group;
+    d.offset = static_cast<std::int64_t>(offset);
+    std::ostringstream os;
+    os << "local write of [" << offset << ", " << end << ") exceeds the "
+       << spec_.local_mem_bytes_per_cu << "-byte local window";
+    d.message = os.str();
+    add(std::move(d));
+  }
+  // A hazard needs two wavefronts that can interleave; a single wavefront
+  // runs in lockstep and cannot race against itself.
+  if (launch_group_size_ > spec_.wavefront_size) {
+    const bool war = overlaps(epoch_reads_, offset, end);
+    const bool waw = overlaps(epoch_writes_, offset, end);
+    if (war || waw) {
+      Diagnostic d;
+      d.code = Code::kLocalRace;
+      d.group = group;
+      d.offset = static_cast<std::int64_t>(offset);
+      std::ostringstream os;
+      os << "local write of [" << offset << ", " << end << ") overlaps a "
+         << (waw ? "write" : "read")
+         << " since the last barrier with the group spanning "
+         << (launch_group_size_ + spec_.wavefront_size - 1) /
+                spec_.wavefront_size
+         << " wavefronts";
+      d.message = os.str();
+      add(std::move(d));
+    }
+  }
+  epoch_writes_.push_back(ByteRange{offset, end});
+}
+
+void MemChecker::on_local_read(index_t group, size64_t offset, size64_t bytes) {
+  const size64_t end = offset + bytes;
+  if (end > spec_.local_mem_bytes_per_cu) {
+    Diagnostic d;
+    d.code = Code::kLocalOutOfBounds;
+    d.group = group;
+    d.offset = static_cast<std::int64_t>(offset);
+    std::ostringstream os;
+    os << "local read of [" << offset << ", " << end << ") exceeds the "
+       << spec_.local_mem_bytes_per_cu << "-byte local window";
+    d.message = os.str();
+    add(std::move(d));
+  }
+  if (launch_group_size_ > spec_.wavefront_size &&
+      overlaps(epoch_writes_, offset, end)) {
+    Diagnostic d;
+    d.code = Code::kLocalRace;
+    d.group = group;
+    d.offset = static_cast<std::int64_t>(offset);
+    std::ostringstream os;
+    os << "local read of [" << offset << ", " << end
+       << ") overlaps a write since the last barrier with the group spanning "
+       << (launch_group_size_ + spec_.wavefront_size - 1) /
+              spec_.wavefront_size
+       << " wavefronts";
+    d.message = os.str();
+    add(std::move(d));
+  }
+  epoch_reads_.push_back(ByteRange{offset, end});
+}
+
+void MemChecker::on_barrier(index_t group, index_t participating,
+                            index_t group_size) {
+  if (participating != group_size) {
+    Diagnostic d;
+    d.code = Code::kBarrierDivergence;
+    d.group = group;
+    d.offset = participating;
+    std::ostringstream os;
+    os << "barrier reached by " << participating << " of " << group_size
+       << " work-items (hangs on hardware)";
+    d.message = os.str();
+    add(std::move(d));
+  }
+  // The barrier opens a new hazard epoch for this group's local memory.
+  epoch_writes_.clear();
+  epoch_reads_.clear();
+}
+
+}  // namespace crsd::check

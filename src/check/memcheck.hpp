@@ -1,0 +1,109 @@
+// Simulator memcheck/racecheck: a concrete gpusim::AccessChecker that keeps
+// shadow state alongside a launch and reports
+//   - global buffer accesses beyond the allocation (cuda-memcheck's bread
+//     and butter),
+//   - cross-work-item write-write conflicts on global memory within one
+//     launch (two lanes storing the same y element — a nondeterministic
+//     result on real hardware),
+//   - local-memory hazards: a write and an overlapping read/write from a
+//     different wavefront of the same work-group with no intervening
+//     barrier() (only possible when the group spans >1 wavefront; a single
+//     wavefront runs in lockstep and cannot race with itself),
+//   - barrier divergence (a barrier reached by only part of the group —
+//     a hang on real hardware),
+//   - local-memory accesses beyond the CU's local window.
+//
+// Attach via LaunchConfig::checker (or CrsdGpuOptions::checker for the CRSD
+// kernels). The executor serializes checked launches, so MemChecker needs no
+// locking and reports groups in deterministic order. Shadow state that is
+// per-launch (write ownership, local epochs) resets in on_launch_begin, so
+// the CRSD diag-phase/scatter-phase pair — two launches that intentionally
+// both write y — does not false-positive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "gpusim/check_iface.hpp"
+#include "gpusim/device.hpp"
+
+namespace crsd::check {
+
+class MemChecker final : public gpusim::AccessChecker {
+ public:
+  struct Options {
+    /// Stop recording after this many diagnostics (dedup still applies);
+    /// a buggy kernel can otherwise flood millions of identical reports.
+    std::size_t max_diagnostics = 64;
+  };
+
+  explicit MemChecker(const gpusim::DeviceSpec& spec)
+      : MemChecker(spec, Options()) {}
+  MemChecker(const gpusim::DeviceSpec& spec, Options opts);
+
+  // gpusim::AccessChecker
+  void on_launch_begin(const std::string& kernel_name, index_t num_groups,
+                       index_t group_size) override;
+  void on_group_begin(index_t group_id, index_t group_size) override;
+  void on_global_read(const gpusim::Buffer& buf, size64_t elem, int elem_size,
+                      index_t group, index_t lane) override;
+  void on_global_write(const gpusim::Buffer& buf, size64_t elem, int elem_size,
+                       index_t group, index_t lane) override;
+  void on_local_write(index_t group, size64_t offset, size64_t bytes) override;
+  void on_local_read(index_t group, size64_t offset, size64_t bytes) override;
+  void on_barrier(index_t group, index_t participating,
+                  index_t group_size) override;
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool clean() const { return diags_.empty(); }
+  /// Human-readable report, one diagnostic per line.
+  std::string report() const { return format_diagnostics(diags_); }
+  /// Number of diagnostics suppressed by max_diagnostics.
+  std::size_t dropped() const { return dropped_; }
+  /// Clears diagnostics and all shadow state (for reuse across runs).
+  void reset();
+
+ private:
+  struct Owner {
+    index_t group;
+    index_t lane;
+  };
+  struct ByteRange {
+    size64_t begin;
+    size64_t end;  // exclusive
+  };
+
+  void add(Diagnostic d);
+  void check_global_bounds(const gpusim::Buffer& buf, size64_t elem,
+                           int elem_size, index_t group, index_t lane,
+                           bool is_write);
+  static bool overlaps(const std::vector<ByteRange>& ranges, size64_t begin,
+                       size64_t end);
+
+  gpusim::DeviceSpec spec_;
+  Options opts_;
+
+  // Per-launch state.
+  std::string kernel_;
+  index_t launch_group_size_ = 0;
+  std::unordered_map<size64_t, Owner> writes_;  // global addr -> first writer
+
+  // Per-group local-memory epoch state (valid while its group runs; the
+  // serialized executor runs groups one at a time).
+  index_t cur_group_ = -1;
+  std::vector<ByteRange> epoch_writes_;
+  std::vector<ByteRange> epoch_reads_;
+
+  std::vector<Diagnostic> diags_;
+  std::size_t dropped_ = 0;
+  // Dedup key: (code, group, offset-ish) — one report per site, not per lane.
+  std::set<std::tuple<int, index_t, std::int64_t>> seen_;
+};
+
+}  // namespace crsd::check

@@ -1,0 +1,429 @@
+// CRSD container validator: structural invariant checks over a built (or
+// hand-assembled) CRSD container, returning machine-readable Diagnostics
+// instead of aborting on first failure. The checks mirror the format
+// contract of §II-D that every engine (interpreted, vectorized, simulated
+// GPU, JIT codelets) relies on:
+//
+//   * segment coverage — patterns tile the row-segment range exactly, in
+//     order, with no gaps or overlaps (start_row/num_segments accounting);
+//   * offset order — each pattern's live diagonals strictly ascending
+//     (kernels binary-search and group them under that assumption);
+//   * group adjacency — the stored AD/NAD groups are exactly what
+//     group_diagonals() derives from the offsets;
+//   * value-stream accounting — dia_val holds exactly
+//     Σ_p NRS_p × NNzRS_p slots, and padding slots (short edge lanes,
+//     clamped out-of-range columns) hold zero;
+//   * scatter layout — scatter_rowno strictly ascending and in range, ELL
+//     arrays sized width × rows, columns in range or padding, padding slots
+//     zero-valued;
+//   * scatter disjointness — scatter rows own no nonzeros in the diagonal
+//     stream (their y entry is overwritten by the scatter phase; a nonzero
+//     there is dead data that desynchronizes stats and update_values);
+//   * nnz conservation (validate_against) — the container stores exactly
+//     the source COO's entries, value-for-value, nothing lost or invented.
+//
+// Header-only so core/builder.hpp can run it under debug builds without a
+// link dependency on the crsd_check library. Works on both CrsdStorage
+// (pre-validation, hand-built fixtures) and CrsdMatrix (via accessors).
+#pragma once
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/crsd_matrix.hpp"
+#include "core/pattern.hpp"
+#include "matrix/coo.hpp"
+
+namespace crsd::check {
+
+struct ValidateOptions {
+  /// Require diagonal-part slots of scatter rows to be zero. Matches the
+  /// builder default (CrsdConfig::zero_scatter_rows_in_dia); pass false for
+  /// containers built with that knob off.
+  bool require_scatter_disjoint = true;
+};
+
+namespace detail {
+
+/// Borrowed view over the container fields the checks need; lets one
+/// implementation serve raw CrsdStorage and validated CrsdMatrix alike.
+template <Real T>
+struct CrsdView {
+  index_t num_rows;
+  index_t num_cols;
+  index_t mrows;
+  size64_t nnz;
+  const std::vector<DiagonalPattern>& patterns;
+  const std::vector<T>& dia_val;
+  const std::vector<index_t>& scatter_rowno;
+  index_t scatter_width;
+  const std::vector<index_t>& scatter_col;
+  const std::vector<T>& scatter_val;
+};
+
+template <Real T>
+CrsdView<T> make_view(const CrsdStorage<T>& s) {
+  return CrsdView<T>{s.num_rows,       s.num_cols,      s.mrows,
+                     s.nnz,            s.patterns,      s.dia_val,
+                     s.scatter_rowno,  s.scatter_width, s.scatter_col,
+                     s.scatter_val};
+}
+
+template <Real T>
+CrsdView<T> make_view(const CrsdMatrix<T>& m) {
+  return CrsdView<T>{m.num_rows(),     m.num_cols(),      m.mrows(),
+                     m.nnz(),          m.patterns(),      m.dia_values(),
+                     m.scatter_rows(), m.scatter_width(), m.scatter_col(),
+                     m.scatter_val()};
+}
+
+template <Real T>
+void emit(std::vector<Diagnostic>& out, Code code, std::int64_t where,
+          const std::ostringstream& os) {
+  Diagnostic d;
+  d.code = code;
+  d.offset = where;
+  d.message = os.str();
+  out.push_back(std::move(d));
+}
+
+/// Pattern owning global segment `seg` (linear scan; validation is cold).
+template <Real T>
+index_t pattern_of(const CrsdView<T>& v, index_t seg) {
+  index_t cursor = 0;
+  for (std::size_t p = 0; p < v.patterns.size(); ++p) {
+    cursor += v.patterns[p].num_segments;
+    if (seg < cursor) return static_cast<index_t>(p);
+  }
+  return static_cast<index_t>(v.patterns.size()) - 1;
+}
+
+template <Real T>
+std::vector<Diagnostic> validate_view(const CrsdView<T>& v,
+                                      const ValidateOptions& opts) {
+  std::vector<Diagnostic> out;
+  if (v.mrows < 1 || v.num_rows < 1 || v.num_cols < 1) {
+    std::ostringstream os;
+    os << "degenerate container: num_rows=" << v.num_rows
+       << " num_cols=" << v.num_cols << " mrows=" << v.mrows;
+    emit<T>(out, Code::kSegmentCoverage, -1, os);
+    return out;  // every later check divides by these
+  }
+
+  // Segment coverage: patterns tile [0, ceil(num_rows/mrows)) in order.
+  const index_t total_segs = (v.num_rows + v.mrows - 1) / v.mrows;
+  index_t seg_cursor = 0;
+  size64_t val_cursor = 0;
+  for (std::size_t p = 0; p < v.patterns.size(); ++p) {
+    const DiagonalPattern& pat = v.patterns[p];
+    if (pat.start_row != seg_cursor * v.mrows) {
+      std::ostringstream os;
+      os << "pattern " << p << " starts at row " << pat.start_row
+         << ", expected " << seg_cursor * v.mrows
+         << " (patterns must tile the segments in order)";
+      emit<T>(out, Code::kSegmentCoverage, static_cast<std::int64_t>(p), os);
+    }
+    if (pat.num_segments < 1) {
+      std::ostringstream os;
+      os << "pattern " << p << " covers " << pat.num_segments << " segments";
+      emit<T>(out, Code::kSegmentCoverage, static_cast<std::int64_t>(p), os);
+    }
+    // Offsets strictly ascending (binary search + grouping rely on it).
+    bool offsets_sorted = true;
+    for (std::size_t d = 1; d < pat.offsets.size(); ++d) {
+      if (pat.offsets[d - 1] >= pat.offsets[d]) {
+        std::ostringstream os;
+        os << "pattern " << p << " offsets not strictly ascending at index "
+           << d << " (" << pat.offsets[d - 1] << " >= " << pat.offsets[d]
+           << ")";
+        emit<T>(out, Code::kOffsetOrder, static_cast<std::int64_t>(p), os);
+        offsets_sorted = false;
+        break;
+      }
+    }
+    // AD/NAD grouping must be exactly what the offsets derive to.
+    // group_diagonals() itself asserts on unsorted input, so the comparison
+    // only makes sense once the order check has passed.
+    if (offsets_sorted && pat.groups != group_diagonals(pat.offsets)) {
+      std::ostringstream os;
+      os << "pattern " << p << " groups disagree with group_diagonals() of "
+         << "its offsets: stored " << pattern_to_string(pat);
+      emit<T>(out, Code::kGroupMismatch, static_cast<std::int64_t>(p), os);
+    }
+    seg_cursor += pat.num_segments;
+    val_cursor += static_cast<size64_t>(pat.num_segments) *
+                  pat.slots_per_segment(v.mrows);
+  }
+  if (seg_cursor != total_segs) {
+    std::ostringstream os;
+    os << "patterns cover " << seg_cursor << " segments, matrix has "
+       << total_segs;
+    emit<T>(out, Code::kSegmentCoverage, -1, os);
+  }
+
+  // Diagonal-major value-stream accounting.
+  const bool dia_sized = val_cursor == v.dia_val.size();
+  if (!dia_sized) {
+    std::ostringstream os;
+    os << "dia_val holds " << v.dia_val.size() << " slots, patterns account "
+       << "for " << val_cursor;
+    emit<T>(out, Code::kValueStreamLength, -1, os);
+  }
+
+  // Scatter layout.
+  const index_t nsr = static_cast<index_t>(v.scatter_rowno.size());
+  for (index_t i = 0; i < nsr; ++i) {
+    const index_t r = v.scatter_rowno[static_cast<std::size_t>(i)];
+    if (r < 0 || r >= v.num_rows) {
+      std::ostringstream os;
+      os << "scatter_rowno[" << i << "] = " << r << " outside [0, "
+         << v.num_rows << ")";
+      emit<T>(out, Code::kScatterLayout, i, os);
+    }
+    if (i > 0 && v.scatter_rowno[static_cast<std::size_t>(i - 1)] >= r) {
+      std::ostringstream os;
+      os << "scatter_rowno not strictly ascending at index " << i;
+      emit<T>(out, Code::kScatterLayout, i, os);
+    }
+  }
+  const size64_t ell_slots =
+      static_cast<size64_t>(v.scatter_width) * static_cast<size64_t>(nsr);
+  const bool ell_sized =
+      v.scatter_col.size() == ell_slots && v.scatter_val.size() == ell_slots;
+  if (!ell_sized) {
+    std::ostringstream os;
+    os << "scatter ELL arrays hold " << v.scatter_col.size() << " cols / "
+       << v.scatter_val.size() << " vals; width " << v.scatter_width
+       << " × " << nsr << " rows needs " << ell_slots;
+    emit<T>(out, Code::kScatterLayout, -1, os);
+  }
+  if (ell_sized) {
+    for (size64_t s = 0; s < ell_slots; ++s) {
+      const index_t c = v.scatter_col[s];
+      if (c == kInvalidIndex) {
+        if (v.scatter_val[s] != T(0)) {
+          std::ostringstream os;
+          os << "scatter padding slot " << s << " holds nonzero value";
+          emit<T>(out, Code::kScatterLayout, static_cast<std::int64_t>(s), os);
+          break;
+        }
+      } else if (c < 0 || c >= v.num_cols) {
+        std::ostringstream os;
+        os << "scatter_col[" << s << "] = " << c << " outside [0, "
+           << v.num_cols << ")";
+        emit<T>(out, Code::kScatterLayout, static_cast<std::int64_t>(s), os);
+        break;
+      }
+    }
+  }
+
+  // Padding content and scatter disjointness need a coherent value stream
+  // and coherent tiling; skip them when the accounting above already failed.
+  if (!dia_sized || seg_cursor != total_segs) return out;
+
+  std::vector<bool> is_scatter(static_cast<std::size_t>(v.num_rows), false);
+  for (index_t i = 0; i < nsr; ++i) {
+    const index_t r = v.scatter_rowno[static_cast<std::size_t>(i)];
+    if (r >= 0 && r < v.num_rows) is_scatter[static_cast<std::size_t>(r)] = true;
+  }
+
+  size64_t slot = 0;
+  index_t seg_base = 0;
+  for (std::size_t p = 0; p < v.patterns.size(); ++p) {
+    const DiagonalPattern& pat = v.patterns[p];
+    for (index_t seg = 0; seg < pat.num_segments; ++seg) {
+      const index_t row0 = (seg_base + seg) * v.mrows;
+      for (index_t d = 0; d < pat.num_diagonals(); ++d) {
+        const diag_offset_t off = pat.offsets[static_cast<std::size_t>(d)];
+        for (index_t lane = 0; lane < v.mrows; ++lane, ++slot) {
+          if (v.dia_val[slot] == T(0)) continue;
+          if (out.size() >= 64) return out;  // bound a flood of bad slots
+          const index_t r = row0 + lane;
+          const std::int64_t c = static_cast<std::int64_t>(r) + off;
+          if (r >= v.num_rows || c < 0 || c >= v.num_cols) {
+            std::ostringstream os;
+            os << "padding slot " << slot << " (pattern " << p << ", row " << r
+               << ", col " << c << ") holds a nonzero value";
+            emit<T>(out, Code::kValueStreamLength,
+                    static_cast<std::int64_t>(slot), os);
+          } else if (opts.require_scatter_disjoint &&
+                     is_scatter[static_cast<std::size_t>(r)]) {
+            std::ostringstream os;
+            os << "scatter row " << r << " still owns a nonzero in the "
+               << "diagonal stream (slot " << slot
+               << "); its y entry is overwritten by the scatter phase";
+            emit<T>(out, Code::kScatterOverlap,
+                    static_cast<std::int64_t>(slot), os);
+          }
+        }
+      }
+    }
+    seg_base += pat.num_segments;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Validates a raw builder output (or hand-assembled mutation fixture).
+template <Real T>
+std::vector<Diagnostic> validate(const CrsdStorage<T>& s,
+                                 const ValidateOptions& opts = {}) {
+  return detail::validate_view(detail::make_view(s), opts);
+}
+
+/// Validates a constructed CrsdMatrix via its accessors.
+template <Real T>
+std::vector<Diagnostic> validate(const CrsdMatrix<T>& m,
+                                 const ValidateOptions& opts = {}) {
+  return detail::validate_view(detail::make_view(m), opts);
+}
+
+/// Cross-checks a container against its source COO: every source entry must
+/// be stored exactly once with its exact value (in the diagonal stream for
+/// non-scatter rows, in the scatter ELL for scatter rows), and no container
+/// nonzero may lack a source entry. This is the end-to-end nnz-conservation
+/// proof that builder passes 4–6 dropped or invented nothing.
+template <Real T>
+std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
+                                         const Coo<T>& a) {
+  std::vector<Diagnostic> out;
+  auto mismatch = [&out](std::int64_t where, const std::ostringstream& os) {
+    if (out.size() >= 64) return;
+    detail::emit<T>(out, Code::kNnzMismatch, where, os);
+  };
+
+  if (m.num_rows() != a.num_rows() || m.num_cols() != a.num_cols() ||
+      m.nnz() != a.nnz()) {
+    std::ostringstream os;
+    os << "container is " << m.num_rows() << "x" << m.num_cols() << " with "
+       << m.nnz() << " nnz; source COO is " << a.num_rows() << "x"
+       << a.num_cols() << " with " << a.nnz() << " nnz";
+    mismatch(-1, os);
+    return out;
+  }
+
+  // Canonical COO has unique (r, c) keys; index them for O(1) lookup.
+  std::unordered_map<size64_t, T> src;
+  src.reserve(static_cast<std::size_t>(a.nnz()));
+  const auto key = [&m](index_t r, std::int64_t c) {
+    return static_cast<size64_t>(r) * static_cast<size64_t>(m.num_cols()) +
+           static_cast<size64_t>(c);
+  };
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    src.emplace(key(a.row_indices()[k], a.col_indices()[k]), a.values()[k]);
+  }
+
+  std::vector<bool> is_scatter(static_cast<std::size_t>(m.num_rows()), false);
+  for (index_t r : m.scatter_rows()) {
+    is_scatter[static_cast<std::size_t>(r)] = true;
+  }
+
+  // Diagonal stream: every nonzero slot must be a source entry (scatter-row
+  // duplicates are checked by the structural scatter-overlap rule, not here).
+  const auto& patterns = m.patterns();
+  size64_t slot = 0;
+  index_t seg_base = 0;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const DiagonalPattern& pat = patterns[p];
+    for (index_t seg = 0; seg < pat.num_segments; ++seg) {
+      const index_t row0 = (seg_base + seg) * m.mrows();
+      for (index_t d = 0; d < pat.num_diagonals(); ++d) {
+        const diag_offset_t off = pat.offsets[static_cast<std::size_t>(d)];
+        for (index_t lane = 0; lane < m.mrows(); ++lane, ++slot) {
+          const T v = m.dia_values()[slot];
+          if (v == T(0)) continue;
+          const index_t r = row0 + lane;
+          const std::int64_t c = static_cast<std::int64_t>(r) + off;
+          if (r >= m.num_rows() || c < 0 || c >= m.num_cols()) continue;
+          if (is_scatter[static_cast<std::size_t>(r)]) continue;
+          const auto it = src.find(key(r, c));
+          if (it == src.end()) {
+            std::ostringstream os;
+            os << "diagonal stream stores (" << r << ", " << c << ") = " << v
+               << " but the source has no entry there";
+            mismatch(static_cast<std::int64_t>(slot), os);
+          } else if (it->second != v) {
+            std::ostringstream os;
+            os << "diagonal stream stores (" << r << ", " << c << ") = " << v
+               << ", source has " << it->second;
+            mismatch(static_cast<std::int64_t>(slot), os);
+          } else {
+            src.erase(it);
+          }
+        }
+      }
+    }
+    seg_base += pat.num_segments;
+  }
+
+  // Scatter ELL: every filled slot must be a source entry.
+  const index_t nsr = m.num_scatter_rows();
+  for (index_t i = 0; i < nsr; ++i) {
+    const index_t r = m.scatter_rows()[static_cast<std::size_t>(i)];
+    for (index_t k = 0; k < m.scatter_width(); ++k) {
+      const size64_t s =
+          static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
+      const index_t c = m.scatter_col()[s];
+      if (c == kInvalidIndex) continue;
+      const T v = m.scatter_val()[s];
+      const auto it = src.find(key(r, c));
+      if (it == src.end()) {
+        std::ostringstream os;
+        os << "scatter ELL stores (" << r << ", " << c << ") = " << v
+           << " but the source has no entry there";
+        mismatch(static_cast<std::int64_t>(s), os);
+      } else if (it->second != v) {
+        std::ostringstream os;
+        os << "scatter ELL stores (" << r << ", " << c << ") = " << v
+           << ", source has " << it->second;
+        mismatch(static_cast<std::int64_t>(s), os);
+      } else {
+        src.erase(it);
+      }
+    }
+  }
+
+  // Whatever survives in the map was dropped by the container. Entries whose
+  // value is zero are legitimately indistinguishable from fill.
+  size64_t lost = 0;
+  for (const auto& [kc, v] : src) {
+    if (v == T(0)) continue;
+    ++lost;
+    if (lost <= 4) {
+      std::ostringstream os;
+      os << "source entry (" << kc / static_cast<size64_t>(m.num_cols())
+         << ", " << kc % static_cast<size64_t>(m.num_cols()) << ") = " << v
+         << " is stored nowhere in the container";
+      mismatch(-1, os);
+    }
+  }
+  if (lost > 4) {
+    std::ostringstream os;
+    os << lost << " source entries are stored nowhere in the container";
+    mismatch(-1, os);
+  }
+  return out;
+}
+
+/// Throws crsd::Error with the full report when validation finds any error.
+/// The builder runs this under debug (see CRSD_VALIDATE_BUILD).
+template <Real T>
+void validate_or_throw(const CrsdMatrix<T>& m, const Coo<T>* source = nullptr,
+                       const ValidateOptions& opts = {}) {
+  std::vector<Diagnostic> diags = validate(m, opts);
+  if (source != nullptr) {
+    std::vector<Diagnostic> vs = validate_against(m, *source);
+    diags.insert(diags.end(), vs.begin(), vs.end());
+  }
+  if (has_errors(diags)) {
+    throw Error("CRSD validation failed:\n" + format_diagnostics(diags));
+  }
+}
+
+}  // namespace crsd::check

@@ -1,0 +1,345 @@
+#include "codegen/codelet_lint.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace crsd::codegen {
+namespace {
+
+using check::Code;
+using check::Diagnostic;
+
+/// Precision-independent structural expectations, re-derived from the
+/// container exactly the way the generators derive them.
+struct LintMeta {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  index_t mrows = 0;
+  const std::vector<DiagonalPattern>* patterns = nullptr;
+  const std::vector<index_t>* cum_segments = nullptr;
+  std::vector<SegmentInterior> interior;
+};
+
+template <Real T>
+LintMeta make_lint_meta(const CrsdMatrix<T>& m) {
+  LintMeta meta;
+  meta.num_rows = m.num_rows();
+  meta.num_cols = m.num_cols();
+  meta.mrows = m.mrows();
+  meta.patterns = &m.patterns();
+  meta.cum_segments = &m.cum_segments();
+  meta.interior.reserve(m.patterns().size());
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    meta.interior.push_back(m.interior_segments(p));
+  }
+  return meta;
+}
+
+/// Mirror of the generator's offset_in_range: true when diagonal `off`
+/// stays inside [0, num_cols) for every row the pattern covers, i.e. when
+/// an unclamped x access is legal.
+bool offset_in_range(const LintMeta& meta, const DiagonalPattern& p,
+                     std::int64_t off) {
+  const index_t first_row = p.start_row;
+  const index_t last_row = std::min<index_t>(
+      meta.num_rows, p.start_row + p.num_segments * meta.mrows) - 1;
+  return first_row + off >= 0 &&
+         static_cast<std::int64_t>(last_row) + off <= meta.num_cols - 1;
+}
+
+bool offset_is_live(const DiagonalPattern& p, std::int64_t off) {
+  return std::binary_search(p.offsets.begin(), p.offsets.end(),
+                            static_cast<diag_offset_t>(off));
+}
+
+void emit(std::vector<Diagnostic>& out, Code code, std::int64_t line_no,
+          const std::string& message) {
+  Diagnostic d;
+  d.code = code;
+  d.offset = line_no;  // 1-based source line of the finding
+  d.message = message;
+  out.push_back(std::move(d));
+}
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::istringstream is(source);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string ordinal(std::size_t pattern, std::int64_t value) {
+  std::ostringstream os;
+  os << "pattern " << pattern << ": " << value;
+  return os.str();
+}
+
+/// Shared per-line checks: literal lane loops / lane-array extents must use
+/// mrows, column clamps must use num_cols-1, baked x offsets must be live
+/// diagonals of the current pattern (and in range when unclamped).
+class LineChecker {
+ public:
+  LineChecker(const LintMeta& meta, std::vector<Diagnostic>& out)
+      : meta_(meta), out_(out),
+        lane_loop_(R"(for \(std::int32_t lane = 0; lane < (\d+); \+\+lane\))"),
+        lane_array_(R"((?:sums|xg|targets)\[(\d+)\])"),
+        col_clamp_(R"(crsd_clampi\([^,]*, 0, (-?\d+)\))"),
+        // x[r], x[r + 5], x[(row0 + lane) - 3], xx[lane + 2], xx[i + -4] —
+        // but not x[crsd_clampi(...)] (handled by col_clamp_) or xbuf reads.
+        x_access_(R"((?:^|[^a-zA-Z_])(xx?)\[(r|i|lane|\(row0 \+ lane\))(?: ([+-]) (-?\d+))?\])") {}
+
+  void check(const std::string& line, std::int64_t line_no,
+             std::int64_t pattern, const DiagonalPattern* pat) {
+    std::smatch sm;
+    if (std::regex_search(line, sm, lane_loop_) ||
+        std::regex_search(line, sm, lane_array_)) {
+      const std::int64_t trip = std::stoll(sm[1]);
+      if (trip != meta_.mrows) {
+        std::ostringstream os;
+        os << "literal lane trip count " << trip << " != mrows ("
+           << meta_.mrows << ")";
+        emit(out_, Code::kLintTripCount, line_no, os.str());
+      }
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), col_clamp_);
+         it != std::sregex_iterator(); ++it) {
+      const std::int64_t hi = std::stoll((*it)[1]);
+      if (hi != meta_.num_cols - 1) {
+        std::ostringstream os;
+        os << "column clamp upper bound " << hi << " != num_cols-1 ("
+           << meta_.num_cols - 1 << ")";
+        emit(out_, Code::kLintBakedOffset, line_no, os.str());
+      }
+    }
+    if (pat == nullptr) return;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), x_access_);
+         it != std::sregex_iterator(); ++it) {
+      const std::smatch& xm = *it;
+      std::int64_t off = 0;
+      if (xm[4].matched) {
+        off = std::stoll(xm[4]);
+        if (xm[3] == "-") off = -off;
+      }
+      const std::string base = xm[2];
+      if (base == "i") {
+        // AD-group staging copy: xbuf[i] = xx[i + first]; `first` must be a
+        // live diagonal (the group's first offset).
+        if (!offset_is_live(*pat, off)) {
+          emit(out_, Code::kLintBakedOffset, line_no,
+               "staged x window starts at offset " + std::to_string(off) +
+                   ", not a live diagonal of " +
+                   ordinal(static_cast<std::size_t>(pattern), off));
+        }
+        continue;
+      }
+      if (!offset_is_live(*pat, off)) {
+        emit(out_, Code::kLintBakedOffset, line_no,
+             "baked x offset " + std::to_string(off) +
+                 " is not a live diagonal of pattern " +
+                 std::to_string(pattern));
+      } else if ((base == "r" || base == "(row0 + lane)") &&
+                 !offset_in_range(meta_, *pat, off)) {
+        // Unclamped row-relative access: legal only when provably in range.
+        emit(out_, Code::kLintBakedOffset, line_no,
+             "unclamped x access at offset " + std::to_string(off) +
+                 " can leave [0, num_cols) for pattern " +
+                 std::to_string(pattern));
+      }
+    }
+  }
+
+ private:
+  const LintMeta& meta_;
+  std::vector<Diagnostic>& out_;
+  std::regex lane_loop_;
+  std::regex lane_array_;
+  std::regex col_clamp_;
+  std::regex x_access_;
+};
+
+std::vector<Diagnostic> lint_cpu(const LintMeta& meta,
+                                 const std::string& source,
+                                 const std::string& prefix) {
+  std::vector<Diagnostic> out;
+  for (const char* suffix : {"_diag", "_scatter"}) {
+    const std::string decl = "extern \"C\" void " + prefix + suffix + "(";
+    if (source.find(decl) == std::string::npos) {
+      emit(out, Code::kLintMissingSymbol, -1,
+           "expected entry point " + prefix + suffix + " not found");
+    }
+  }
+
+  const auto& patterns = *meta.patterns;
+  const auto& cum = *meta.cum_segments;
+  const std::regex marker(
+      R"(// pattern (\d+): .*segments \[(-?\d+), (-?\d+)\), interior \[(-?\d+), (-?\d+)\))");
+  const std::regex g0_line(R"(g0 = seg_begin > (-?\d+))");
+  const std::regex g1_line(R"(g1 = seg_end < (-?\d+))");
+  const std::regex i0_line(R"(i0 = crsd_clampi\((-?\d+), g0, g1\))");
+  const std::regex i1_line(R"(i1 = crsd_clampi\((-?\d+), i0, g1\))");
+
+  LineChecker checker(meta, out);
+  std::vector<bool> seen(patterns.size(), false);
+  std::int64_t cur = -1;  // pattern the scanner is inside
+  const std::vector<std::string> lines = split_lines(source);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    const std::int64_t line_no = static_cast<std::int64_t>(li) + 1;
+    std::smatch sm;
+    if (std::regex_search(line, sm, marker)) {
+      cur = std::stoll(sm[1]);
+      if (cur < 0 || cur >= static_cast<std::int64_t>(patterns.size())) {
+        emit(out, Code::kLintPatternDispatch, line_no,
+             "marker names pattern " + std::to_string(cur) +
+                 " but the container has " + std::to_string(patterns.size()));
+        cur = -1;
+        continue;
+      }
+      seen[static_cast<std::size_t>(cur)] = true;
+      const std::size_t p = static_cast<std::size_t>(cur);
+      if (std::stoll(sm[2]) != cum[p] || std::stoll(sm[3]) != cum[p + 1]) {
+        emit(out, Code::kLintPatternDispatch, line_no,
+             "marker segment range [" + sm[2].str() + ", " + sm[3].str() +
+                 ") != container's [" + std::to_string(cum[p]) + ", " +
+                 std::to_string(cum[p + 1]) + ") for pattern " +
+                 std::to_string(cur));
+      }
+      if (std::stoll(sm[4]) != meta.interior[p].begin ||
+          std::stoll(sm[5]) != meta.interior[p].end) {
+        emit(out, Code::kLintInteriorSplit, line_no,
+             "marker interior [" + sm[4].str() + ", " + sm[5].str() +
+                 ") != pattern_interior_segments' [" +
+                 std::to_string(meta.interior[p].begin) + ", " +
+                 std::to_string(meta.interior[p].end) + ") for pattern " +
+                 std::to_string(cur));
+      }
+      continue;
+    }
+    const DiagonalPattern* pat =
+        cur >= 0 ? &patterns[static_cast<std::size_t>(cur)] : nullptr;
+    if (cur >= 0) {
+      const std::size_t p = static_cast<std::size_t>(cur);
+      if (std::regex_search(line, sm, g0_line) && std::stoll(sm[1]) != cum[p]) {
+        emit(out, Code::kLintPatternDispatch, line_no,
+             "segment lower bound is " + ordinal(p, std::stoll(sm[1])) +
+                 ", container expects " + std::to_string(cum[p]));
+      } else if (std::regex_search(line, sm, g1_line) &&
+                 std::stoll(sm[1]) != cum[p + 1]) {
+        emit(out, Code::kLintPatternDispatch, line_no,
+             "segment upper bound is " + ordinal(p, std::stoll(sm[1])) +
+                 ", container expects " + std::to_string(cum[p + 1]));
+      } else if (std::regex_search(line, sm, i0_line) &&
+                 std::stoll(sm[1]) != meta.interior[p].begin) {
+        emit(out, Code::kLintInteriorSplit, line_no,
+             "interior begin is " + ordinal(p, std::stoll(sm[1])) +
+                 ", pattern_interior_segments gives " +
+                 std::to_string(meta.interior[p].begin));
+      } else if (std::regex_search(line, sm, i1_line) &&
+                 std::stoll(sm[1]) != meta.interior[p].end) {
+        emit(out, Code::kLintInteriorSplit, line_no,
+             "interior end is " + ordinal(p, std::stoll(sm[1])) +
+                 ", pattern_interior_segments gives " +
+                 std::to_string(meta.interior[p].end));
+      }
+    }
+    checker.check(line, line_no, cur, pat);
+  }
+  for (std::size_t p = 0; p < seen.size(); ++p) {
+    if (!seen[p]) {
+      emit(out, Code::kLintPatternDispatch, -1,
+           "pattern " + std::to_string(p) +
+               " is missing from the generated source");
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> lint_gpu(const LintMeta& meta,
+                                 const std::string& source,
+                                 const std::string& prefix) {
+  std::vector<Diagnostic> out;
+  for (const char* suffix : {"_group", "_scatter_group"}) {
+    const std::string decl = "extern \"C\" void " + prefix + suffix + "(";
+    if (source.find(decl) == std::string::npos) {
+      emit(out, Code::kLintMissingSymbol, -1,
+           "expected entry point " + prefix + suffix + " not found");
+    }
+  }
+
+  const auto& patterns = *meta.patterns;
+  const auto& cum = *meta.cum_segments;
+  const std::regex dispatch(R"(if \(group_id < (-?\d+)\) \{  // pattern (\d+):)");
+
+  LineChecker checker(meta, out);
+  std::vector<bool> seen(patterns.size(), false);
+  std::int64_t cur = -1;
+  const std::vector<std::string> lines = split_lines(source);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    const std::int64_t line_no = static_cast<std::int64_t>(li) + 1;
+    std::smatch sm;
+    if (std::regex_search(line, sm, dispatch)) {
+      cur = std::stoll(sm[2]);
+      if (cur < 0 || cur >= static_cast<std::int64_t>(patterns.size())) {
+        emit(out, Code::kLintPatternDispatch, line_no,
+             "dispatch names pattern " + std::to_string(cur) +
+                 " but the container has " + std::to_string(patterns.size()));
+        cur = -1;
+        continue;
+      }
+      const std::size_t p = static_cast<std::size_t>(cur);
+      seen[p] = true;
+      if (std::stoll(sm[1]) != cum[p + 1]) {
+        emit(out, Code::kLintPatternDispatch, line_no,
+             "dispatch bound is " + ordinal(p, std::stoll(sm[1])) +
+                 ", container expects " + std::to_string(cum[p + 1]));
+      }
+      continue;
+    }
+    const DiagonalPattern* pat =
+        cur >= 0 ? &patterns[static_cast<std::size_t>(cur)] : nullptr;
+    checker.check(line, line_no, cur, pat);
+  }
+  for (std::size_t p = 0; p < seen.size(); ++p) {
+    if (!seen[p]) {
+      emit(out, Code::kLintPatternDispatch, -1,
+           "pattern " + std::to_string(p) +
+               " is missing from the generated dispatch chain");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+template <Real T>
+std::vector<Diagnostic> lint_cpu_codelet_source(
+    const CrsdMatrix<T>& m, const std::string& source,
+    const std::string& symbol_prefix) {
+  return lint_cpu(make_lint_meta(m), source, symbol_prefix);
+}
+
+template <Real T>
+std::vector<Diagnostic> lint_gpu_codelet_source(
+    const CrsdMatrix<T>& m, const std::string& source,
+    const std::string& symbol_prefix) {
+  return lint_gpu(make_lint_meta(m), source, symbol_prefix);
+}
+
+template std::vector<Diagnostic> lint_cpu_codelet_source<double>(
+    const CrsdMatrix<double>&, const std::string&, const std::string&);
+template std::vector<Diagnostic> lint_cpu_codelet_source<float>(
+    const CrsdMatrix<float>&, const std::string&, const std::string&);
+template std::vector<Diagnostic> lint_gpu_codelet_source<double>(
+    const CrsdMatrix<double>&, const std::string&, const std::string&);
+template std::vector<Diagnostic> lint_gpu_codelet_source<float>(
+    const CrsdMatrix<float>&, const std::string&, const std::string&);
+
+}  // namespace crsd::codegen

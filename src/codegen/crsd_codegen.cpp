@@ -317,9 +317,14 @@ void emit_gpu_group_fn(CodeWriter& w, const Meta& meta,
         if (staged) {
           w.line("h->local_rw(h->ctx, (unsigned long long)lanes * sizeof(T));");
         } else {
-          w.line("h->read_block(h->ctx, 1, (unsigned long long)crsd_clampi("
-                 "row0 + " + itos(off) + ", 0, " + itos(meta.num_cols - 1) +
-                 "), lanes, (int)sizeof(T), 1);");
+          // Edge lanes clamp to the last column, so the touched x range
+          // never extends past num_cols.
+          w.line("const std::int32_t xs = crsd_clampi(row0 + " + itos(off) +
+                 ", 0, " + itos(meta.num_cols - 1) + ");");
+          w.line("std::int32_t xn = " + itos(meta.num_cols) +
+                 " - xs; if (lanes < xn) xn = lanes; if (xn < 1) xn = 1;");
+          w.line("h->read_block(h->ctx, 1, (unsigned long long)xs, "
+                 "xn, (int)sizeof(T), 1);");
         }
         w.line("useful = 0;");
         w.open("for (std::int32_t lane = 0; lane < lanes; ++lane)");

@@ -7,11 +7,15 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "codegen/codelet_lint.hpp"
 #include "codegen/crsd_codegen.hpp"
 #include "codegen/gpu_codelet_abi.hpp"
 #include "codegen/jit.hpp"
+#include "common/log.hpp"
 #include "core/crsd_matrix.hpp"
 #include "gpusim/executor.hpp"
 
@@ -28,8 +32,15 @@ class CrsdGpuJitKernel {
 
   CrsdGpuJitKernel(const CrsdMatrix<T>& m, JitCompiler& compiler,
                    GpuCodeletOptions opts = {})
-      : opts_(std::move(opts)) {
-    source_ = generate_gpu_codelet_source(m, opts_);
+      : CrsdGpuJitKernel(generate_gpu_codelet_source(m, opts), compiler,
+                         opts) {}
+
+  /// Compiles caller-supplied codelet source (the checked factory path; also
+  /// lets tests inject faults). The source must export the two entry points
+  /// named by `opts.symbol_prefix`.
+  CrsdGpuJitKernel(std::string source, JitCompiler& compiler,
+                   GpuCodeletOptions opts = {})
+      : opts_(std::move(opts)), source_(std::move(source)) {
     lib_ = compiler.compile_and_load(source_);
     group_ = lib_.template symbol_as<GroupFn>(opts_.symbol_prefix + "_group");
     scatter_ = lib_.template symbol_as<ScatterFn>(opts_.symbol_prefix +
@@ -40,10 +51,11 @@ class CrsdGpuJitKernel {
 
   /// One SpMV on the simulated device through the compiled codelet.
   /// `m` must be the matrix (or an identically structured one) the kernel
-  /// was generated from.
+  /// was generated from. `checker` (optional) attaches the simulator's
+  /// checking mode to both launches.
   gpusim::LaunchResult run(gpusim::Device& dev, const CrsdMatrix<T>& m,
-                           const T* x, T* y,
-                           ThreadPool* pool = nullptr) const {
+                           const T* x, T* y, ThreadPool* pool = nullptr,
+                           gpusim::AccessChecker* checker = nullptr) const {
     const index_t mrows = m.mrows();
     CRSD_CHECK_MSG(mrows % dev.spec().wavefront_size == 0,
                    "mrows must be a multiple of the wavefront size");
@@ -60,6 +72,8 @@ class CrsdGpuJitKernel {
     diag_cfg.num_groups = m.num_segments_total();
     diag_cfg.group_size = mrows;
     diag_cfg.double_precision = std::is_same_v<T, double>;
+    diag_cfg.kernel_name = opts_.symbol_prefix + "_group";
+    diag_cfg.checker = checker;
 
     auto diag_body = [&](gpusim::WorkGroupCtx& ctx) {
       HookCtx hctx{&ctx, bufs.data()};
@@ -76,6 +90,8 @@ class CrsdGpuJitKernel {
       scatter_cfg.num_groups = (nsr + mrows - 1) / mrows;
       scatter_cfg.double_precision = diag_cfg.double_precision;
       scatter_cfg.launches = 0;  // fused with the diagonal phase
+      scatter_cfg.kernel_name = opts_.symbol_prefix + "_scatter_group";
+      scatter_cfg.checker = checker;
       auto scatter_body = [&](gpusim::WorkGroupCtx& ctx) {
         HookCtx hctx{&ctx, bufs.data()};
         const CrsdGpuHooks hooks = make_hooks(&hctx);
@@ -145,5 +161,29 @@ class CrsdGpuJitKernel {
   GroupFn group_ = nullptr;
   ScatterFn scatter_ = nullptr;
 };
+
+/// Lint-gated GPU JIT construction: generates the codelet source (or takes
+/// `source_override` — the fault-injection path for tests), lints it against
+/// `m`, and returns nullopt (after logging the findings) instead of
+/// compiling source that disagrees with the container's structure. Callers
+/// fall back to the interpreted gpu_spmv_crsd kernel.
+template <Real T>
+std::optional<CrsdGpuJitKernel<T>> make_gpu_jit_kernel_checked(
+    const CrsdMatrix<T>& m, JitCompiler& compiler, GpuCodeletOptions opts = {},
+    const std::string* source_override = nullptr) {
+  std::string source = source_override != nullptr
+                           ? *source_override
+                           : generate_gpu_codelet_source(m, opts);
+  const std::vector<check::Diagnostic> findings =
+      lint_gpu_codelet_source(m, source, opts.symbol_prefix);
+  if (!findings.empty()) {
+    CRSD_LOG_WARN("GPU codelet lint rejected generated source; falling back "
+                  "to the interpreted kernel:\n"
+                  << check::format_diagnostics(findings));
+    return std::nullopt;
+  }
+  return std::optional<CrsdGpuJitKernel<T>>(
+      CrsdGpuJitKernel<T>(std::move(source), compiler, std::move(opts)));
+}
 
 }  // namespace crsd::codegen

@@ -4,10 +4,14 @@
 // contain the index information of nonzeros").
 #pragma once
 
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "codegen/codelet_lint.hpp"
 #include "codegen/crsd_codegen.hpp"
 #include "codegen/jit.hpp"
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "core/crsd_matrix.hpp"
 
@@ -26,14 +30,18 @@ class CrsdJitKernel {
 
   /// Generates and compiles the codelet for `m`'s structure.
   /// Throws crsd::Error if no compiler is available or compilation fails.
-  explicit CrsdJitKernel(const CrsdMatrix<T>& m, JitCompiler& compiler) {
-    CpuCodeletOptions opts;
-    opts.symbol_prefix = "crsd_codelet";
-    source_ = generate_cpu_codelet_source(m, opts);
+  explicit CrsdJitKernel(const CrsdMatrix<T>& m, JitCompiler& compiler)
+      : CrsdJitKernel(m, compiler, generate_cpu_codelet_source(m)) {}
+
+  /// Compiles caller-supplied codelet source for `m`'s structure (the
+  /// checked factory path, which lints the source first; also lets tests
+  /// inject faults). The source must export crsd_codelet_{diag,scatter}.
+  CrsdJitKernel(const CrsdMatrix<T>& m, JitCompiler& compiler,
+                std::string source)
+      : source_(std::move(source)) {
     lib_ = compiler.compile_and_load(source_);
-    diag_ = lib_.template symbol_as<DiagFn>(opts.symbol_prefix + "_diag");
-    scatter_ =
-        lib_.template symbol_as<ScatterFn>(opts.symbol_prefix + "_scatter");
+    diag_ = lib_.template symbol_as<DiagFn>("crsd_codelet_diag");
+    scatter_ = lib_.template symbol_as<ScatterFn>("crsd_codelet_scatter");
     num_segments_ = m.num_segments_total();
     num_scatter_rows_ = m.num_scatter_rows();
   }
@@ -78,5 +86,29 @@ class CrsdJitKernel {
   index_t num_segments_ = 0;
   index_t num_scatter_rows_ = 0;
 };
+
+/// Lint-gated JIT construction: generates the codelet source (or takes
+/// `source_override` — the fault-injection path for tests), runs the static
+/// codelet lint against `m`, and only hands clean source to the compiler.
+/// On lint findings it logs them and returns nullopt so the caller falls
+/// back to the interpreted kernel instead of running a miscompiled codelet.
+template <Real T>
+std::optional<CrsdJitKernel<T>> make_jit_kernel_checked(
+    const CrsdMatrix<T>& m, JitCompiler& compiler,
+    const std::string* source_override = nullptr) {
+  std::string source = source_override != nullptr
+                           ? *source_override
+                           : generate_cpu_codelet_source(m);
+  const std::vector<check::Diagnostic> findings =
+      lint_cpu_codelet_source(m, source);
+  if (!findings.empty()) {
+    CRSD_LOG_WARN("codelet lint rejected generated source; falling back to "
+                  "the interpreted kernel:\n"
+                  << check::format_diagnostics(findings));
+    return std::nullopt;
+  }
+  return std::optional<CrsdJitKernel<T>>(
+      CrsdJitKernel<T>(m, compiler, std::move(source)));
+}
 
 }  // namespace crsd::codegen

@@ -25,6 +25,16 @@
 #include "core/crsd_matrix.hpp"
 #include "matrix/coo.hpp"
 
+// Debug builds (and any build defining CRSD_VALIDATE_BUILD) run the full
+// invariant validator on every built matrix, including the nnz-conservation
+// cross-check against the source COO. Release builds skip it: construction
+// already enforces the cheap structural checks, and the validator's full
+// slot walk would change builder complexity.
+#if defined(CRSD_VALIDATE_BUILD) || !defined(NDEBUG)
+#include "check/validate.hpp"
+#define CRSD_VALIDATE_BUILD_ENABLED 1
+#endif
+
 namespace crsd {
 
 /// Tuning knobs for CRSD construction.
@@ -303,7 +313,13 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
     storage.dia_val[slot] = vals[k];
   }
 
-  return CrsdMatrix<T>(std::move(storage));
+  CrsdMatrix<T> m(std::move(storage));
+#if defined(CRSD_VALIDATE_BUILD_ENABLED)
+  check::ValidateOptions vopts;
+  vopts.require_scatter_disjoint = cfg.zero_scatter_rows_in_dia;
+  check::validate_or_throw(m, &a, vopts);
+#endif
+  return m;
 }
 
 }  // namespace crsd

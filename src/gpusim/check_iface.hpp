@@ -1,0 +1,59 @@
+// Instrumentation interface for the simulator's checking mode. When a
+// checker is attached to a launch, WorkGroupCtx reports every global access
+// per lane, every addressed local-memory access, and every barrier, so a
+// checker can maintain shadow state (bounds, write ownership, local-memory
+// hazard epochs) alongside the performance counters. With no checker
+// attached the hooks are never called and the event trace is unchanged, so
+// checking mode off costs nothing and alters no counters.
+//
+// The concrete checker (crsd::check::MemChecker) lives in src/check; this
+// interface stays in gpusim so kernels and the executor need no dependency
+// on the checking library.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "gpusim/device.hpp"
+
+namespace crsd::gpusim {
+
+class AccessChecker {
+ public:
+  virtual ~AccessChecker() = default;
+
+  /// A new kernel launch begins: per-launch shadow state (write ownership,
+  /// local-memory epochs) must be reset. `kernel_name` tags diagnostics.
+  virtual void on_launch_begin(const std::string& /*kernel_name*/,
+                               index_t /*num_groups*/,
+                               index_t /*group_size*/) {}
+
+  /// A work-group starts executing (groups run to completion one at a time
+  /// within a launch when a checker is attached).
+  virtual void on_group_begin(index_t /*group_id*/, index_t /*group_size*/) {}
+
+  /// Lane `lane` of group `group` touches element `elem` of `buf`
+  /// (`elem_size` bytes per element).
+  virtual void on_global_read(const Buffer& /*buf*/, size64_t /*elem*/,
+                              int /*elem_size*/, index_t /*group*/,
+                              index_t /*lane*/) {}
+  virtual void on_global_write(const Buffer& /*buf*/, size64_t /*elem*/,
+                               int /*elem_size*/, index_t /*group*/,
+                               index_t /*lane*/) {}
+
+  /// Addressed local-memory traffic: byte range [offset, offset + bytes)
+  /// of the group's local window. Only the addressed WorkGroupCtx calls
+  /// (local_write_range / local_read_range) report here; the legacy
+  /// unaddressed byte-count calls are invisible to checkers.
+  virtual void on_local_write(index_t /*group*/, size64_t /*offset*/,
+                              size64_t /*bytes*/) {}
+  virtual void on_local_read(index_t /*group*/, size64_t /*offset*/,
+                             size64_t /*bytes*/) {}
+
+  /// A work-group barrier executed by `participating` of the group's
+  /// work-items (all of them for a well-formed kernel).
+  virtual void on_barrier(index_t /*group*/, index_t /*participating*/,
+                          index_t /*group_size*/) {}
+};
+
+}  // namespace crsd::gpusim

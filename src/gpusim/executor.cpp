@@ -46,12 +46,20 @@ LaunchResult launch(Device& device, const LaunchConfig& cfg,
   const int ncu = spec.num_compute_units;
   std::vector<Counters> per_cu(static_cast<std::size_t>(ncu));
 
+  if (cfg.checker != nullptr) {
+    cfg.checker->on_launch_begin(cfg.kernel_name, cfg.num_groups,
+                                 cfg.group_size);
+    // Checking mode serializes the launch: shadow state needs no locking
+    // and diagnostics come out in deterministic group order.
+    pool = nullptr;
+  }
+
   auto run_cu = [&](index_t cu) {
     ReadOnlyCache cache(spec.cache_bytes_per_cu, spec.cache_ways,
                         spec.transaction_bytes);
     Counters& counters = per_cu[static_cast<std::size_t>(cu)];
     for (index_t g = cu; g < cfg.num_groups; g += ncu) {
-      WorkGroupCtx ctx(spec, counters, cache, g, cfg.group_size);
+      WorkGroupCtx ctx(spec, counters, cache, g, cfg.group_size, cfg.checker);
       body(ctx);
     }
   };

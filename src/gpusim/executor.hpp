@@ -5,9 +5,11 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
+#include "gpusim/check_iface.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/workgroup.hpp"
@@ -21,6 +23,13 @@ struct LaunchConfig {
   /// Number of kernel launches this logical operation needs (HYB's ELL+COO
   /// pair pays two launch overheads).
   int launches = 1;
+  /// Kernel name carried into checking-mode diagnostics.
+  std::string kernel_name;
+  /// Checking mode (memcheck/racecheck): when non-null, every work-group
+  /// access is reported to the checker and the launch runs single-threaded
+  /// so diagnostics are deterministic. Null (the default) adds no work and
+  /// changes no counters or timings.
+  AccessChecker* checker = nullptr;
 };
 
 struct LaunchResult {

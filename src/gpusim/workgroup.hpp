@@ -9,6 +9,7 @@
 
 #include "common/types.hpp"
 #include "gpusim/cache.hpp"
+#include "gpusim/check_iface.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
 
@@ -17,11 +18,13 @@ namespace crsd::gpusim {
 class WorkGroupCtx {
  public:
   WorkGroupCtx(const DeviceSpec& spec, Counters& counters,
-               ReadOnlyCache& cache, index_t group_id, index_t group_size)
+               ReadOnlyCache& cache, index_t group_id, index_t group_size,
+               AccessChecker* checker = nullptr)
       : spec_(spec), c_(counters), cache_(cache), group_id_(group_id),
-        group_size_(group_size) {
+        group_size_(group_size), checker_(checker) {
     c_.wavefronts += static_cast<size64_t>(
         (group_size + spec.wavefront_size - 1) / spec.wavefront_size);
+    if (checker_ != nullptr) checker_->on_group_begin(group_id_, group_size_);
   }
 
   index_t group_id() const { return group_id_; }
@@ -43,6 +46,11 @@ class WorkGroupCtx {
   /// source-vector path).
   void global_gather(const Buffer& buf, const size64_t* idx, index_t lanes,
                      int elem_size, bool cached) {
+    if (checker_ != nullptr) {
+      for (index_t i = 0; i < lanes; ++i) {
+        checker_->on_global_read(buf, idx[i], elem_size, group_id_, i);
+      }
+    }
     const int wave = spec_.wavefront_size;
     for (index_t base = 0; base < lanes; base += wave) {
       const index_t chunk = std::min<index_t>(wave, lanes - base);
@@ -62,6 +70,11 @@ class WorkGroupCtx {
   /// common fully-coalesced case; cheaper than building an index array.
   void global_read_block(const Buffer& buf, size64_t first_elem, index_t lanes,
                          int elem_size, bool cached = false) {
+    if (checker_ != nullptr) {
+      for (index_t i = 0; i < lanes; ++i) {
+        checker_->on_global_read(buf, first_elem + i, elem_size, group_id_, i);
+      }
+    }
     const int wave = spec_.wavefront_size;
     for (index_t base = 0; base < lanes; base += wave) {
       const index_t chunk = std::min<index_t>(wave, lanes - base);
@@ -82,6 +95,11 @@ class WorkGroupCtx {
   /// Contiguous per-lane write (result vector stores).
   void global_write_block(const Buffer& buf, size64_t first_elem,
                           index_t lanes, int elem_size) {
+    if (checker_ != nullptr) {
+      for (index_t i = 0; i < lanes; ++i) {
+        checker_->on_global_write(buf, first_elem + i, elem_size, group_id_, i);
+      }
+    }
     const int wave = spec_.wavefront_size;
     for (index_t base = 0; base < lanes; base += wave) {
       const index_t chunk = std::min<index_t>(wave, lanes - base);
@@ -101,6 +119,11 @@ class WorkGroupCtx {
   /// 128-byte segments per wavefront become store transactions.
   void global_scatter_write(const Buffer& buf, const size64_t* idx,
                             index_t lanes, int elem_size) {
+    if (checker_ != nullptr) {
+      for (index_t i = 0; i < lanes; ++i) {
+        checker_->on_global_write(buf, idx[i], elem_size, group_id_, i);
+      }
+    }
     const int wave = spec_.wavefront_size;
     for (index_t base = 0; base < lanes; base += wave) {
       const index_t chunk = std::min<index_t>(wave, lanes - base);
@@ -118,13 +141,35 @@ class WorkGroupCtx {
     }
   }
 
-  /// Local (shared) memory traffic.
+  /// Local (shared) memory traffic, unaddressed (legacy byte counts; not
+  /// visible to the checking mode — use the ranged variants for that).
   void local_read(size64_t bytes) { c_.local_bytes += bytes; }
   void local_write(size64_t bytes) { c_.local_bytes += bytes; }
 
+  /// Addressed local-memory traffic: byte range [offset, offset + bytes) of
+  /// the group's local window. Costs the same as the unaddressed calls but
+  /// lets an attached checker track bounds and cross-wavefront hazards.
+  void local_write_range(size64_t offset, size64_t bytes) {
+    c_.local_bytes += bytes;
+    if (checker_ != nullptr) checker_->on_local_write(group_id_, offset, bytes);
+  }
+  void local_read_range(size64_t offset, size64_t bytes) {
+    c_.local_bytes += bytes;
+    if (checker_ != nullptr) checker_->on_local_read(group_id_, offset, bytes);
+  }
+
   /// Work-group barrier (local-memory staging pays these; §IV-A explains
-  /// the wang3/wang4 slowdown with them).
-  void barrier() { ++c_.barriers; }
+  /// the wang3/wang4 slowdown with them). The one-argument form records how
+  /// many work-items reach the barrier; anything short of the full group is
+  /// barrier divergence (a hang on real hardware), which the checking mode
+  /// reports.
+  void barrier() { barrier(group_size_); }
+  void barrier(index_t participating) {
+    ++c_.barriers;
+    if (checker_ != nullptr) {
+      checker_->on_barrier(group_id_, participating, group_size_);
+    }
+  }
 
  private:
   void record_segments(bool cached) {
@@ -146,6 +191,7 @@ class WorkGroupCtx {
   ReadOnlyCache& cache_;
   index_t group_id_;
   index_t group_size_;
+  AccessChecker* checker_;
   std::vector<size64_t> segs_;  // scratch, reused across calls
 };
 

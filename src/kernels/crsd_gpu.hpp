@@ -28,6 +28,9 @@ struct CrsdGpuOptions {
   bool use_local_memory = true;
   /// Model the runtime-generated codelet instead of the interpreted kernel.
   bool jit_codelet = true;
+  /// Checking mode: attach a memcheck/racecheck observer (crsd::check::
+  /// MemChecker) to both launches. Null (the default) costs nothing.
+  gpusim::AccessChecker* checker = nullptr;
 };
 
 template <Real T>
@@ -64,6 +67,8 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
   diag_cfg.num_groups = m.num_segments_total();
   diag_cfg.group_size = mrows;
   diag_cfg.double_precision = std::is_same_v<T, double>;
+  diag_cfg.kernel_name = "crsd_spmv_diag";
+  diag_cfg.checker = opts.checker;
 
   auto diag_body = [&, mrows](gpusim::WorkGroupCtx& ctx) {
     const index_t g = ctx.group_id();
@@ -103,7 +108,7 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
             std::min<index_t>(window, m.num_cols() - start);
         ctx.global_read_block(b_x, static_cast<size64_t>(start),
                               std::max<index_t>(window_clamped, 1), sizeof(T));
-        ctx.local_write(static_cast<size64_t>(window) * sizeof(T));
+        ctx.local_write_range(0, static_cast<size64_t>(window) * sizeof(T));
         ctx.barrier();
       }
       for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
@@ -113,11 +118,17 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
         ctx.global_read_block(
             b_v, unit0 + static_cast<size64_t>(d) * mrows, lanes, sizeof(T));
         if (staged) {
-          ctx.local_read(static_cast<size64_t>(lanes) * sizeof(T));
+          // Diagonal gd of the group reads window bytes [gd, gd + lanes).
+          ctx.local_read_range(static_cast<size64_t>(gd) * sizeof(T),
+                               static_cast<size64_t>(lanes) * sizeof(T));
         } else {
-          ctx.global_read_block(b_x,
-                                static_cast<size64_t>(m.clamp_col(row0 + off)),
-                                lanes, sizeof(T), /*cached=*/true);
+          // Edge lanes clamp to the last column, so the touched range ends
+          // at num_cols even when row0 + off + lanes runs past it.
+          const index_t xs = m.clamp_col(row0 + off);
+          const index_t xn = std::min<index_t>(lanes, m.num_cols() - xs);
+          ctx.global_read_block(b_x, static_cast<size64_t>(xs),
+                                std::max<index_t>(xn, 1), sizeof(T),
+                                /*cached=*/true);
         }
         size64_t useful = 0;
         for (index_t lane = 0; lane < lanes; ++lane) {
@@ -163,6 +174,8 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
     scatter_cfg.num_groups = (nsr + mrows - 1) / mrows;
     scatter_cfg.double_precision = diag_cfg.double_precision;
     scatter_cfg.launches = 0;  // same launch as the diagonal phase
+    scatter_cfg.kernel_name = "crsd_spmv_scatter";
+    scatter_cfg.checker = opts.checker;
 
     auto scatter_body = [&, mrows](gpusim::WorkGroupCtx& ctx) {
       const index_t i0 = ctx.group_id() * mrows;

@@ -1,0 +1,106 @@
+// Regression tests for the JIT disk-cache key: the key must cover compiler,
+// flags, and source, so changing CRSD_JIT_FLAGS (or Options::flags) can
+// never resurrect an object built with different codegen options — the bug
+// class where a sanitizer or -ffast-math run silently reuses plain -O3
+// objects.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "codegen/jit.hpp"
+
+namespace crsd::codegen {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kSource =
+    "extern \"C\" int crsd_cache_probe() { return 42; }\n";
+
+JitCompiler::Options base_options(const std::string& tag) {
+  JitCompiler::Options opts;
+  opts.cache_dir = (fs::temp_directory_path() /
+                    ("crsd-key-cache-" + tag + "-" + std::to_string(::getpid())))
+                       .string();
+  return opts;
+}
+
+TEST(JitCacheKey, FlagsParticipateInTheKey) {
+  JitCompiler::Options a = base_options("flags");
+  JitCompiler::Options b = a;
+  a.flags = "-O1 -shared -fPIC -std=c++20";
+  b.flags = "-O2 -shared -fPIC -std=c++20";
+  const JitCompiler ca(a);
+  const JitCompiler cb(b);
+  EXPECT_NE(ca.object_path_for(kSource), cb.object_path_for(kSource));
+}
+
+TEST(JitCacheKey, CompilerParticipatesInTheKey) {
+  JitCompiler::Options a = base_options("cc");
+  JitCompiler::Options b = a;
+  a.compiler = "g++";
+  b.compiler = "clang++";
+  EXPECT_NE(JitCompiler(a).object_path_for(kSource),
+            JitCompiler(b).object_path_for(kSource));
+}
+
+TEST(JitCacheKey, SameConfigurationIsStable) {
+  const JitCompiler::Options opts = base_options("stable");
+  EXPECT_EQ(JitCompiler(opts).object_path_for(kSource),
+            JitCompiler(opts).object_path_for(kSource));
+  EXPECT_NE(JitCompiler(opts).object_path_for(kSource),
+            JitCompiler(opts).object_path_for(std::string(kSource) + "// v2"));
+}
+
+TEST(JitCacheKey, EnvFlagsReachTheDefaultCompiler) {
+  // Default-constructed options read CRSD_JIT_FLAGS; two different values
+  // must map the same source to different cache objects.
+  const char* saved = std::getenv("CRSD_JIT_FLAGS");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+
+  ::setenv("CRSD_JIT_FLAGS", "-O2 -shared -fPIC -std=c++20", 1);
+  const std::string path_o2 = JitCompiler().object_path_for(kSource);
+  ::setenv("CRSD_JIT_FLAGS",
+           "-O2 -shared -fPIC -std=c++20 -fsanitize=thread", 1);
+  const std::string path_tsan = JitCompiler().object_path_for(kSource);
+
+  if (saved != nullptr) {
+    ::setenv("CRSD_JIT_FLAGS", saved_copy.c_str(), 1);
+  } else {
+    ::unsetenv("CRSD_JIT_FLAGS");
+  }
+  EXPECT_NE(path_o2, path_tsan);
+}
+
+TEST(JitCacheKey, DifferentFlagsRecompileInsteadOfReusing) {
+  if (!JitCompiler::compiler_available()) GTEST_SKIP();
+  // One shared cache directory, two flag sets: each must compile its own
+  // object (no cross-flag cache hit), and re-running with the same flags
+  // must hit the cache.
+  JitCompiler::Options a = base_options("recompile");
+  JitCompiler::Options b = a;
+  a.flags = "-O1 -shared -fPIC -std=c++20";
+  b.flags = "-O2 -shared -fPIC -std=c++20";
+
+  JitCompiler ca(a);
+  (void)ca.compile_and_load(kSource);
+  EXPECT_EQ(ca.compilations(), 1);
+  EXPECT_EQ(ca.cache_hits(), 0);
+
+  JitCompiler cb(b);
+  (void)cb.compile_and_load(kSource);
+  EXPECT_EQ(cb.compilations(), 1) << "different flags must not share objects";
+  EXPECT_EQ(cb.cache_hits(), 0);
+
+  JitCompiler ca2(a);
+  (void)ca2.compile_and_load(kSource);
+  EXPECT_EQ(ca2.compilations(), 0);
+  EXPECT_EQ(ca2.cache_hits(), 1);
+
+  fs::remove_all(a.cache_dir);
+}
+
+}  // namespace
+}  // namespace crsd::codegen

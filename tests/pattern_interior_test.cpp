@@ -1,0 +1,158 @@
+// Corner-case tests for pattern_interior_segments — the one function both
+// the vectorized engine and the code generator derive their interior/edge
+// split from. A brute-force predicate re-derives "interior" from first
+// principles and the computed range must match it exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace crsd {
+namespace {
+
+DiagonalPattern make_pattern(index_t start_row, index_t num_segments,
+                             std::vector<diag_offset_t> offsets) {
+  DiagonalPattern p;
+  p.start_row = start_row;
+  p.num_segments = num_segments;
+  p.offsets = std::move(offsets);
+  p.groups = group_diagonals(p.offsets);
+  return p;
+}
+
+/// First-principles interior predicate: every lane of segment g exists and
+/// every (row, offset) column is in [0, num_cols).
+bool is_interior(const DiagonalPattern& p, index_t g, index_t mrows,
+                 index_t num_rows, index_t num_cols) {
+  const std::int64_t row0 = static_cast<std::int64_t>(g) * mrows;
+  if (row0 + mrows > num_rows) return false;
+  for (diag_offset_t off : p.offsets) {
+    for (index_t lane = 0; lane < mrows; ++lane) {
+      const std::int64_t c = row0 + lane + off;
+      if (c < 0 || c >= num_cols) return false;
+    }
+  }
+  return true;
+}
+
+/// Computed range must equal the brute-force one — and the brute-force set
+/// must be contiguous, or the single-interval contract itself is broken.
+void expect_matches_bruteforce(const DiagonalPattern& p, index_t seg_begin,
+                               index_t seg_end, index_t mrows,
+                               index_t num_rows, index_t num_cols) {
+  const SegmentInterior in = pattern_interior_segments(
+      p, seg_begin, seg_end, mrows, num_rows, num_cols);
+  ASSERT_LE(seg_begin, in.begin);
+  ASSERT_LE(in.begin, in.end);
+  ASSERT_LE(in.end, seg_end);
+  for (index_t g = seg_begin; g < seg_end; ++g) {
+    EXPECT_EQ(is_interior(p, g, mrows, num_rows, num_cols),
+              g >= in.begin && g < in.end)
+        << "segment " << g << " (interior [" << in.begin << ", " << in.end
+        << "), mrows " << mrows << ", " << num_rows << "x" << num_cols << ")";
+  }
+}
+
+TEST(PatternInterior, EmptyOffsetsHaveNoInterior) {
+  const DiagonalPattern p = make_pattern(0, 4, {});
+  const SegmentInterior in = pattern_interior_segments(p, 0, 4, 8, 32, 32);
+  EXPECT_EQ(in.begin, in.end);
+  EXPECT_EQ(in.begin, 0);
+}
+
+TEST(PatternInterior, DegenerateMrowsHasNoInterior) {
+  const DiagonalPattern p = make_pattern(0, 4, {0});
+  const SegmentInterior in = pattern_interior_segments(p, 0, 4, 0, 32, 32);
+  EXPECT_EQ(in.begin, in.end);
+}
+
+TEST(PatternInterior, SingleSegmentEitherAllInteriorOrAllEdge) {
+  // Main diagonal only, exact fit: the single segment is fully interior.
+  expect_matches_bruteforce(make_pattern(0, 1, {0}), 0, 1, 8, 8, 8);
+  // An offset that leaves the matrix at the last row: all edge.
+  expect_matches_bruteforce(make_pattern(0, 1, {1}), 0, 1, 8, 8, 8);
+  // Same offset but a wider matrix: interior again.
+  expect_matches_bruteforce(make_pattern(0, 1, {1}), 0, 1, 8, 8, 9);
+}
+
+TEST(PatternInterior, ExtremeNegativeOffsetEatsTheLeadingSegments) {
+  // Offset -17 needs row >= 17, i.e. segment >= 3 with mrows 8.
+  const DiagonalPattern p = make_pattern(0, 8, {-17, 0});
+  const SegmentInterior in = pattern_interior_segments(p, 0, 8, 8, 64, 64);
+  EXPECT_EQ(in.begin, 3);
+  EXPECT_EQ(in.end, 8);
+  expect_matches_bruteforce(p, 0, 8, 8, 64, 64);
+}
+
+TEST(PatternInterior, ExtremePositiveOffsetEatsTheTrailingSegments) {
+  // Offset +17: last admissible row0 is 64 - 8 - 17 = 39 -> segment 4.
+  const DiagonalPattern p = make_pattern(0, 8, {0, 17});
+  const SegmentInterior in = pattern_interior_segments(p, 0, 8, 8, 64, 64);
+  EXPECT_EQ(in.begin, 0);
+  EXPECT_EQ(in.end, 5);
+  expect_matches_bruteforce(p, 0, 8, 8, 64, 64);
+}
+
+TEST(PatternInterior, OffsetsWiderThanTheMatrixLeaveNoInterior) {
+  const DiagonalPattern p = make_pattern(0, 4, {-40, 0, 40});
+  const SegmentInterior in = pattern_interior_segments(p, 0, 4, 8, 32, 32);
+  EXPECT_EQ(in.begin, in.end);
+  expect_matches_bruteforce(p, 0, 4, 8, 32, 32);
+}
+
+TEST(PatternInterior, RaggedLastSegmentIsAlwaysEdge) {
+  // mrows does not divide num_rows: the short tail segment has missing
+  // lanes and can never be interior, whatever the offsets.
+  const DiagonalPattern p = make_pattern(0, 5, {0});
+  const SegmentInterior in = pattern_interior_segments(p, 0, 5, 8, 35, 35);
+  EXPECT_EQ(in.begin, 0);
+  EXPECT_EQ(in.end, 4);
+  expect_matches_bruteforce(p, 0, 5, 8, 35, 35);
+}
+
+TEST(PatternInterior, MidMatrixPatternClampsToItsOwnSegments) {
+  // A pattern owning segments [2, 6) of a taller matrix: the interior is
+  // clipped to the pattern's own range even when neighbouring rows would
+  // qualify.
+  const DiagonalPattern p = make_pattern(16, 4, {-2, 0, 2});
+  expect_matches_bruteforce(p, 2, 6, 8, 64, 64);
+  const SegmentInterior in = pattern_interior_segments(p, 2, 6, 8, 64, 64);
+  EXPECT_EQ(in.begin, 2);
+  EXPECT_EQ(in.end, 6);
+}
+
+TEST(PatternInterior, BothCornersClippedAtOnce) {
+  // Wide symmetric band on a short fat matrix: both ends lose segments.
+  const DiagonalPattern p = make_pattern(0, 6, {-10, -1, 0, 1, 10});
+  expect_matches_bruteforce(p, 0, 6, 8, 48, 48);
+}
+
+TEST(PatternInterior, TallAndWideRectangles) {
+  // More columns than rows: the positive offset gains headroom.
+  expect_matches_bruteforce(make_pattern(0, 4, {0, 9}), 0, 4, 8, 32, 64);
+  // More rows than columns: even the main diagonal runs out of columns.
+  expect_matches_bruteforce(make_pattern(0, 8, {0}), 0, 8, 8, 64, 32);
+  expect_matches_bruteforce(make_pattern(0, 8, {-3, 0, 3}), 0, 8, 8, 64, 40);
+}
+
+TEST(PatternInterior, SweepSmallShapes) {
+  // Exhaustive small sweep: every (shape, offsets) combination agrees with
+  // the brute-force predicate.
+  const std::vector<std::vector<diag_offset_t>> offset_sets = {
+      {0}, {-1, 0, 1}, {-5}, {5}, {-7, 3}, {-2, -1, 0, 1, 2}};
+  for (index_t num_rows : {8, 12, 15, 16}) {
+    for (index_t num_cols : {8, 12, 16, 24}) {
+      for (index_t mrows : {2, 4, 8}) {
+        const index_t segs = (num_rows + mrows - 1) / mrows;
+        for (const auto& offs : offset_sets) {
+          expect_matches_bruteforce(make_pattern(0, segs, offs), 0, segs,
+                                    mrows, num_rows, num_cols);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crsd
