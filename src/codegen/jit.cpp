@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -60,7 +61,13 @@ std::string default_flags() {
       flags != nullptr && *flags != '\0') {
     return flags;
   }
-  return "-O3 -shared -fPIC -std=c++20";
+  // Target the host ISA — compiling for the machine that will run the
+  // codelet is the point of runtime codegen (the paper's clBuildProgram
+  // does the same for its device). -ffp-contract=off keeps the wider
+  // vectors from introducing fused multiply-adds, so per-element results
+  // stay bit-identical to the ahead-of-time kernels, which the parity
+  // tests assert.
+  return "-O3 -march=native -ffp-contract=off -shared -fPIC -std=c++20";
 }
 
 std::string default_cache_dir() {
@@ -111,26 +118,55 @@ JitLibrary JitCompiler::compile_and_load(const std::string& source) {
     ++compilations_;
     const fs::path src_path = fs::path(so_path).replace_extension(".cpp");
     const fs::path log_path = fs::path(so_path).replace_extension(".log");
+    // Every file this attempt touches gets a unique temp name and is
+    // published into the cache only by atomic rename: concurrent builds of
+    // the same entry — other processes (pid) or other threads of this one
+    // (counter) — each work on private files and each publish a complete
+    // artifact, never a torn one. Whoever renames last wins with byte-
+    // identical content. A pre-existing truncated .cpp at the canonical
+    // path (e.g. a killed earlier run) is never read, only renamed over.
+    // The tag goes before the extension (crsd_<key>.tmp.<pid>.<n>.cpp):
+    // the compiler driver picks the input language by suffix.
+    static std::atomic<unsigned> attempt_counter{0};
+    std::string base = so_path.string();
+    base.resize(base.size() - 3);  // drop ".so"
+    base += ".tmp.";
+    base += std::to_string(::getpid());
+    base += '.';
+    base += std::to_string(attempt_counter.fetch_add(1));
+    std::string src_tmp_s = base;
+    src_tmp_s += ".cpp";
+    std::string log_tmp_s = base;
+    log_tmp_s += ".log";
+    std::string so_tmp_s = base;
+    so_tmp_s += ".so";
+    const fs::path src_tmp = src_tmp_s;
+    const fs::path log_tmp = log_tmp_s;
+    const fs::path so_tmp = so_tmp_s;
     {
-      std::ofstream out(src_path);
+      std::ofstream out(src_tmp);
       out << source;
-      CRSD_CHECK_MSG(out.good(), "cannot write JIT source " << src_path);
+      out.flush();
+      CRSD_CHECK_MSG(out.good(), "cannot write JIT source " << src_tmp);
     }
-    // Compile to a temp name then rename: concurrent processes racing on the
-    // same cache entry each produce a complete object.
-    const fs::path tmp_path =
-        so_path.string() + ".tmp." + std::to_string(::getpid());
     std::ostringstream cmd;
-    cmd << opts_.compiler << ' ' << opts_.flags << " -o " << tmp_path << ' '
-        << src_path << " > " << log_path << " 2>&1";
+    cmd << opts_.compiler << ' ' << opts_.flags << " -o " << so_tmp << ' '
+        << src_tmp << " > " << log_tmp << " 2>&1";
     CRSD_LOG_INFO("jit: " << cmd.str());
     const int rc = std::system(cmd.str().c_str());
+    std::error_code ec;  // publishing source/log is best-effort
     if (rc != 0) {
-      const std::string diagnostics = read_file(log_path);
+      const std::string diagnostics = read_file(log_tmp);
+      // Leave the failing source/log at their canonical names for debugging.
+      fs::rename(src_tmp, src_path, ec);
+      fs::rename(log_tmp, log_path, ec);
+      fs::remove(so_tmp, ec);
       throw Error("JIT compilation failed (exit " + std::to_string(rc) +
                   ") for " + src_path.string() + ":\n" + diagnostics);
     }
-    fs::rename(tmp_path, so_path);
+    fs::rename(so_tmp, so_path);
+    fs::rename(src_tmp, src_path, ec);
+    fs::rename(log_tmp, log_path, ec);
   } else {
     ++cache_hits_;
   }

@@ -44,10 +44,11 @@ class JitCompiler {
   struct Options {
     /// Compiler executable; empty -> $CXX, then "c++".
     std::string compiler;
-    /// Empty -> $CRSD_JIT_FLAGS, then the -O3 default. Codelets are pure
-    /// straight-line loop nests, so the vectorizer tier is worth paying
-    /// for at compile time; -march flags are deliberately absent so JIT
-    /// and ahead-of-time code make identical fp-contraction choices.
+    /// Empty -> $CRSD_JIT_FLAGS, then the -O3 -march=native default.
+    /// Codelets are pure straight-line loop nests, so the vectorizer tier
+    /// and the host's full vector width are worth paying for at compile
+    /// time; -ffp-contract=off rides along so the wider ISA cannot fuse
+    /// multiply-adds, keeping JIT and ahead-of-time code bit-identical.
     std::string flags;
     /// Cache directory; empty -> $CRSD_JIT_CACHE, then
     /// <tmpdir>/crsd-jit-cache.

@@ -164,6 +164,17 @@ inline T lane(Vec<T> a, index_t i) {
 
 #endif
 
+/// Read-prefetch hint into a near cache level; a no-op where the builtin is
+/// unavailable. Kernels pass plan-precomputed distances, so a no-op only
+/// costs the hint, never correctness.
+inline void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 /// y[0..n) = a[0..n) * x[0..n)   (init == true)
 /// y[0..n) += a[0..n) * x[0..n)  (init == false)
 ///

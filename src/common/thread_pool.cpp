@@ -6,6 +6,56 @@
 
 namespace crsd {
 
+ParallelPlan ParallelPlan::static_partition(index_t begin, index_t end,
+                                            int parts) {
+  CRSD_CHECK_MSG(parts >= 1, "ParallelPlan needs >= 1 part");
+  ParallelPlan plan;
+  plan.bounds_.reserve(static_cast<std::size_t>(parts) + 1);
+  const index_t n = std::max<index_t>(0, end - begin);
+  plan.bounds_.push_back(begin);
+  const index_t base = n / parts;
+  const index_t extra = n % parts;
+  index_t cursor = begin;
+  for (int p = 0; p < parts; ++p) {
+    cursor += base + (p < extra ? 1 : 0);
+    plan.bounds_.push_back(cursor);
+  }
+  return plan;
+}
+
+ParallelPlan ParallelPlan::weighted_partition(index_t begin, index_t end,
+                                              int parts,
+                                              const std::vector<double>& cost) {
+  CRSD_CHECK_MSG(parts >= 1, "ParallelPlan needs >= 1 part");
+  const index_t n = std::max<index_t>(0, end - begin);
+  CRSD_CHECK_MSG(cost.size() == static_cast<std::size_t>(n),
+                 "weighted_partition needs one cost per index");
+  double total = 0.0;
+  for (double c : cost) total += std::max(0.0, c);
+  if (total <= 0.0) return static_partition(begin, end, parts);
+
+  ParallelPlan plan;
+  plan.bounds_.reserve(static_cast<std::size_t>(parts) + 1);
+  plan.bounds_.push_back(begin);
+  double accumulated = 0.0;
+  index_t cursor = 0;
+  for (int p = 1; p <= parts; ++p) {
+    const double target = total * double(p) / double(parts);
+    // Advance while the boundary index sits mostly below this part's cost
+    // target (midpoint rule: an index straddling the boundary goes to
+    // whichever side holds more of it).
+    while (cursor < n &&
+           accumulated +
+                   0.5 * std::max(0.0, cost[static_cast<std::size_t>(cursor)]) <
+               target) {
+      accumulated += std::max(0.0, cost[static_cast<std::size_t>(cursor)]);
+      ++cursor;
+    }
+    plan.bounds_.push_back(begin + (p == parts ? n : cursor));
+  }
+  return plan;
+}
+
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   CRSD_CHECK_MSG(num_threads >= 1, "thread pool needs >= 1 thread");
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
@@ -67,6 +117,83 @@ void ThreadPool::parallel_for(
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return outstanding_ == 0 && pending_.empty(); });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(
+    const ParallelPlan& plan,
+    const std::function<void(index_t, index_t, int)>& fn) {
+  if (plan.empty()) return;
+  const int parts = plan.num_parts();
+
+  // Find the first non-empty part: it runs on the calling thread with its
+  // plan-assigned id, so replays keep range->thread affinity.
+  int mine = -1;
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    const index_t b = plan.part_begin(p);
+    const index_t e = plan.part_end(p);
+    if (b >= e) continue;
+    if (mine < 0) {
+      mine = p;
+    } else {
+      tasks.push_back(Task{&fn, b, e, p});
+    }
+  }
+  if (mine < 0) return;
+  if (tasks.empty()) {
+    fn(plan.part_begin(mine), plan.part_end(mine), mine);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CRSD_CHECK_MSG(outstanding_ == 0 && pending_.empty(),
+                   "nested/concurrent parallel_for on one ThreadPool is not "
+                   "supported");
+    first_error_ = nullptr;
+    pending_ = std::move(tasks);
+    outstanding_ = static_cast<int>(pending_.size());
+  }
+  cv_work_.notify_all();
+
+  try {
+    fn(plan.part_begin(mine), plan.part_end(mine), mine);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  // The calling thread drains remaining parts alongside the workers (plans
+  // may carry more parts than the pool has threads).
+  for (;;) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) break;
+      task = pending_.back();
+      pending_.pop_back();
+    }
+    try {
+      (*task.fn)(task.begin, task.end, task.thread_id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0 && pending_.empty()) cv_done_.notify_all();
+    }
   }
 
   std::unique_lock<std::mutex> lock(mu_);

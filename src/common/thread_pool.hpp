@@ -16,6 +16,40 @@
 
 namespace crsd {
 
+/// A reusable partition of an index range into contiguous sub-ranges, one
+/// per task. parallel_for re-slices and re-dispatches its range on every
+/// call; hot paths that run the same loop thousands of times (SpMV/SpMM
+/// iterations inside a solver) build a ParallelPlan once and replay it —
+/// the executor side of the inspector–executor split. Plans can be cut
+/// into equal pieces or balanced against a per-index cost estimate, and
+/// they are immutable after construction, so one plan can be replayed
+/// concurrently from different pools or iterations without re-partitioning.
+class ParallelPlan {
+ public:
+  ParallelPlan() = default;
+
+  /// [begin, end) cut into `parts` nearly-equal contiguous ranges (empty
+  /// trailing ranges are kept so part index == thread id stays stable).
+  static ParallelPlan static_partition(index_t begin, index_t end, int parts);
+
+  /// Cost-balanced contiguous partition: `cost[i]` estimates the work of
+  /// index `begin + i`. Greedy prefix-sum splitting at cost/parts
+  /// boundaries — each part gets a contiguous run of indices whose summed
+  /// cost is close to the mean, so one expensive run does not serialize
+  /// the whole loop behind thread 0.
+  static ParallelPlan weighted_partition(index_t begin, index_t end,
+                                         int parts,
+                                         const std::vector<double>& cost);
+
+  int num_parts() const { return static_cast<int>(bounds_.empty() ? 0 : bounds_.size() - 1); }
+  index_t part_begin(int i) const { return bounds_[static_cast<std::size_t>(i)]; }
+  index_t part_end(int i) const { return bounds_[static_cast<std::size_t>(i) + 1]; }
+  bool empty() const { return bounds_.size() < 2 || bounds_.front() == bounds_.back(); }
+
+ private:
+  std::vector<index_t> bounds_;  ///< size num_parts()+1, non-decreasing
+};
+
 /// Fixed-size worker pool. Construction spawns `num_threads - 1` workers;
 /// the calling thread always participates in parallel_for, so
 /// ThreadPool(1) runs everything inline with zero synchronization cost.
@@ -45,6 +79,16 @@ class ThreadPool {
   /// Same fn signature and blocking/exception semantics as parallel_for.
   void parallel_for_chunked(index_t begin, index_t end, index_t chunk_size,
                             const std::function<void(index_t, index_t, int)>& fn);
+
+  /// Replays a precomputed partition: part i runs as fn(part_begin(i),
+  /// part_end(i), i) with no per-call slicing. Part 0 runs on the calling
+  /// thread; empty parts are skipped without dispatch. The part index is
+  /// passed as the thread id, so a plan with num_parts() == num_threads()
+  /// gives each thread a stable range across replays (NUMA first-touch
+  /// affinity relies on this). Blocking/exception semantics match
+  /// parallel_for.
+  void parallel_for(const ParallelPlan& plan,
+                    const std::function<void(index_t, index_t, int)>& fn);
 
   /// Process-wide pool sized to hardware_concurrency (lazily constructed).
   static ThreadPool& global();

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace crsd {
 
@@ -25,18 +26,32 @@ class Timer {
 };
 
 /// Runs `fn` repeatedly until `min_seconds` of wall time has accumulated
-/// (at least `min_reps` repetitions) and returns seconds per repetition.
+/// (at least `min_reps` repetitions) and returns seconds per repetition,
+/// taken from the fastest timing chunk rather than the overall mean: the
+/// minimum over same-sized chunks discards scheduler preemptions and
+/// frequency ramps that a plain mean would average into the result.
 template <typename Fn>
 double time_per_rep(Fn&& fn, double min_seconds = 0.05, int min_reps = 3) {
   // Warm-up: first call pays cold caches / page faults.
   fn();
+  // Calibrate a chunk size of roughly a tenth of the budget so fast
+  // kernels are timed over many repetitions per chunk.
+  Timer cal;
+  fn();
+  const double once = cal.seconds();
+  int chunk = once > 0 ? static_cast<int>(min_seconds / (10.0 * once)) : 1;
+  if (chunk < 1) chunk = 1;
+  double best = std::numeric_limits<double>::infinity();
   int reps = 0;
-  Timer t;
+  Timer total;
   do {
-    fn();
-    ++reps;
-  } while (t.seconds() < min_seconds || reps < min_reps);
-  return t.seconds() / reps;
+    Timer t;
+    for (int i = 0; i < chunk; ++i) fn();
+    const double per = t.seconds() / chunk;
+    if (per < best) best = per;
+    reps += chunk;
+  } while (total.seconds() < min_seconds || reps < min_reps);
+  return best;
 }
 
 }  // namespace crsd

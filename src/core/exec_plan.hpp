@@ -1,0 +1,296 @@
+// Inspector half of the inspector–executor split for CPU SpMV/SpMM.
+//
+// A built CrsdMatrix already knows its structure; what the per-call hot
+// loops still decided on every sweep was *how to run it*: which segments
+// are interior vs edge, how to slice work across threads, how large the
+// AD-group staging windows are, and where each diagonal's x data comes
+// from. ExecPlan walks the matrix once and freezes all of those decisions
+// into an immutable plan:
+//
+//  * per-pattern segment runs (edge / interior) with a cost estimate from
+//    the perf roofline model (perf/cpu_model.hpp), ordered most-expensive
+//    first within each thread slice;
+//  * a static thread partition balanced on that cost estimate, replayable
+//    through ThreadPool's ParallelPlan overload with a stable part->thread
+//    mapping (so NUMA first-touch pages stay local across iterations);
+//  * precomputed x-window extents: for every diagonal, whether it reads a
+//    staged AD-group window (and at which arena offset) or the raw x
+//    stream (and at which column shift) — the executor's inner loop makes
+//    no grouping decisions;
+//  * software-prefetch distances for the diagonal value stream.
+//
+// The executor (kernels/cpu_spmm.hpp and the JIT SpMM codelets) replays a
+// plan every iteration. Plans are structure-bound: update_values /
+// replace_values keep them valid (values change, structure does not); any
+// rebuild of the matrix requires a new plan, enforced by a structure
+// signature checked on entry.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "core/crsd_matrix.hpp"
+#include "perf/cpu_model.hpp"
+
+namespace crsd {
+
+/// Inspector knobs.
+struct ExecPlanOptions {
+  /// Thread slices the plan is partitioned into. The plan replays on any
+  /// pool, but matching pool.num_threads() gives one slice per thread.
+  int num_threads = 1;
+  /// Host model used for the cost estimate (bandwidth/flop roofline).
+  perf::CpuSystemSpec system;
+  /// Edge segments run the clamped scalar path; weight them a little
+  /// heavier than the same traffic through the SIMD interior kernel.
+  double edge_cost_factor = 1.5;
+  /// Bytes of the diagonal value stream to prefetch ahead per segment.
+  size64_t prefetch_bytes = 512;
+};
+
+/// Where one diagonal of a pattern reads x in the interior kernel — either
+/// a staged AD-group window (arena-relative) or the raw x stream (column-
+/// shift-relative). Precomputed so the executor's inner loop is a flat walk.
+struct DiagSource {
+  bool staged = false;
+  index_t arena_off = 0;   ///< window start in the per-RHS staging arena
+  index_t window = 0;      ///< staged window length (mrows + group size - 1)
+  diag_offset_t delta = 0; ///< staged: lane shift inside the window;
+                           ///< direct: the diagonal's column offset
+};
+
+/// Per-pattern execution metadata shared by all segments of the pattern.
+struct PatternPlan {
+  std::vector<DiagSource> diag_src;  ///< one entry per diagonal, in order
+  index_t arena_elems = 0;     ///< staging arena elements per right-hand side
+  index_t prefetch_lines = 0;  ///< 64-byte lines of the next segment's values
+  double interior_seg_cost = 0.0;  ///< est. seconds per interior segment
+  double edge_seg_cost = 0.0;      ///< est. seconds per edge segment
+};
+
+/// One contiguous run of segments of a single pattern, one execution kind.
+struct PlanStep {
+  index_t pattern = 0;
+  index_t seg_begin = 0;  ///< global segment ids
+  index_t seg_end = 0;
+  bool interior = false;  ///< clamp-free SIMD kernel applies
+  double cost = 0.0;      ///< estimated seconds for the whole run
+};
+
+/// Everything one thread executes per sweep.
+struct ThreadSlice {
+  std::vector<PlanStep> steps;  ///< ordered by descending cost
+  index_t scatter_begin = 0;    ///< scatter-row indices this thread owns
+  index_t scatter_end = 0;
+  index_t row_begin = 0;  ///< y rows this thread writes in the diagonal phase
+  index_t row_end = 0;
+  double cost = 0.0;  ///< estimated seconds (diagonal phase)
+};
+
+template <Real T>
+class ExecPlan {
+ public:
+  ExecPlan() = default;
+
+  /// Inspector: walks `m` once and emits the frozen execution plan.
+  static ExecPlan inspect(const CrsdMatrix<T>& m,
+                          const ExecPlanOptions& opts = {}) {
+    CRSD_CHECK_MSG(opts.num_threads >= 1, "plan needs >= 1 thread");
+    ExecPlan plan;
+    plan.num_rows_ = m.num_rows();
+    plan.num_cols_ = m.num_cols();
+    plan.signature_ = structure_signature(m);
+    const index_t mrows = m.mrows();
+    const index_t segs = m.num_segments_total();
+    const int threads = opts.num_threads;
+    const int vb = static_cast<int>(sizeof(T));
+    constexpr bool kDouble = std::is_same_v<T, double>;
+
+    // Per-pattern metadata: x sources, staging arena layout, prefetch
+    // distance, per-segment cost.
+    plan.patterns_.reserve(m.patterns().size());
+    for (const auto& pat : m.patterns()) {
+      PatternPlan pp;
+      pp.diag_src.resize(static_cast<std::size_t>(pat.num_diagonals()));
+      for (const auto& grp : pat.groups) {
+        const bool staged =
+            grp.type == GroupType::kAdjacent && grp.num_diagonals >= 2;
+        const index_t window = mrows + grp.num_diagonals - 1;
+        for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
+          const std::size_t d =
+              static_cast<std::size_t>(grp.first_diagonal + gd);
+          DiagSource& src = pp.diag_src[d];
+          if (staged) {
+            src.staged = true;
+            src.arena_off = pp.arena_elems;
+            src.window = window;
+            src.delta = gd;
+          } else {
+            src.staged = false;
+            src.delta = pat.offsets[d];
+          }
+        }
+        if (staged) pp.arena_elems += window;
+      }
+      const size64_t seg_bytes =
+          pat.slots_per_segment(mrows) * static_cast<size64_t>(vb);
+      pp.prefetch_lines = static_cast<index_t>(
+          std::min<size64_t>(seg_bytes, opts.prefetch_bytes) / 64);
+      const perf::SweepCost cost =
+          perf::pattern_segment_cost(pat, mrows, vb);
+      pp.interior_seg_cost =
+          perf::roofline_seconds(opts.system, cost, 1, kDouble);
+      pp.edge_seg_cost = pp.interior_seg_cost * opts.edge_cost_factor;
+      plan.patterns_.push_back(std::move(pp));
+      plan.max_arena_elems_ =
+          std::max(plan.max_arena_elems_, plan.patterns_.back().arena_elems);
+    }
+
+    // Cost-balanced static partition of the global segment range.
+    std::vector<double> seg_cost(static_cast<std::size_t>(segs));
+    for (std::size_t pi = 0; pi < m.patterns().size(); ++pi) {
+      const index_t s0 = m.cum_segments()[pi];
+      const index_t s1 = m.cum_segments()[pi + 1];
+      const SegmentInterior in = m.interior_segments(static_cast<index_t>(pi));
+      for (index_t g = s0; g < s1; ++g) {
+        const bool interior = g >= in.begin && g < in.end;
+        seg_cost[static_cast<std::size_t>(g)] =
+            interior ? plan.patterns_[pi].interior_seg_cost
+                     : plan.patterns_[pi].edge_seg_cost;
+      }
+    }
+    const ParallelPlan seg_parts =
+        ParallelPlan::weighted_partition(0, segs, threads, seg_cost);
+    const ParallelPlan scatter_parts =
+        ParallelPlan::static_partition(0, m.num_scatter_rows(), threads);
+
+    // Materialize per-thread slices: intersect each part with the pattern
+    // interior/edge runs, then order the steps most-expensive first.
+    plan.slices_.resize(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      ThreadSlice& slice = plan.slices_[static_cast<std::size_t>(t)];
+      const index_t part_b = seg_parts.part_begin(t);
+      const index_t part_e = seg_parts.part_end(t);
+      slice.row_begin = std::min<index_t>(part_b * mrows, m.num_rows());
+      slice.row_end = std::min<index_t>(part_e * mrows, m.num_rows());
+      slice.scatter_begin = scatter_parts.part_begin(t);
+      slice.scatter_end = scatter_parts.part_end(t);
+      for (std::size_t pi = 0;
+           pi < m.patterns().size() && m.cum_segments()[pi] < part_e; ++pi) {
+        const index_t s0 = std::max(part_b, m.cum_segments()[pi]);
+        const index_t s1 = std::min(part_e, m.cum_segments()[pi + 1]);
+        if (s0 >= s1) continue;
+        const SegmentInterior in =
+            m.interior_segments(static_cast<index_t>(pi));
+        const index_t ib = std::clamp(in.begin, s0, s1);
+        const index_t ie = std::clamp(in.end, ib, s1);
+        plan.push_step(slice, static_cast<index_t>(pi), s0, ib, false);
+        plan.push_step(slice, static_cast<index_t>(pi), ib, ie, true);
+        plan.push_step(slice, static_cast<index_t>(pi), ie, s1, false);
+      }
+      std::stable_sort(slice.steps.begin(), slice.steps.end(),
+                       [](const PlanStep& a, const PlanStep& b) {
+                         return a.cost > b.cost;
+                       });
+    }
+    plan.thread_plan_ = ParallelPlan::static_partition(0, threads, threads);
+    return plan;
+  }
+
+  int num_threads() const { return static_cast<int>(slices_.size()); }
+  const ThreadSlice& slice(int t) const {
+    return slices_[static_cast<std::size_t>(t)];
+  }
+  const PatternPlan& pattern_plan(index_t p) const {
+    return patterns_[static_cast<std::size_t>(p)];
+  }
+  /// Largest per-RHS staging arena any pattern needs (sizes the executor's
+  /// scratch buffer).
+  index_t max_arena_elems() const { return max_arena_elems_; }
+  /// One part per thread slice; replay with ThreadPool::parallel_for(plan).
+  const ParallelPlan& thread_plan() const { return thread_plan_; }
+
+  /// True iff `m` has the structure this plan was inspected from.
+  bool matches(const CrsdMatrix<T>& m) const {
+    return signature_ == structure_signature(m);
+  }
+  /// Executor entry guard: rejects a plan replayed against a matrix with
+  /// different structure (values may differ — update_values keeps plans
+  /// valid; rebuilds do not).
+  void check_matches(const CrsdMatrix<T>& m) const {
+    CRSD_CHECK_MSG(matches(m),
+                   "ExecPlan does not match this matrix structure; re-run "
+                   "ExecPlan::inspect after rebuilding");
+  }
+
+  /// NUMA first-touch initialization: each thread zeroes the y rows it will
+  /// later write, for `k` column-major vectors with leading dimension
+  /// `ldy`, so first access (page placement) happens on the owning thread.
+  void first_touch(ThreadPool& pool, T* y, index_t k, size64_t ldy) const {
+    pool.parallel_for(thread_plan_, [&](index_t t, index_t, int) {
+      const ThreadSlice& s = slices_[static_cast<std::size_t>(t)];
+      for (index_t j = 0; j < k; ++j) {
+        T* col = y + static_cast<size64_t>(j) * ldy;
+        std::fill(col + s.row_begin, col + s.row_end, T(0));
+      }
+      // Scatter rows may live outside this thread's contiguous row block;
+      // touch them from their writer too.
+      (void)s;
+    });
+  }
+
+  /// Structure fingerprint used for plan invalidation.
+  static std::uint64_t structure_signature(const CrsdMatrix<T>& m) {
+    std::string buf;
+    buf.reserve(64 + m.patterns().size() * 32);
+    auto put = [&buf](std::int64_t v) {
+      buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put(m.num_rows());
+    put(m.num_cols());
+    put(m.mrows());
+    put(static_cast<std::int64_t>(m.nnz()));
+    put(m.num_scatter_rows());
+    put(m.scatter_width());
+    for (const auto& pat : m.patterns()) {
+      put(pat.start_row);
+      put(pat.num_segments);
+      for (diag_offset_t off : pat.offsets) put(off);
+      put(-1);  // pattern separator
+    }
+    return fnv1a64(buf);
+  }
+
+ private:
+  void push_step(ThreadSlice& slice, index_t p, index_t b, index_t e,
+                 bool interior) {
+    if (b >= e) return;
+    const PatternPlan& pp = patterns_[static_cast<std::size_t>(p)];
+    PlanStep step;
+    step.pattern = p;
+    step.seg_begin = b;
+    step.seg_end = e;
+    step.interior = interior;
+    step.cost = double(e - b) *
+                (interior ? pp.interior_seg_cost : pp.edge_seg_cost);
+    slice.steps.push_back(step);
+    slice.cost += step.cost;
+  }
+
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  std::uint64_t signature_ = 0;
+  std::vector<PatternPlan> patterns_;
+  std::vector<ThreadSlice> slices_;
+  ParallelPlan thread_plan_;
+  index_t max_arena_elems_ = 0;
+};
+
+}  // namespace crsd

@@ -68,13 +68,9 @@ SweepCost crsd_sweep_cost(const CrsdStats& s, index_t num_rows,
 
 double cpu_spmv_seconds(const CpuSystemSpec& spec, const SweepCost& cost,
                         int threads, bool double_precision) {
-  const double t_mem =
-      double(cost.bytes) / (spec.bandwidth_gbps(threads) * 1e9);
-  const double t_flops =
-      double(cost.flops) / spec.flop_rate(threads, double_precision);
   // Static-partition fork/join overhead per sweep.
   const double t_sync = threads > 1 ? 2e-6 : 0.0;
-  return std::max(t_mem, t_flops) + t_sync;
+  return roofline_seconds(spec, cost, threads, double_precision) + t_sync;
 }
 
 }  // namespace crsd::perf

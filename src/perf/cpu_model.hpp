@@ -75,4 +75,40 @@ SweepCost crsd_sweep_cost(const CrsdStats& s, index_t num_rows,
 double cpu_spmv_seconds(const CpuSystemSpec& spec, const SweepCost& cost,
                         int threads, bool double_precision);
 
+/// Byte/flop traffic of one row segment of pattern `p` in the CRSD diagonal
+/// part: the segment's value slots stream once, every diagonal rereads its
+/// x window, and y is written once. Inline so header-only inspectors
+/// (core/exec_plan.hpp) can cost segments without linking crsd_perf.
+inline SweepCost pattern_segment_cost(const DiagonalPattern& p, index_t mrows,
+                                      int value_bytes) {
+  SweepCost c;
+  const size64_t slots = p.slots_per_segment(mrows);
+  c.bytes = 2 * slots * static_cast<size64_t>(value_bytes) +  // values + x
+            static_cast<size64_t>(mrows) * value_bytes;       // y store
+  c.flops = 2 * slots;
+  return c;
+}
+
+/// Byte/flop traffic of one scatter row of ELL width `w`.
+inline SweepCost scatter_row_cost(index_t w, int value_bytes) {
+  SweepCost c;
+  c.bytes = static_cast<size64_t>(w) *
+                (static_cast<size64_t>(value_bytes) + sizeof(index_t)) +
+            static_cast<size64_t>(w + 1) * value_bytes;  // gathered x + y
+  c.flops = 2 * static_cast<size64_t>(w);
+  return c;
+}
+
+/// Single-thread roofline seconds for `cost` — the inline core of
+/// cpu_spmv_seconds, usable header-only (no fork/join term).
+inline double roofline_seconds(const CpuSystemSpec& spec,
+                               const SweepCost& cost, int threads,
+                               bool double_precision) {
+  const double t_mem =
+      double(cost.bytes) / (spec.bandwidth_gbps(threads) * 1e9);
+  const double t_flops =
+      double(cost.flops) / spec.flop_rate(threads, double_precision);
+  return t_mem > t_flops ? t_mem : t_flops;
+}
+
 }  // namespace crsd::perf
