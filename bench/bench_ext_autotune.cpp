@@ -1,9 +1,12 @@
 // Extension E4: OSKI-style configuration search for CRSD (related-work
 // lineage: OSKI "analyzes the input matrix to select the proper block-size
 // at runtime"; here the searched knobs are mrows, the idle-section
-// thresholds, and local-memory staging). Prints the chosen configuration
-// per matrix and the gain over the defaults.
+// thresholds, and local-memory staging). Runs the pruned+cached search —
+// printing measured vs cost-model-pruned trial counts and the model's
+// relative ranking error per matrix — then re-runs against the warm cache
+// to show the zero-measurement fast path.
 #include <cstdio>
+#include <filesystem>
 
 #include "kernels/crsd_autotune.hpp"
 #include "matrix/paper_suite.hpp"
@@ -14,9 +17,19 @@ int main(int argc, char** argv) {
   using namespace crsd::bench;
   const auto opts = SuiteOptions::parse(argc, argv);
 
+  // A private cache directory so the warm-cache column below reflects this
+  // run, not leftovers of an earlier one.
+  const auto cache_dir =
+      std::filesystem::temp_directory_path() / "crsd-tune-cache-bench";
+  std::filesystem::remove_all(cache_dir);
+  kernels::AutotuneOptions tune;
+  tune.cache_dir = cache_dir.string();
+  tune.pool = &ThreadPool::global();
+
   std::printf("== Extension: CRSD auto-tuning (double) ==\n");
-  std::printf("%-14s %6s %4s %9s %6s %10s %12s %8s\n", "matrix", "mrows",
-              "gap", "min fill", "local", "trials", "gain vs def", "patterns");
+  std::printf("%-14s %6s %4s %9s %6s %5s %7s %9s %12s %6s\n", "matrix",
+              "mrows", "gap", "min fill", "local", "meas", "pruned",
+              "model err", "gain vs def", "warm");
   for (int id : {3, 5, 7, 9, 15, 18, 21}) {
     const auto& spec = paper_matrix(id);
     const auto a = spec.generate(opts.scale);
@@ -29,22 +42,19 @@ int main(int argc, char** argv) {
     const double t_default =
         kernels::gpu_spmv_crsd(dev, m_default, x.data(), y.data()).seconds;
 
-    const auto result = kernels::autotune_crsd(dev, a);
-    index_t best_patterns = 0;
-    for (const auto& trial : result.trials) {
-      if (trial.seconds == result.best_seconds) {
-        best_patterns = trial.stats.num_patterns;
-        break;
-      }
-    }
-    std::printf("%-14s %6d %4d %9.2f %6s %10zu %11.1f%% %8d\n",
+    const auto result = kernels::autotune_crsd(dev, a, {}, tune);
+    // Warm re-run: the cache entry just published must satisfy the second
+    // search without measuring anything.
+    const auto warm = kernels::autotune_crsd(dev, a, {}, tune);
+    std::printf("%-14s %6d %4d %9.2f %6s %5d %7d %8.1f%% %11.1f%% %6s\n",
                 spec.name.c_str(), result.best_config.mrows,
                 result.best_config.fill_max_gap_segments,
                 result.best_config.live_min_fill,
                 result.best_local_memory ? "yes" : "no",
-                result.trials.size(),
+                result.measured_trials, result.pruned_trials,
+                100.0 * result.model_rel_error,
                 100.0 * (t_default / result.best_seconds - 1.0),
-                best_patterns);
+                warm.cache_hit && warm.measured_trials == 0 ? "hit" : "MISS");
   }
   return 0;
 }

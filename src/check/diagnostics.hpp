@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace crsd::check {
@@ -35,6 +36,10 @@ enum class Code {
   kScatterLayout,       ///< scatter ELL arrays malformed (order/size/columns)
   kScatterOverlap,      ///< scatter row still owns nonzeros in the dia stream
   kNnzMismatch,         ///< container nonzeros differ from the source COO
+  kIndexOverflow,       ///< a count the container indexes with index_t
+                        ///< exceeds its range (builder overflow guard)
+  kStorageMismatch,     ///< two containers that must be bitwise identical
+                        ///< (serial vs parallel build) differ
   // JIT codelet lint (crsd::codegen::lint_*_codelet_source).
   kLintMissingSymbol,   ///< expected exported codelet symbol absent
   kLintTripCount,       ///< baked loop trip count inconsistent with mrows
@@ -57,6 +62,8 @@ inline const char* code_name(Code code) {
     case Code::kScatterLayout: return "scatter-layout";
     case Code::kScatterOverlap: return "scatter-overlap";
     case Code::kNnzMismatch: return "nnz-mismatch";
+    case Code::kIndexOverflow: return "index-overflow";
+    case Code::kStorageMismatch: return "storage-mismatch";
     case Code::kLintMissingSymbol: return "lint-missing-symbol";
     case Code::kLintTripCount: return "lint-trip-count";
     case Code::kLintBakedOffset: return "lint-baked-offset";
@@ -91,6 +98,19 @@ struct Diagnostic {
     os << ": " << message;
     return os.str();
   }
+};
+
+/// Error that carries the structured diagnostics that caused it, so callers
+/// can assert on the exact detector (Code) instead of parsing the message.
+/// Thrown by the builder's index-overflow guard.
+class DiagnosticError : public Error {
+ public:
+  DiagnosticError(const std::string& what, std::vector<Diagnostic> diags)
+      : Error(what), diags_(std::move(diags)) {}
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+ private:
+  std::vector<Diagnostic> diags_;
 };
 
 inline bool has_errors(const std::vector<Diagnostic>& diags) {

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -408,6 +409,80 @@ std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
     os << lost << " source entries are stored nowhere in the container";
     mismatch(-1, os);
   }
+  return out;
+}
+
+/// Bitwise storage comparison: every field and array of the two containers
+/// must be identical, down to the bit pattern of the value streams (memcmp,
+/// so -0.0 vs +0.0 and differing NaN payloads count as mismatches). This is
+/// the oracle the determinism suite uses to prove the parallel builder
+/// reproduces the serial reference at any thread count; each difference is
+/// reported as a kStorageMismatch diagnostic naming the field and the first
+/// offending index.
+template <Real T>
+std::vector<Diagnostic> validate_same_storage(const CrsdMatrix<T>& a,
+                                              const CrsdMatrix<T>& b) {
+  std::vector<Diagnostic> out;
+  auto differ = [&out](std::int64_t where, const std::ostringstream& os) {
+    detail::emit<T>(out, Code::kStorageMismatch, where, os);
+  };
+  auto cmp_scalar = [&differ](const char* name, auto va, auto vb) {
+    if (va == vb) return;
+    std::ostringstream os;
+    os << name << " differs: " << va << " vs " << vb;
+    differ(-1, os);
+  };
+  cmp_scalar("num_rows", a.num_rows(), b.num_rows());
+  cmp_scalar("num_cols", a.num_cols(), b.num_cols());
+  cmp_scalar("mrows", a.mrows(), b.mrows());
+  cmp_scalar("nnz", a.nnz(), b.nnz());
+  cmp_scalar("num_patterns", a.num_patterns(), b.num_patterns());
+  cmp_scalar("scatter_width", a.scatter_width(), b.scatter_width());
+
+  if (a.num_patterns() == b.num_patterns()) {
+    for (index_t p = 0; p < a.num_patterns(); ++p) {
+      const DiagonalPattern& pa = a.patterns()[static_cast<std::size_t>(p)];
+      const DiagonalPattern& pb = b.patterns()[static_cast<std::size_t>(p)];
+      if (pa.start_row != pb.start_row ||
+          pa.num_segments != pb.num_segments || pa.offsets != pb.offsets ||
+          pa.groups != pb.groups) {
+        std::ostringstream os;
+        os << "pattern " << p << " differs: " << pattern_to_string(pa)
+           << " (start_row " << pa.start_row << ", " << pa.num_segments
+           << " segs) vs " << pattern_to_string(pb) << " (start_row "
+           << pb.start_row << ", " << pb.num_segments << " segs)";
+        differ(static_cast<std::int64_t>(p), os);
+      }
+    }
+  }
+
+  auto cmp_array = [&differ](const char* name, const auto& va,
+                             const auto& vb) {
+    if (va.size() != vb.size()) {
+      std::ostringstream os;
+      os << name << " length differs: " << va.size() << " vs " << vb.size();
+      differ(-1, os);
+      return;
+    }
+    if (va.empty() ||
+        std::memcmp(va.data(), vb.data(),
+                    va.size() * sizeof(va.front())) == 0) {
+      return;
+    }
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      if (std::memcmp(&va[i], &vb[i], sizeof(va[i])) != 0) {
+        std::ostringstream os;
+        os << name << "[" << i << "] differs bitwise: " << va[i] << " vs "
+           << vb[i];
+        differ(static_cast<std::int64_t>(i), os);
+        return;  // first mismatch is enough; a flood adds nothing
+      }
+    }
+  };
+  cmp_array("dia_val", a.dia_values(), b.dia_values());
+  cmp_array("scatter_rowno", a.scatter_rows(), b.scatter_rows());
+  cmp_array("scatter_col", a.scatter_col(), b.scatter_col());
+  cmp_array("scatter_val", a.scatter_val(), b.scatter_val());
   return out;
 }
 

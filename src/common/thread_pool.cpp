@@ -266,6 +266,16 @@ void ThreadPool::parallel_for_chunked(
   }
 }
 
+void ThreadPool::run_tasks(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  parallel_for_chunked(0, static_cast<index_t>(tasks.size()), 1,
+                       [&tasks](index_t b, index_t e, int) {
+                         for (index_t i = b; i < e; ++i) {
+                           tasks[static_cast<std::size_t>(i)]();
+                         }
+                       });
+}
+
 void ThreadPool::worker_loop(int worker_id) {
   for (;;) {
     Task task;

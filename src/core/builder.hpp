@@ -14,13 +14,39 @@
 //     (Fig. 3: the ±200 diagonals break instead of filling).
 // Every nonzero not covered by a live diagonal is a scatter point; the whole
 // row containing it moves to the ELL-format scatter side matrix (§II-D).
+//
+// Two construction paths share the liveness/coalescing decision code and
+// produce bitwise-identical storage:
+//
+//  * Serial reference (CrsdConfig::threads == 1): the original multi-pass
+//    walk, kept as the ground truth the determinism suite compares against.
+//  * Parallel pipeline (threads > 1, on a ThreadPool): COO shards split at
+//    row-segment boundaries (the input is row-sorted, so every segment's
+//    nonzeros are one contiguous slice). Stage 1 builds per-segment
+//    diagonal histograms in parallel and merge-sorts them into the global
+//    (diagonal, segment) count table; stage 2 runs live-run discovery per
+//    diagonal in parallel and merges the results into per-segment live
+//    sets; stages 4-6 fill scatter flags, the scatter ELL, and the
+//    diagonal-major value stream over the same shards, with every write
+//    landing on a precomputed slot. All intermediate merges sort by unique
+//    keys, so the output is identical to the serial builder at any thread
+//    count.
+//
+// An overflow guard refuses matrices whose nnz, per-segment value-slot
+// count, or scatter-ELL slot count exceeds index_t range, throwing a
+// structured check::DiagnosticError (code index-overflow) instead of
+// silently truncating downstream index arithmetic.
 #pragma once
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "check/diagnostics.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "core/crsd_matrix.hpp"
 #include "matrix/coo.hpp"
@@ -63,6 +89,13 @@ struct CrsdConfig {
   /// phase overwrites y for those rows either way; zeroing keeps the value
   /// stream clean and makes fill statistics meaningful.
   bool zero_scatter_rows_in_dia = true;
+
+  /// Construction parallelism. 1 (the default) runs the serial reference
+  /// path; > 1 runs the parallel pipeline on the ThreadPool passed to
+  /// build_crsd (or the process-global pool when none is given). The
+  /// output is bitwise identical either way; the value is an intent, the
+  /// pool's width bounds the real concurrency.
+  int threads = 1;
 };
 
 namespace detail {
@@ -74,21 +107,129 @@ struct DiagSegCount {
   index_t count = 0;
 };
 
-}  // namespace detail
+/// Total order over the unique (diagonal, segment) keys.
+inline bool count_key_less(const DiagSegCount& x, const DiagSegCount& y) {
+  if (x.off != y.off) return x.off < y.off;
+  return x.seg < y.seg;
+}
 
-/// Builds a CRSD matrix from canonical COO.
+/// Lanes of segment `seg` that diagonal `off` covers (intersection of the
+/// diagonal's row range with the segment's rows).
+inline index_t covered_lanes(index_t seg, diag_offset_t off, index_t num_rows,
+                             index_t num_cols, index_t mrows) {
+  const index_t row0 = seg * mrows;
+  const index_t row1 = std::min<index_t>(num_rows, row0 + mrows);
+  const index_t lo = std::max<index_t>(row0, off < 0 ? -off : 0);
+  const std::int64_t hi = std::min<std::int64_t>(
+      row1, static_cast<std::int64_t>(num_cols) - off);
+  return hi > lo ? static_cast<index_t>(hi - lo) : 0;
+}
+
+/// Live-run discovery for one diagonal — anchors, ragged-edge extension,
+/// and gap bridging exactly as the header comment describes. counts[i, j)
+/// all carry the same offset, ascending by segment. Appends the diagonal's
+/// final live segments (ascending, bridges included) to `final_segs`.
+/// Shared by the serial and parallel builders so the fill/break decisions
+/// cannot diverge between them.
+inline void live_segments_for_diagonal(const std::vector<DiagSegCount>& counts,
+                                       std::size_t i, std::size_t j,
+                                       const CrsdConfig& cfg, index_t num_rows,
+                                       index_t num_cols,
+                                       std::vector<index_t>& final_segs) {
+  const diag_offset_t off = counts[i].off;
+  const std::size_t m = j - i;
+
+  // Anchor segments of this diagonal.
+  std::vector<bool> is_live(m, false);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto& c = counts[i + e];
+    is_live[e] =
+        c.count >= cfg.live_min_nnz &&
+        double(c.count) >= cfg.live_min_fill *
+                               double(covered_lanes(c.seg, off, num_rows,
+                                                    num_cols, cfg.mrows));
+  }
+  // Ragged-edge extension: entries with >= 1 nonzero whose neighbouring
+  // segment anchors a run.
+  if (cfg.extend_ragged_edges) {
+    std::vector<bool> extended = is_live;
+    for (std::size_t e = 0; e < m; ++e) {
+      if (is_live[e]) continue;
+      const bool prev_adj = e > 0 &&
+                            counts[i + e - 1].seg + 1 == counts[i + e].seg &&
+                            is_live[e - 1];
+      const bool next_adj = e + 1 < m &&
+                            counts[i + e].seg + 1 == counts[i + e + 1].seg &&
+                            is_live[e + 1];
+      if (prev_adj || next_adj) extended[e] = true;
+    }
+    is_live = std::move(extended);
+  }
+
+  // Gather live segments, then bridge short dead gaps between them.
+  std::vector<index_t> live_segs;
+  for (std::size_t e = 0; e < m; ++e) {
+    if (is_live[e]) live_segs.push_back(counts[i + e].seg);
+  }
+  for (std::size_t e = 0; e < live_segs.size(); ++e) {
+    if (!final_segs.empty() && e > 0) {
+      const index_t gap = live_segs[e] - final_segs.back() - 1;
+      if (gap > 0 && gap <= cfg.fill_max_gap_segments) {
+        for (index_t s = final_segs.back() + 1; s < live_segs[e]; ++s) {
+          final_segs.push_back(s);  // zero-filled bridge segment
+        }
+      }
+    }
+    final_segs.push_back(live_segs[e]);
+  }
+}
+
+/// Overflow guard: quantities the container and its kernels index with
+/// index_t must fit its range. `max_index` is injectable so tests can
+/// exercise the guard without allocating 2^31-slot matrices. `patterns`
+/// may be null for the entry check that runs before structure discovery.
+inline std::vector<check::Diagnostic> check_build_limits(
+    size64_t nnz, index_t mrows, const std::vector<DiagonalPattern>* patterns,
+    size64_t num_scatter_rows, size64_t scatter_width,
+    size64_t max_index =
+        static_cast<size64_t>(std::numeric_limits<index_t>::max())) {
+  std::vector<check::Diagnostic> out;
+  auto flag = [&out, max_index](size64_t value, std::int64_t where,
+                                const std::string& what) {
+    check::Diagnostic d;
+    d.code = check::Code::kIndexOverflow;
+    d.offset = where;
+    d.message = what + " = " + std::to_string(value) +
+                " exceeds the index_t range limit " + std::to_string(max_index);
+    out.push_back(std::move(d));
+  };
+  if (nnz > max_index) flag(nnz, -1, "nnz");
+  if (patterns != nullptr) {
+    for (std::size_t p = 0; p < patterns->size(); ++p) {
+      const size64_t slots = (*patterns)[p].slots_per_segment(mrows);
+      if (slots > max_index) {
+        flag(slots, static_cast<std::int64_t>(p),
+             "per-segment value slots of pattern " + std::to_string(p));
+      }
+    }
+  }
+  const size64_t ell_slots = num_scatter_rows * scatter_width;
+  if (ell_slots > max_index) flag(ell_slots, -1, "scatter ELL slots");
+  return out;
+}
+
+/// Throws check::DiagnosticError when the guard flagged anything.
+inline void throw_on_limit_overflow(std::vector<check::Diagnostic> diags) {
+  if (diags.empty()) return;
+  throw check::DiagnosticError(
+      "CRSD build would overflow index_t:\n" + check::format_diagnostics(diags),
+      std::move(diags));
+}
+
+/// Serial reference construction — the original multi-pass walk. The
+/// parallel pipeline must reproduce this output bitwise.
 template <Real T>
-CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
-  CRSD_CHECK_MSG(a.is_canonical(), "CRSD requires canonical COO input");
-  CRSD_CHECK_MSG(a.num_rows() >= 1 && a.num_cols() >= 1,
-                 "CRSD requires a non-empty matrix");
-  CRSD_CHECK_MSG(cfg.mrows >= 1, "mrows must be >= 1");
-  CRSD_CHECK_MSG(cfg.live_min_nnz >= 1, "live_min_nnz must be >= 1");
-  CRSD_CHECK_MSG(cfg.live_min_fill >= 0.0 && cfg.live_min_fill <= 1.0,
-                 "live_min_fill must be in [0,1]");
-  CRSD_CHECK_MSG(cfg.fill_max_gap_segments >= 0,
-                 "fill_max_gap_segments must be >= 0");
-
+CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
   const index_t n = a.num_rows();
   const index_t mrows = cfg.mrows;
   const index_t num_segments = (n + mrows - 1) / mrows;
@@ -96,21 +237,10 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
   const auto& cols = a.col_indices();
   const auto& vals = a.values();
 
-  // Lanes of segment `seg` that diagonal `off` covers (intersection of the
-  // diagonal's row range with the segment's rows).
-  auto covered_lanes = [&](index_t seg, diag_offset_t off) -> index_t {
-    const index_t row0 = seg * mrows;
-    const index_t row1 = std::min<index_t>(n, row0 + mrows);
-    const index_t lo = std::max<index_t>(row0, off < 0 ? -off : 0);
-    const std::int64_t hi = std::min<std::int64_t>(
-        row1, static_cast<std::int64_t>(a.num_cols()) - off);
-    return hi > lo ? static_cast<index_t>(hi - lo) : 0;
-  };
-
   // Pass 1: per-(diagonal, segment) nonzero counts. Input is row-sorted, so
   // each segment's nonzeros are contiguous; accumulate per segment, then
   // regroup by diagonal.
-  std::vector<detail::DiagSegCount> counts;
+  std::vector<DiagSegCount> counts;
   {
     size64_t k = 0;
     for (index_t seg = 0; seg < num_segments; ++seg) {
@@ -124,11 +254,7 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
         counts.push_back({off, seg, cnt});
       }
     }
-    std::sort(counts.begin(), counts.end(),
-              [](const detail::DiagSegCount& x, const detail::DiagSegCount& y) {
-                if (x.off != y.off) return x.off < y.off;
-                return x.seg < y.seg;
-              });
+    std::sort(counts.begin(), counts.end(), count_key_less);
   }
 
   // Pass 2: per-diagonal live runs -> live offset set per segment.
@@ -136,56 +262,15 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
       static_cast<std::size_t>(num_segments));
   {
     std::size_t i = 0;
+    std::vector<index_t> final_segs;
     while (i < counts.size()) {
       std::size_t j = i;
       while (j < counts.size() && counts[j].off == counts[i].off) ++j;
-      const diag_offset_t off = counts[i].off;
-
-      // Anchor segments of this diagonal.
-      const std::size_t m = j - i;
-      std::vector<bool> is_live(m, false);
-      for (std::size_t e = 0; e < m; ++e) {
-        const auto& c = counts[i + e];
-        is_live[e] = c.count >= cfg.live_min_nnz &&
-                     double(c.count) >=
-                         cfg.live_min_fill * double(covered_lanes(c.seg, off));
-      }
-      // Ragged-edge extension: entries with >= 1 nonzero whose neighbouring
-      // segment anchors a run.
-      if (cfg.extend_ragged_edges) {
-        std::vector<bool> extended = is_live;
-        for (std::size_t e = 0; e < m; ++e) {
-          if (is_live[e]) continue;
-          const bool prev_adj = e > 0 && counts[i + e - 1].seg + 1 ==
-                                             counts[i + e].seg &&
-                                is_live[e - 1];
-          const bool next_adj = e + 1 < m && counts[i + e].seg + 1 ==
-                                                 counts[i + e + 1].seg &&
-                                is_live[e + 1];
-          if (prev_adj || next_adj) extended[e] = true;
-        }
-        is_live = std::move(extended);
-      }
-
-      // Gather live segments, then bridge short dead gaps between them.
-      std::vector<index_t> live_segs;
-      for (std::size_t e = 0; e < m; ++e) {
-        if (is_live[e]) live_segs.push_back(counts[i + e].seg);
-      }
-      std::vector<index_t> final_segs;
-      for (std::size_t e = 0; e < live_segs.size(); ++e) {
-        if (!final_segs.empty()) {
-          const index_t gap = live_segs[e] - final_segs.back() - 1;
-          if (gap > 0 && gap <= cfg.fill_max_gap_segments) {
-            for (index_t s = final_segs.back() + 1; s < live_segs[e]; ++s) {
-              final_segs.push_back(s);  // zero-filled bridge segment
-            }
-          }
-        }
-        final_segs.push_back(live_segs[e]);
-      }
+      final_segs.clear();
+      live_segments_for_diagonal(counts, i, j, cfg, n, a.num_cols(),
+                                 final_segs);
       for (index_t s : final_segs) {
-        live[static_cast<std::size_t>(s)].push_back(off);
+        live[static_cast<std::size_t>(s)].push_back(counts[i].off);
       }
       i = j;
     }
@@ -199,19 +284,7 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
   storage.num_cols = a.num_cols();
   storage.mrows = mrows;
   storage.nnz = a.nnz();
-  for (index_t seg = 0; seg < num_segments; ++seg) {
-    auto& set = live[static_cast<std::size_t>(seg)];
-    if (!storage.patterns.empty() && storage.patterns.back().offsets == set) {
-      ++storage.patterns.back().num_segments;
-      continue;
-    }
-    DiagonalPattern p;
-    p.start_row = seg * mrows;
-    p.num_segments = 1;
-    p.offsets = set;
-    p.groups = group_diagonals(p.offsets);
-    storage.patterns.push_back(std::move(p));
-  }
+  storage.patterns = coalesce_live_sets(live, mrows);
 
   // Value-array base offset per pattern (paper's Σ NRS_i × NNzRS_i).
   std::vector<size64_t> base(storage.patterns.size() + 1, 0);
@@ -272,6 +345,9 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
     for (index_t w : row_nnz) {
       storage.scatter_width = std::max(storage.scatter_width, w);
     }
+    throw_on_limit_overflow(check_build_limits(
+        a.nnz(), mrows, &storage.patterns, static_cast<size64_t>(nsr),
+        static_cast<size64_t>(storage.scatter_width)));
     const size64_t slots = static_cast<size64_t>(storage.scatter_width) * nsr;
     storage.scatter_col.assign(slots, kInvalidIndex);
     storage.scatter_val.assign(slots, T(0));
@@ -287,6 +363,9 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
       storage.scatter_val[slot] = vals[k];
       ++f;
     }
+  } else {
+    throw_on_limit_overflow(
+        check_build_limits(a.nnz(), mrows, &storage.patterns, 0, 0));
   }
 
   // Pass 6: place diagonal-part values.
@@ -311,6 +390,299 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {}) {
         static_cast<size64_t>(seg_in_p) * pat.slots_per_segment(mrows) +
         static_cast<size64_t>(d) * mrows + static_cast<size64_t>(r % mrows);
     storage.dia_val[slot] = vals[k];
+  }
+  return storage;
+}
+
+/// Parallel pipeline construction on `pool`. Work is sharded at row-segment
+/// boundaries; every intermediate merge sorts by unique keys and every
+/// value write lands on a precomputed slot, so the output is bitwise
+/// identical to build_storage_serial at any thread count.
+template <Real T>
+CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
+                                      ThreadPool& pool) {
+  const index_t n = a.num_rows();
+  const index_t mrows = cfg.mrows;
+  const index_t num_segments = (n + mrows - 1) / mrows;
+  const auto& rows = a.row_indices();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  const index_t seg_chunk = std::max<index_t>(
+      1, num_segments / (8 * static_cast<index_t>(pool.num_threads())));
+
+  // COO shard boundaries: the input is row-sorted, so segment s owns the
+  // contiguous slice [seg_ptr[s], seg_ptr[s+1]).
+  std::vector<size64_t> seg_ptr(static_cast<std::size_t>(num_segments) + 1);
+  seg_ptr[0] = 0;
+  seg_ptr[static_cast<std::size_t>(num_segments)] = a.nnz();
+  parallel_for_each(pool, 1, num_segments, [&](index_t s) {
+    seg_ptr[static_cast<std::size_t>(s)] = static_cast<size64_t>(
+        std::lower_bound(rows.begin(), rows.end(), s * mrows) - rows.begin());
+  });
+
+  // Stage 1: per-thread diagonal/segment histograms over the COO shards.
+  // Each segment's offsets are sorted and run-length encoded into its own
+  // slot, then the per-segment tables are concatenated and merge-sorted by
+  // the unique (diagonal, segment) key — the same table pass 1 of the
+  // serial builder produces.
+  std::vector<std::vector<DiagSegCount>> seg_counts(
+      static_cast<std::size_t>(num_segments));
+  pool.parallel_for_chunked(
+      0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
+        std::vector<diag_offset_t> offs;
+        for (index_t seg = sb; seg < se; ++seg) {
+          offs.clear();
+          for (size64_t k = seg_ptr[static_cast<std::size_t>(seg)];
+               k < seg_ptr[static_cast<std::size_t>(seg) + 1]; ++k) {
+            offs.push_back(cols[k] - rows[k]);
+          }
+          std::sort(offs.begin(), offs.end());
+          auto& out = seg_counts[static_cast<std::size_t>(seg)];
+          for (std::size_t i = 0; i < offs.size();) {
+            std::size_t j = i;
+            while (j < offs.size() && offs[j] == offs[i]) ++j;
+            out.push_back(
+                {offs[i], seg, static_cast<index_t>(j - i)});
+            i = j;
+          }
+        }
+      });
+  std::vector<size64_t> count_ptr(static_cast<std::size_t>(num_segments) + 1,
+                                  0);
+  for (index_t s = 0; s < num_segments; ++s) {
+    count_ptr[static_cast<std::size_t>(s) + 1] =
+        count_ptr[static_cast<std::size_t>(s)] +
+        seg_counts[static_cast<std::size_t>(s)].size();
+  }
+  std::vector<DiagSegCount> counts(count_ptr.back());
+  pool.parallel_for_chunked(
+      0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
+        for (index_t seg = sb; seg < se; ++seg) {
+          std::copy(seg_counts[static_cast<std::size_t>(seg)].begin(),
+                    seg_counts[static_cast<std::size_t>(seg)].end(),
+                    counts.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            count_ptr[static_cast<std::size_t>(seg)]));
+        }
+      });
+  seg_counts.clear();
+  seg_counts.shrink_to_fit();
+  parallel_sort(pool, counts.begin(), counts.end(), count_key_less);
+
+  // Stage 2: live-run discovery per diagonal, in parallel. Each static
+  // chunk of diagonals emits (segment, offset) pairs into its own bucket;
+  // the buckets are merged serially (they are tiny next to nnz) and each
+  // segment's offset set is sorted, which makes the merge order — and thus
+  // the thread count — unobservable.
+  std::vector<std::size_t> diag_begin;
+  for (std::size_t i = 0; i < counts.size();) {
+    diag_begin.push_back(i);
+    std::size_t j = i;
+    while (j < counts.size() && counts[j].off == counts[i].off) ++j;
+    i = j;
+  }
+  const index_t ndiag = static_cast<index_t>(diag_begin.size());
+  diag_begin.push_back(counts.size());
+  std::vector<std::vector<std::pair<index_t, diag_offset_t>>> buckets(
+      static_cast<std::size_t>(pool.num_threads()));
+  pool.parallel_for(0, ndiag, [&](index_t db, index_t de, int tid) {
+    auto& bucket = buckets[static_cast<std::size_t>(tid)];
+    std::vector<index_t> final_segs;
+    for (index_t di = db; di < de; ++di) {
+      const std::size_t i = diag_begin[static_cast<std::size_t>(di)];
+      const std::size_t j = diag_begin[static_cast<std::size_t>(di) + 1];
+      final_segs.clear();
+      live_segments_for_diagonal(counts, i, j, cfg, n, a.num_cols(),
+                                 final_segs);
+      for (index_t s : final_segs) bucket.emplace_back(s, counts[i].off);
+    }
+  });
+  std::vector<std::vector<diag_offset_t>> live(
+      static_cast<std::size_t>(num_segments));
+  for (const auto& bucket : buckets) {
+    for (const auto& [s, off] : bucket) {
+      live[static_cast<std::size_t>(s)].push_back(off);
+    }
+  }
+  parallel_for_each(pool, 0, num_segments, [&](index_t s) {
+    auto& set = live[static_cast<std::size_t>(s)];
+    std::sort(set.begin(), set.end());
+  });
+
+  // Stage 3: pattern-run coalescing — inherently sequential over the (few)
+  // segments and shared with the serial path.
+  CrsdStorage<T> storage;
+  storage.num_rows = n;
+  storage.num_cols = a.num_cols();
+  storage.mrows = mrows;
+  storage.nnz = a.nnz();
+  storage.patterns = coalesce_live_sets(live, mrows);
+
+  std::vector<size64_t> base(storage.patterns.size() + 1, 0);
+  for (std::size_t p = 0; p < storage.patterns.size(); ++p) {
+    base[p + 1] = base[p] + static_cast<size64_t>(
+                                storage.patterns[p].num_segments) *
+                                storage.patterns[p].slots_per_segment(mrows);
+  }
+  std::vector<index_t> pattern_of_seg(static_cast<std::size_t>(num_segments));
+  std::vector<index_t> first_seg(storage.patterns.size());
+  {
+    index_t seg = 0;
+    for (std::size_t p = 0; p < storage.patterns.size(); ++p) {
+      first_seg[p] = seg;
+      for (index_t s = 0; s < storage.patterns[p].num_segments; ++s) {
+        pattern_of_seg[static_cast<std::size_t>(seg++)] =
+            static_cast<index_t>(p);
+      }
+    }
+  }
+
+  // Stage 4: scatter-row flags over the shards. Rows never span segments,
+  // so each flag byte has exactly one writing shard (std::vector<bool>
+  // would pack bits and race).
+  std::vector<std::uint8_t> is_scatter(static_cast<std::size_t>(n), 0);
+  pool.parallel_for_chunked(
+      0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
+        for (index_t seg = sb; seg < se; ++seg) {
+          const auto& offs =
+              storage.patterns[static_cast<std::size_t>(
+                                   pattern_of_seg[static_cast<std::size_t>(
+                                       seg)])]
+                  .offsets;
+          for (size64_t k = seg_ptr[static_cast<std::size_t>(seg)];
+               k < seg_ptr[static_cast<std::size_t>(seg) + 1]; ++k) {
+            const diag_offset_t off = cols[k] - rows[k];
+            if (!std::binary_search(offs.begin(), offs.end(), off)) {
+              is_scatter[static_cast<std::size_t>(rows[k])] = 1;
+            }
+          }
+        }
+      });
+
+  // Stage 5: scatter ELL. Slot assignment (ascending row numbers) is a
+  // cheap serial scan; the per-row nonzero counts and the column-major
+  // fill run over the shards — every scatter row belongs to exactly one
+  // shard, so its fill cursor has one writer and its entries land in COO
+  // (ascending column) order, as in the serial builder.
+  std::vector<index_t> scatter_slot_of_row(static_cast<std::size_t>(n),
+                                           kInvalidIndex);
+  for (index_t r = 0; r < n; ++r) {
+    if (is_scatter[static_cast<std::size_t>(r)] != 0) {
+      scatter_slot_of_row[static_cast<std::size_t>(r)] =
+          static_cast<index_t>(storage.scatter_rowno.size());
+      storage.scatter_rowno.push_back(r);
+    }
+  }
+  const index_t nsr = static_cast<index_t>(storage.scatter_rowno.size());
+  if (nsr > 0) {
+    std::vector<index_t> row_nnz(static_cast<std::size_t>(nsr), 0);
+    pool.parallel_for_chunked(
+        0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
+          for (size64_t k = seg_ptr[static_cast<std::size_t>(sb)];
+               k < seg_ptr[static_cast<std::size_t>(se)]; ++k) {
+            const index_t slot_row =
+                scatter_slot_of_row[static_cast<std::size_t>(rows[k])];
+            if (slot_row != kInvalidIndex) {
+              ++row_nnz[static_cast<std::size_t>(slot_row)];
+            }
+          }
+        });
+    for (index_t w : row_nnz) {
+      storage.scatter_width = std::max(storage.scatter_width, w);
+    }
+    throw_on_limit_overflow(check_build_limits(
+        a.nnz(), mrows, &storage.patterns, static_cast<size64_t>(nsr),
+        static_cast<size64_t>(storage.scatter_width)));
+    const size64_t slots = static_cast<size64_t>(storage.scatter_width) * nsr;
+    storage.scatter_col.assign(slots, kInvalidIndex);
+    storage.scatter_val.assign(slots, T(0));
+    std::vector<index_t> fill(static_cast<std::size_t>(nsr), 0);
+    pool.parallel_for_chunked(
+        0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
+          for (size64_t k = seg_ptr[static_cast<std::size_t>(sb)];
+               k < seg_ptr[static_cast<std::size_t>(se)]; ++k) {
+            const index_t slot_row =
+                scatter_slot_of_row[static_cast<std::size_t>(rows[k])];
+            if (slot_row == kInvalidIndex) continue;
+            index_t& f = fill[static_cast<std::size_t>(slot_row)];
+            const size64_t slot = static_cast<size64_t>(f) * nsr +
+                                  static_cast<size64_t>(slot_row);
+            storage.scatter_col[slot] = cols[k];
+            storage.scatter_val[slot] = vals[k];
+            ++f;
+          }
+        });
+  } else {
+    throw_on_limit_overflow(
+        check_build_limits(a.nnz(), mrows, &storage.patterns, 0, 0));
+  }
+
+  // Stage 6: diagonal-major value packing over the shards. Every nonzero's
+  // slot is fully determined by the precomputed pattern bases, so writes
+  // are disjoint and order-free.
+  storage.dia_val.assign(base.back(), T(0));
+  pool.parallel_for_chunked(
+      0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
+        for (index_t seg = sb; seg < se; ++seg) {
+          const index_t p = pattern_of_seg[static_cast<std::size_t>(seg)];
+          const auto& pat = storage.patterns[static_cast<std::size_t>(p)];
+          const index_t seg_in_p =
+              seg - first_seg[static_cast<std::size_t>(p)];
+          const size64_t seg_base =
+              base[static_cast<std::size_t>(p)] +
+              static_cast<size64_t>(seg_in_p) * pat.slots_per_segment(mrows);
+          for (size64_t k = seg_ptr[static_cast<std::size_t>(seg)];
+               k < seg_ptr[static_cast<std::size_t>(seg) + 1]; ++k) {
+            const index_t r = rows[k];
+            if (cfg.zero_scatter_rows_in_dia &&
+                is_scatter[static_cast<std::size_t>(r)] != 0) {
+              continue;
+            }
+            const diag_offset_t off = cols[k] - r;
+            const auto it =
+                std::lower_bound(pat.offsets.begin(), pat.offsets.end(), off);
+            if (it == pat.offsets.end() || *it != off) continue;
+            const index_t d = static_cast<index_t>(it - pat.offsets.begin());
+            const size64_t slot = seg_base +
+                                  static_cast<size64_t>(d) * mrows +
+                                  static_cast<size64_t>(r % mrows);
+            storage.dia_val[slot] = vals[k];
+          }
+        }
+      });
+  return storage;
+}
+
+}  // namespace detail
+
+/// Builds a CRSD matrix from canonical COO. With cfg.threads > 1 the
+/// parallel pipeline runs on `pool` (or the process-global pool when null);
+/// the result is bitwise identical to the serial reference either way.
+template <Real T>
+CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {},
+                         ThreadPool* pool = nullptr) {
+  CRSD_CHECK_MSG(a.is_canonical(), "CRSD requires canonical COO input");
+  CRSD_CHECK_MSG(a.num_rows() >= 1 && a.num_cols() >= 1,
+                 "CRSD requires a non-empty matrix");
+  CRSD_CHECK_MSG(cfg.mrows >= 1, "mrows must be >= 1");
+  CRSD_CHECK_MSG(cfg.live_min_nnz >= 1, "live_min_nnz must be >= 1");
+  CRSD_CHECK_MSG(cfg.live_min_fill >= 0.0 && cfg.live_min_fill <= 1.0,
+                 "live_min_fill must be in [0,1]");
+  CRSD_CHECK_MSG(cfg.fill_max_gap_segments >= 0,
+                 "fill_max_gap_segments must be >= 0");
+  detail::throw_on_limit_overflow(
+      detail::check_build_limits(a.nnz(), cfg.mrows, nullptr, 0, 0));
+
+  CrsdStorage<T> storage;
+  ThreadPool* effective = nullptr;
+  if (cfg.threads > 1) {
+    effective = pool != nullptr ? pool : &ThreadPool::global();
+    if (effective->num_threads() <= 1) effective = nullptr;
+  }
+  if (effective != nullptr) {
+    storage = detail::build_storage_parallel(a, cfg, *effective);
+  } else {
+    storage = detail::build_storage_serial(a, cfg);
   }
 
   CrsdMatrix<T> m(std::move(storage));

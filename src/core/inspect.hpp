@@ -1,13 +1,53 @@
 // CRSD inspection utilities: reconstructing the stored matrix as canonical
-// COO (round-trip verification, format conversion) and locating entries.
+// COO (round-trip verification, format conversion), locating entries, and
+// fingerprinting matrix structure for the autotune cache.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "common/hash.hpp"
 #include "core/crsd_matrix.hpp"
 #include "matrix/coo.hpp"
 
 namespace crsd {
+
+/// Structural fingerprint of a COO matrix: dimensions plus the per-diagonal
+/// nonzero population histogram, hashed with FNV-1a. Values are ignored —
+/// every CRSD construction decision (liveness, fill/break, scatter
+/// extraction) depends only on where the nonzeros sit, so two matrices with
+/// equal hashes tune identically. This keys the persistent autotune cache:
+/// re-ingesting a matrix (or a value-updated revision of it, the classic
+/// OSKI workload) skips the search.
+template <Real T>
+std::uint64_t structure_hash(const Coo<T>& a) {
+  std::vector<diag_offset_t> offs;
+  offs.reserve(static_cast<std::size_t>(a.nnz()));
+  for (size64_t k = 0; k < a.nnz(); ++k) {
+    offs.push_back(a.col_indices()[k] - a.row_indices()[k]);
+  }
+  std::sort(offs.begin(), offs.end());
+
+  std::string bytes;
+  bytes.reserve(64);
+  auto put = [&bytes](std::int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  put(a.num_rows());
+  put(a.num_cols());
+  for (std::size_t i = 0; i < offs.size();) {
+    std::size_t j = i;
+    while (j < offs.size() && offs[j] == offs[i]) ++j;
+    put(offs[i]);                             // diagonal offset
+    put(static_cast<std::int64_t>(j - i));    // its population
+    i = j;
+  }
+  return fnv1a64(bytes);
+}
 
 /// Reconstructs the canonical COO a CRSD matrix stores. Diagonal-part slots
 /// of scatter rows are skipped (those rows live authoritatively in the

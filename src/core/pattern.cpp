@@ -45,6 +45,25 @@ std::vector<DiagonalGroup> group_diagonals(
   return groups;
 }
 
+std::vector<DiagonalPattern> coalesce_live_sets(
+    std::vector<std::vector<diag_offset_t>>& live_sets, index_t mrows) {
+  std::vector<DiagonalPattern> patterns;
+  for (std::size_t seg = 0; seg < live_sets.size(); ++seg) {
+    auto& set = live_sets[seg];
+    if (!patterns.empty() && patterns.back().offsets == set) {
+      ++patterns.back().num_segments;
+      continue;
+    }
+    DiagonalPattern p;
+    p.start_row = static_cast<index_t>(seg) * mrows;
+    p.num_segments = 1;
+    p.offsets = std::move(set);
+    p.groups = group_diagonals(p.offsets);
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
 index_t DiagonalPattern::max_adjacent_width() const {
   index_t w = 0;
   for (const auto& g : groups) {

@@ -61,6 +61,14 @@ struct DiagonalPattern {
 /// Renders a pattern in the paper's notation: "{(NAD,1),(AD,2),(NAD,2)}".
 std::string pattern_to_string(const DiagonalPattern& p);
 
+/// Merges per-segment live-diagonal sets (ascending offsets, one set per
+/// row segment) into maximal equal-set pattern runs — builder pass 3. Both
+/// the serial and the parallel builder derive their pattern list through
+/// this one function, so run coalescing cannot diverge between them.
+/// Consumes the sets (they are moved into the patterns).
+std::vector<DiagonalPattern> coalesce_live_sets(
+    std::vector<std::vector<diag_offset_t>>& live_sets, index_t mrows);
+
 /// Global-segment subrange of a pattern where the branch-free interior
 /// kernel applies: every lane exists (the segment is full) and every
 /// `row + offset` is in [0, num_cols) for every live diagonal, so no clamp

@@ -75,6 +75,16 @@ SweepCost crsd_sweep_cost(const CrsdStats& s, index_t num_rows,
 double cpu_spmv_seconds(const CpuSystemSpec& spec, const SweepCost& cost,
                         int threads, bool double_precision);
 
+/// Roofline proxy for ranking CRSD candidate configurations without running
+/// them: single-thread bandwidth-bound seconds of one sweep over the
+/// candidate's storage (crsd_sweep_cost under the default system spec).
+/// The absolute scale is a CPU's, not the simulated GPU's, but both are
+/// dominated by the same streamed-bytes term, so the *ordering* over
+/// candidates tracks the measured ordering — which is all the autotuner's
+/// pruning needs.
+double predict_crsd_spmv_seconds(const CrsdStats& stats, index_t num_rows,
+                                 int value_bytes, bool double_precision);
+
 /// Byte/flop traffic of one row segment of pattern `p` in the CRSD diagonal
 /// part: the segment's value slots stream once, every diagonal rereads its
 /// x window, and y is written once. Inline so header-only inspectors

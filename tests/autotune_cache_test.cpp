@@ -1,0 +1,224 @@
+// Autotuner search-policy suite: persistent-cache hit/miss behaviour and
+// recovery from corrupted entries, cost-model pruning accounting (no silent
+// caps — measured + pruned must equal the grid), concurrent evaluation
+// determinism, the structure-hash cache key, and the summary report.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "kernels/crsd_autotune.hpp"
+#include "matrix/generators.hpp"
+
+namespace crsd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh private cache directory per test (removed on destruction), so
+/// tests cannot see each other's entries or leftovers of earlier runs.
+struct TempCacheDir {
+  fs::path path;
+  explicit TempCacheDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("crsd-tune-test-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+kernels::AutotuneSpace small_space() {
+  kernels::AutotuneSpace space;
+  space.mrows = {32, 64};
+  space.fill_max_gap_segments = {0, 1};
+  space.live_min_fill = {0.5};
+  space.use_local_memory = {true, false};
+  return space;  // 2 x 2 x 1 configs, 8 trials
+}
+
+Coo<double> test_matrix(int seed = 3) {
+  Rng rng(seed);
+  auto a = broken_diagonals(
+      400, {{-64, 0.6, 5}, {-1, 1.0, 1}, {0, 1.0, 1}, {1, 1.0, 1},
+            {64, 0.5, 6}},
+      rng);
+  inject_scatter(a, 40, rng);
+  return a;
+}
+
+TEST(AutotuneCache, MissThenHitWithZeroMeasuredTrials) {
+  TempCacheDir dir("hit");
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  const auto a = test_matrix();
+  kernels::AutotuneOptions opts;
+  opts.cache_dir = dir.path.string();
+
+  const auto cold = kernels::autotune_crsd(dev, a, small_space(), opts);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.measured_trials, 0);
+  EXPECT_FALSE(cold.cache_key.empty());
+
+  // Warm run: same matrix, same space -> the acceptance path. Zero trials
+  // measured, best configuration reproduced exactly.
+  const auto warm = kernels::autotune_crsd(dev, a, small_space(), opts);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.measured_trials, 0);
+  EXPECT_TRUE(warm.trials.empty());
+  EXPECT_EQ(warm.best_config.mrows, cold.best_config.mrows);
+  EXPECT_EQ(warm.best_config.fill_max_gap_segments,
+            cold.best_config.fill_max_gap_segments);
+  EXPECT_DOUBLE_EQ(warm.best_config.live_min_fill,
+                   cold.best_config.live_min_fill);
+  EXPECT_EQ(warm.best_local_memory, cold.best_local_memory);
+  EXPECT_DOUBLE_EQ(warm.best_seconds, cold.best_seconds);
+  EXPECT_NE(warm.summary().find("cache hit"), std::string::npos);
+}
+
+TEST(AutotuneCache, CorruptedEntryIsAMissAndGetsRepaired) {
+  TempCacheDir dir("corrupt");
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  const auto a = test_matrix();
+  kernels::AutotuneOptions opts;
+  opts.cache_dir = dir.path.string();
+
+  const auto cold = kernels::autotune_crsd(dev, a, small_space(), opts);
+  const fs::path entry = dir.path / (cold.cache_key + ".txt");
+  ASSERT_TRUE(fs::exists(entry));
+
+  // Corrupt the entry in several ways; each must read as a miss, never as
+  // garbage configuration, and the re-tune must repair the file.
+  for (const char* garbage :
+       {"", "not-a-cache-file\n",
+        "crsd-tune-v1\nmrows 0\ngap 0\nmin_fill 0.5\nlocal 1\nseconds 1e-5\n",
+        "crsd-tune-v1\nmrows 64\ngap 1\nmin_fill 2.5\nlocal 1\nseconds 1e-5\n",
+        "crsd-tune-v1\nmrows sixty-four\n"}) {
+    {
+      std::ofstream out(entry);
+      out << garbage;
+    }
+    const auto retuned = kernels::autotune_crsd(dev, a, small_space(), opts);
+    EXPECT_FALSE(retuned.cache_hit) << "garbage: " << garbage;
+    EXPECT_GT(retuned.measured_trials, 0);
+    EXPECT_EQ(retuned.best_config.mrows, cold.best_config.mrows);
+  }
+  // The last re-tune republished a good entry.
+  const auto warm = kernels::autotune_crsd(dev, a, small_space(), opts);
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST(AutotuneCache, KeyTracksStructureNotValues) {
+  // Same sparsity pattern, different values -> same hash (tuning decisions
+  // depend only on structure). Different pattern -> different hash.
+  Coo<double> a(100, 100), b(100, 100), c(100, 100);
+  for (index_t r = 0; r < 100; ++r) {
+    a.add(r, r, 1.0);
+    b.add(r, r, 2.0 + r);
+    if (r + 1 < 100) c.add(r, r + 1, 1.0);
+  }
+  a.canonicalize();
+  b.canonicalize();
+  c.canonicalize();
+  EXPECT_EQ(structure_hash(a), structure_hash(b));
+  EXPECT_NE(structure_hash(a), structure_hash(c));
+}
+
+TEST(AutotuneCache, PruningAccountsForEveryTrial) {
+  TempCacheDir dir("prune");
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  const auto a = test_matrix();
+  kernels::AutotuneOptions opts;
+  opts.cache_dir = dir.path.string();
+  opts.prune_margin = 1.0;  // aggressive: only the predicted-best survives
+
+  const auto result = kernels::autotune_crsd(dev, a, small_space(), opts);
+  // No silent caps: every grid point is accounted for, measured or pruned.
+  EXPECT_EQ(static_cast<std::size_t>(result.measured_trials +
+                                     result.pruned_trials),
+            result.trials.size());
+  EXPECT_GT(result.measured_trials, 0);
+  for (const auto& trial : result.trials) {
+    EXPECT_GT(trial.predicted_seconds, 0.0);
+    if (trial.measured) {
+      EXPECT_GT(trial.seconds, 0.0);
+      EXPECT_GE(trial.seconds, result.best_seconds);
+    } else {
+      EXPECT_TRUE(std::isinf(trial.seconds));
+    }
+  }
+  // The winner always comes from a measured trial.
+  EXPECT_TRUE(std::isfinite(result.best_seconds));
+
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("measured"), std::string::npos);
+  EXPECT_NE(summary.find("pruned"), std::string::npos);
+  EXPECT_NE(summary.find("model rel error"), std::string::npos);
+}
+
+TEST(AutotuneCache, PrunedBestStaysCloseToExhaustive) {
+  // Pruning measures a subset, so its best can only be >= the exhaustive
+  // best; the model's ranking claim is that it stays within a few percent.
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  for (int seed : {3, 11}) {
+    TempCacheDir dir("winner" + std::to_string(seed));
+    const auto a = test_matrix(seed);
+    const auto exhaustive = kernels::autotune_crsd(dev, a, small_space());
+    kernels::AutotuneOptions opts;
+    opts.cache_dir = dir.path.string();
+    const auto pruned = kernels::autotune_crsd(dev, a, small_space(), opts);
+    EXPECT_GE(pruned.best_seconds, exhaustive.best_seconds * (1.0 - 1e-12));
+    EXPECT_LE(pruned.best_seconds, exhaustive.best_seconds * 1.05)
+        << "cost-model pruning discarded a much faster configuration";
+  }
+}
+
+TEST(AutotuneCache, ParallelEvaluationMatchesSerial) {
+  // Trials land in fixed grid slots and simulated seconds are derived from
+  // event counters, so a pool changes wall clock only — never the result.
+  TempCacheDir dir("par");
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  const auto a = test_matrix();
+  kernels::AutotuneOptions serial_opts;
+  serial_opts.use_cache = false;
+  const auto serial = kernels::autotune_crsd(dev, a, small_space(),
+                                             serial_opts);
+  ThreadPool pool(4);
+  kernels::AutotuneOptions par_opts;
+  par_opts.use_cache = false;
+  par_opts.pool = &pool;
+  const auto parallel = kernels::autotune_crsd(dev, a, small_space(),
+                                               par_opts);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    EXPECT_EQ(serial.trials[i].measured, parallel.trials[i].measured) << i;
+    EXPECT_DOUBLE_EQ(serial.trials[i].seconds, parallel.trials[i].seconds)
+        << i;
+    EXPECT_DOUBLE_EQ(serial.trials[i].predicted_seconds,
+                     parallel.trials[i].predicted_seconds)
+        << i;
+  }
+  EXPECT_DOUBLE_EQ(serial.best_seconds, parallel.best_seconds);
+  EXPECT_EQ(serial.best_config.mrows, parallel.best_config.mrows);
+}
+
+TEST(AutotuneCache, LegacyOverloadStaysExhaustive) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  const auto a = test_matrix();
+  const auto result = kernels::autotune_crsd(dev, a, small_space());
+  EXPECT_EQ(static_cast<std::size_t>(result.measured_trials),
+            result.trials.size());
+  EXPECT_EQ(result.pruned_trials, 0);
+  EXPECT_FALSE(result.cache_hit);
+  for (const auto& trial : result.trials) EXPECT_TRUE(trial.measured);
+}
+
+}  // namespace
+}  // namespace crsd

@@ -1,0 +1,275 @@
+// Determinism suite for the parallel CRSD construction pipeline: the
+// parallel builder must produce bitwise-identical storage to the serial
+// reference at every thread count, on every structure shape the builder
+// handles (clean diagonals, ragged edges, broken diagonals, scatter-heavy
+// random noise, empty and degenerate inputs). Also covers the index_t
+// overflow guard (with an injected limit, so the tests need no 2^31-entry
+// matrices), the parallel_sort/run_tasks ThreadPool primitives the pipeline
+// is built on, and the validate_same_storage oracle itself.
+//
+// Every suite name here contains "Parallel" on purpose: the TSan CI job
+// selects its tests with -R "(ThreadPool|Parallel|...)", so the whole
+// determinism suite runs under ThreadSanitizer on every PR, at the thread
+// counts of the job's CRSD_BUILD_THREADS matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "check/validate.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/builder.hpp"
+#include "matrix/generators.hpp"
+
+namespace crsd {
+namespace {
+
+Coo<double> random_sparse(index_t n, index_t m, size64_t nnz, int seed) {
+  Rng rng(seed);
+  Coo<double> a(n, m);
+  for (size64_t k = 0; k < nnz; ++k) {
+    a.add(rng.next_index(0, n - 1), rng.next_index(0, m - 1),
+          rng.next_double(-1.0, 1.0));
+  }
+  a.canonicalize();
+  return a;
+}
+
+/// The structure zoo every determinism test sweeps: each entry stresses a
+/// different builder path (pure diagonals, ragged edge extension, gap
+/// bridging vs breaking, scatter extraction, diagonal-structure-free).
+std::vector<Coo<double>> structure_zoo() {
+  std::vector<Coo<double>> zoo;
+  Rng rng(7);
+  zoo.push_back(stencil_9pt_2d(23, 17));
+  zoo.push_back(dense_band(300, 3));
+  zoo.push_back(full_diagonals(257, {-64, -1, 0, 1, 64}, rng));
+  zoo.push_back(broken_diagonals(
+      300, {{-40, 0.55, 11}, {0, 1.0, 1}, {40, 0.7, 12}}, rng));
+  zoo.push_back(random_sparse(400, 400, 2500, 41));  // scatter-dominated
+  zoo.push_back(random_sparse(96, 512, 900, 42));    // wide rectangular
+  return zoo;
+}
+
+void expect_identical(const CrsdMatrix<double>& ref,
+                      const CrsdMatrix<double>& got, const char* what) {
+  const auto diags = check::validate_same_storage(ref, got);
+  EXPECT_TRUE(diags.empty()) << what << ":\n"
+                             << check::format_diagnostics(diags);
+}
+
+TEST(ParallelBuild, BitwiseIdenticalAcrossThreadCounts) {
+  for (const auto& a : structure_zoo()) {
+    for (index_t mrows : {16, 64}) {
+      CrsdConfig cfg;
+      cfg.mrows = mrows;
+      const auto serial = build_crsd(a, cfg);
+      for (int threads : {2, 4, 8}) {
+        ThreadPool pool(threads);
+        cfg.threads = threads;
+        const auto parallel = build_crsd(a, cfg, &pool);
+        expect_identical(serial, parallel, "parallel build diverged");
+      }
+    }
+  }
+}
+
+TEST(ParallelBuild, BitwiseIdenticalUnderNonDefaultKnobs) {
+  Rng rng(24);
+  const auto a = broken_diagonals(
+      256, {{-30, 0.5, 21}, {0, 0.9, 7}, {30, 0.6, 9}}, rng);
+  for (index_t gap : {0, 4}) {
+    for (double fill : {0.25, 0.75}) {
+      for (bool zero_scatter : {true, false}) {
+        CrsdConfig cfg;
+        cfg.mrows = 32;
+        cfg.fill_max_gap_segments = gap;
+        cfg.live_min_fill = fill;
+        cfg.zero_scatter_rows_in_dia = zero_scatter;
+        const auto serial = build_crsd(a, cfg);
+        ThreadPool pool(4);
+        cfg.threads = 4;
+        expect_identical(serial, build_crsd(a, cfg, &pool),
+                         "knob sweep diverged");
+      }
+    }
+  }
+}
+
+TEST(ParallelBuild, EdgeCaseMatrices) {
+  ThreadPool pool(4);
+  // Empty, single-entry, single-row, and shorter-than-one-segment inputs.
+  std::vector<Coo<double>> edges;
+  edges.emplace_back(5, 7);  // no nonzeros at all
+  {
+    Coo<double> one(64, 64);
+    one.add(63, 0, 2.5);
+    one.canonicalize();
+    edges.push_back(std::move(one));
+  }
+  {
+    Coo<double> row(1, 200);
+    for (index_t c = 0; c < 200; c += 3) row.add(0, c, double(c + 1));
+    row.canonicalize();
+    edges.push_back(std::move(row));
+  }
+  edges.push_back(dense_band(7, 2));  // rows < mrows: one ragged segment
+  for (auto& a : edges) {
+    a.canonicalize();
+    CrsdConfig cfg;
+    cfg.mrows = 16;
+    const auto serial = build_crsd(a, cfg);
+    cfg.threads = 4;
+    expect_identical(serial, build_crsd(a, cfg, &pool), "edge case diverged");
+  }
+}
+
+// The CI TSan job runs this suite under a CRSD_BUILD_THREADS matrix; this
+// test builds at exactly that thread count (default 4) so each matrix leg
+// exercises a distinct parallel schedule under the race detector.
+TEST(ParallelBuild, EnvThreadCountMatchesSerial) {
+  int threads = 4;
+  if (const char* env = std::getenv("CRSD_BUILD_THREADS");
+      env != nullptr && *env != '\0') {
+    threads = std::clamp(std::atoi(env), 1, 16);
+  }
+  ThreadPool pool(threads);
+  for (const auto& a : structure_zoo()) {
+    CrsdConfig cfg;
+    cfg.mrows = 32;
+    const auto serial = build_crsd(a, cfg);
+    cfg.threads = threads;
+    expect_identical(serial, build_crsd(a, cfg, &pool),
+                     "env thread count diverged");
+  }
+}
+
+TEST(ParallelBuild, OneThreadPoolFallsBackToSerial) {
+  const auto a = stencil_5pt_2d(20, 20);
+  CrsdConfig cfg;
+  cfg.mrows = 16;
+  const auto serial = build_crsd(a, cfg);
+  ThreadPool pool(1);
+  cfg.threads = 8;  // intent says parallel, but the pool is 1 wide
+  expect_identical(serial, build_crsd(a, cfg, &pool), "1-thread fallback");
+}
+
+TEST(ParallelBuild, SameStorageOracleDetectsDifferences) {
+  const auto a = dense_band(128, 2);
+  const auto m1 = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m2 = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto diags = check::validate_same_storage(m1, m2);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(check::has_code(diags, check::Code::kStorageMismatch));
+  // Identity holds reflexively.
+  EXPECT_TRUE(check::validate_same_storage(m1, m1).empty());
+}
+
+// --- Overflow guard -------------------------------------------------------
+
+TEST(ParallelBuild, OverflowGuardFlagsNnz) {
+  const auto diags =
+      detail::check_build_limits(/*nnz=*/1001, /*mrows=*/64,
+                                 /*patterns=*/nullptr, 0, 0,
+                                 /*max_index=*/1000);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, check::Code::kIndexOverflow);
+  EXPECT_THROW(detail::throw_on_limit_overflow(diags), check::DiagnosticError);
+  try {
+    detail::throw_on_limit_overflow(diags);
+  } catch (const check::DiagnosticError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].code, check::Code::kIndexOverflow);
+  }
+}
+
+TEST(ParallelBuild, OverflowGuardFlagsPatternAndScatterSlots) {
+  std::vector<DiagonalPattern> patterns(1);
+  patterns[0].num_segments = 1;
+  patterns[0].offsets.assign(10, 0);  // 10 diagonals x mrows 100 = 1000 slots
+  for (std::size_t i = 0; i < patterns[0].offsets.size(); ++i) {
+    patterns[0].offsets[i] = static_cast<diag_offset_t>(i);
+  }
+  const auto pattern_diags = detail::check_build_limits(
+      /*nnz=*/10, /*mrows=*/100, &patterns, 0, 0, /*max_index=*/999);
+  ASSERT_EQ(pattern_diags.size(), 1u);
+  EXPECT_EQ(pattern_diags[0].code, check::Code::kIndexOverflow);
+  EXPECT_EQ(pattern_diags[0].offset, 0);  // names the offending pattern
+
+  const auto ell_diags = detail::check_build_limits(
+      /*nnz=*/10, /*mrows=*/100, &patterns,
+      /*num_scatter_rows=*/50, /*scatter_width=*/20, /*max_index=*/999);
+  ASSERT_EQ(ell_diags.size(), 2u);  // pattern slots + 50*20 ELL slots
+  EXPECT_EQ(ell_diags[1].code, check::Code::kIndexOverflow);
+}
+
+TEST(ParallelBuild, OverflowGuardPassesNormalMatrices) {
+  EXPECT_NO_THROW(build_crsd(dense_band(200, 2), CrsdConfig{.mrows = 32}));
+  EXPECT_TRUE(detail::check_build_limits(
+                  /*nnz=*/std::numeric_limits<index_t>::max(), 64, nullptr, 0,
+                  0)
+                  .empty());
+}
+
+// --- ThreadPool primitives the pipeline is built on -----------------------
+
+TEST(ParallelSort, MatchesStdSortOnUniqueKeys) {
+  Rng rng(7);
+  std::vector<std::pair<int, int>> keys;
+  for (int i = 0; i < 20000; ++i) keys.emplace_back(i, 20000 - i);
+  for (std::size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1],
+              keys[static_cast<std::size_t>(
+                  rng.next_index(0, static_cast<index_t>(i) - 1))]);
+  }
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (int threads : {1, 2, 4, 8}) {
+    auto got = keys;
+    ThreadPool pool(threads);
+    parallel_sort(pool, got.begin(), got.end(),
+                  [](const auto& x, const auto& y) { return x < y; });
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSort, SmallInputsFallThrough) {
+  ThreadPool pool(4);
+  std::vector<int> v = {5, 3, 9, 1};
+  parallel_sort(pool, v.begin(), v.end(), std::less<int>());
+  EXPECT_EQ(v, (std::vector<int>{1, 3, 5, 9}));
+  std::vector<int> empty;
+  parallel_sort(pool, empty.begin(), empty.end(), std::less<int>());
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ParallelRunTasks, ExecutesEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { ++hits[i]; });
+  }
+  pool.run_tasks(tasks);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "task " << i;
+  }
+  pool.run_tasks({});  // empty set is a no-op
+}
+
+TEST(ParallelRunTasks, PropagatesExceptions) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([i] {
+      if (i == 17) throw Error("task 17 failed");
+    });
+  }
+  EXPECT_THROW(pool.run_tasks(tasks), Error);
+}
+
+}  // namespace
+}  // namespace crsd
