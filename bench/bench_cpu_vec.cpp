@@ -20,6 +20,7 @@
 #include "common/timer.hpp"
 #include "core/builder.hpp"
 #include "matrix/paper_suite.hpp"
+#include "obs/metrics.hpp"
 #include "suite_runner.hpp"
 
 namespace crsd::bench {
@@ -80,10 +81,15 @@ void write_json(const std::vector<VecRow>& rows, const SuiteOptions& opts,
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "  ],\n  \"summary\": {\"geomean_speedup_vec\": %.3f, "
-                "\"geomean_speedup_jit\": %.3f, \"min_speedup_vec\": %.3f}\n}\n",
+                "\"geomean_speedup_jit\": %.3f, \"min_speedup_vec\": %.3f},\n",
                 geomean(sv), geomean(sj),
                 sv.empty() ? 0.0 : *std::min_element(sv.begin(), sv.end()));
   out << buf;
+  // Provenance: the run's metrics (builder/JIT/pool activity) ride along in
+  // the dump so regressions can be traced to behavioral changes.
+  out << "  \"obs\":\n";
+  obs::Registry::global().write_json(out, 2);
+  out << "\n}\n";
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "formats/ell.hpp"
 #include "formats/hyb.hpp"
 #include "matrix/paper_suite.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -40,6 +41,9 @@ void run_spmv_loop(benchmark::State& state, const Coo<double>& a, const M& m) {
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
   for (auto _ : state) {
+    // Tracing is off in benchmarks; the span exercises (and its numbers
+    // bound) the disabled-path cost every instrumented hot loop pays.
+    obs::Span span("bench/spmv_iter");
     m.spmv(x.data(), y.data());
     benchmark::DoNotOptimize(y.data());
     benchmark::ClobberMemory();

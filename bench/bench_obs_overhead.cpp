@@ -1,0 +1,94 @@
+// Overhead gate for the observability layer: the <2% claim, measured.
+//
+// Times the CRSD CPU SpMV hot loop twice — bare, and with a disabled
+// obs::Span constructed per iteration (the exact pattern instrumented hot
+// loops use) — and compares minimum-of-repetitions wall times. Exits
+// non-zero when the instrumented loop is more than 2% slower, so CI can run
+// this binary as the perf-smoke assertion. A second section reports (but
+// does not gate) the cost with tracing enabled, for the DESIGN.md numbers.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/builder.hpp"
+#include "matrix/generators.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace crsd;
+
+constexpr int kReps = 7;
+constexpr double kMaxOverhead = 0.02;
+constexpr int kRetries = 5;
+
+/// Minimum wall time over kReps repetitions of `iters` calls to `body`.
+template <typename F>
+double min_seconds(int iters, F&& body) {
+  double best = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer t;
+    for (int i = 0; i < iters; ++i) body(i);
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const Coo<double> a = stencil_5pt_2d(256, 256);
+  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  std::vector<double> x(static_cast<std::size_t>(m.num_cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(m.num_rows()), 0.0);
+
+  // Calibrate the iteration count so each repetition runs long enough to
+  // swamp timer resolution and scheduler noise.
+  int iters = 1;
+  for (;;) {
+    Timer t;
+    for (int i = 0; i < iters; ++i) m.spmv(x.data(), y.data());
+    if (t.seconds() > 0.05 || iters > (1 << 20)) break;
+    iters *= 2;
+  }
+
+  obs::disable_tracing();
+  double ratio = 1e30;
+  for (int attempt = 0; attempt < kRetries; ++attempt) {
+    const double bare =
+        min_seconds(iters, [&](int) { m.spmv(x.data(), y.data()); });
+    const double instrumented = min_seconds(iters, [&](int i) {
+      obs::Span span("bench/obs_overhead", "i", i);
+      m.spmv(x.data(), y.data());
+    });
+    ratio = std::min(ratio, instrumented / bare);
+    std::printf("attempt %d: bare %.6fs instrumented %.6fs ratio %.4f\n",
+                attempt, bare, instrumented, instrumented / bare);
+    if (ratio <= 1.0 + kMaxOverhead) break;
+  }
+
+  // Informational: the enabled-path cost (clock reads + ring append).
+  obs::enable_tracing();
+  const double enabled = min_seconds(iters, [&](int i) {
+    obs::Span span("bench/obs_overhead_on", "i", i);
+    m.spmv(x.data(), y.data());
+  });
+  obs::disable_tracing();
+  const double bare_ref =
+      min_seconds(iters, [&](int) { m.spmv(x.data(), y.data()); });
+  obs::clear_trace();
+  std::printf("tracing enabled: %.6fs (ratio %.4f, not gated)\n", enabled,
+              enabled / bare_ref);
+
+  std::printf("disabled-span overhead: %.2f%% (limit %.0f%%)\n",
+              (ratio - 1.0) * 100.0, kMaxOverhead * 100.0);
+  if (ratio > 1.0 + kMaxOverhead) {
+    std::printf("FAIL: disabled observability costs more than %.0f%%\n",
+                kMaxOverhead * 100.0);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

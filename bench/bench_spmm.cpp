@@ -228,8 +228,8 @@ int main(int argc, char** argv) {
         time_per_rep([&] { engine.apply_seq(x.data(), ldx, y.data(), ldy, 1); });
 
     if (with_jit) {
-      const auto kernel = codegen::make_jit_kernel_checked(m, compiler);
-      const auto spmm_kernel = codegen::make_jit_spmm_kernel_checked(m, compiler);
+      const auto kernel = codegen::make_jit_kernel(m, compiler);
+      const auto spmm_kernel = codegen::make_jit_spmm_kernel(m, compiler);
       if (kernel && spmm_kernel) {
         std::fill(y.begin(), y.end(), 0.0);
         spmm_kernel->apply(m, x.data(), ldx, y.data(), ldy, k);

@@ -10,10 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "kernels/gpu_spmv.hpp"
-#include "matrix/generators.hpp"
-#include "matrix/stats.hpp"
+#include "crsd.hpp"
 
 int main(int argc, char** argv) {
   using namespace crsd;

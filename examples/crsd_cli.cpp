@@ -14,15 +14,7 @@
 #include <iostream>
 #include <string>
 
-#include "codegen/crsd_jit_kernel.hpp"
-#include "common/timer.hpp"
-#include "core/builder.hpp"
-#include "core/serialize.hpp"
-#include "kernels/crsd_autotune.hpp"
-#include "matrix/matrix_market.hpp"
-#include "matrix/paper_suite.hpp"
-#include "matrix/spy.hpp"
-#include "matrix/stats.hpp"
+#include "crsd.hpp"
 
 namespace {
 

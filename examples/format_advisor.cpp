@@ -11,14 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "core/builder.hpp"
-#include "formats/bcsr.hpp"
-#include "formats/dcsr.hpp"
-#include "kernels/gpu_spmv.hpp"
-#include "matrix/matrix_market.hpp"
-#include "matrix/paper_suite.hpp"
-#include "matrix/spy.hpp"
-#include "matrix/stats.hpp"
+#include "crsd.hpp"
 
 namespace {
 

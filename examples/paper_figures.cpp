@@ -7,12 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "codegen/crsd_codegen.hpp"
-#include "common/rng.hpp"
-#include "core/builder.hpp"
-#include "core/dump.hpp"
-#include "matrix/generators.hpp"
-#include "matrix/spy.hpp"
+#include "crsd.hpp"
 
 namespace {
 

@@ -8,12 +8,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "codegen/crsd_jit_kernel.hpp"
-#include "common/timer.hpp"
-#include "core/builder.hpp"
-#include "formats/csr.hpp"
-#include "matrix/generators.hpp"
-#include "solver/solvers.hpp"
+#include "crsd.hpp"
 
 int main(int argc, char** argv) {
   using namespace crsd;

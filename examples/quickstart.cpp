@@ -6,12 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "codegen/crsd_jit_kernel.hpp"
-#include "common/rng.hpp"
-#include "core/builder.hpp"
-#include "core/dump.hpp"
-#include "kernels/crsd_gpu.hpp"
-#include "matrix/generators.hpp"
+#include "crsd.hpp"
 
 int main() {
   using namespace crsd;

@@ -8,14 +8,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "codegen/crsd_gpu_jit.hpp"
-#include "common/rng.hpp"
-#include "core/builder.hpp"
-#include "core/serialize.hpp"
-#include "kernels/crsd_autotune.hpp"
-#include "matrix/generators.hpp"
-#include "matrix/reorder.hpp"
-#include "matrix/spy.hpp"
+#include "crsd.hpp"
 
 int main() {
   using namespace crsd;

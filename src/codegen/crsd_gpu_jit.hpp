@@ -162,28 +162,43 @@ class CrsdGpuJitKernel {
   ScatterFn scatter_ = nullptr;
 };
 
-/// Lint-gated GPU JIT construction: generates the codelet source (or takes
-/// `source_override` — the fault-injection path for tests), lints it against
-/// `m`, and returns nullopt (after logging the findings) instead of
-/// compiling source that disagrees with the container's structure. Callers
-/// fall back to the interpreted gpu_spmv_crsd kernel.
+/// GPU JIT construction, lint-gated by default: generates the codelet
+/// source (or takes `source_override` — the fault-injection path for
+/// tests) and, with Checked::kYes, lints it against `m`, returning nullopt
+/// (after logging the findings) instead of compiling source that disagrees
+/// with the container's structure. Callers fall back to the interpreted
+/// gpu_spmv_crsd kernel. Checked::kNo skips the lint and always compiles.
 template <Real T>
-std::optional<CrsdGpuJitKernel<T>> make_gpu_jit_kernel_checked(
+std::optional<CrsdGpuJitKernel<T>> make_gpu_jit_kernel(
     const CrsdMatrix<T>& m, JitCompiler& compiler, GpuCodeletOptions opts = {},
+    Checked checked = Checked::kYes,
     const std::string* source_override = nullptr) {
   std::string source = source_override != nullptr
                            ? *source_override
                            : generate_gpu_codelet_source(m, opts);
-  const std::vector<check::Diagnostic> findings =
-      lint_gpu_codelet_source(m, source, opts.symbol_prefix);
-  if (!findings.empty()) {
-    CRSD_LOG_WARN("GPU codelet lint rejected generated source; falling back "
-                  "to the interpreted kernel:\n"
-                  << check::format_diagnostics(findings));
-    return std::nullopt;
+  if (checked == Checked::kYes) {
+    const std::vector<check::Diagnostic> findings =
+        lint_gpu_codelet_source(m, source, opts.symbol_prefix);
+    if (!findings.empty()) {
+      CRSD_LOG_WARN("GPU codelet lint rejected generated source; falling "
+                    "back to the interpreted kernel:\n"
+                    << check::format_diagnostics(findings));
+      return std::nullopt;
+    }
   }
   return std::optional<CrsdGpuJitKernel<T>>(
       CrsdGpuJitKernel<T>(std::move(source), compiler, std::move(opts)));
+}
+
+/// Deprecated alias for make_gpu_jit_kernel(m, compiler, opts,
+/// Checked::kYes, src).
+template <Real T>
+[[deprecated("use make_gpu_jit_kernel(m, compiler, opts, Checked::kYes)")]]
+std::optional<CrsdGpuJitKernel<T>> make_gpu_jit_kernel_checked(
+    const CrsdMatrix<T>& m, JitCompiler& compiler, GpuCodeletOptions opts = {},
+    const std::string* source_override = nullptr) {
+  return make_gpu_jit_kernel(m, compiler, std::move(opts), Checked::kYes,
+                             source_override);
 }
 
 }  // namespace crsd::codegen

@@ -158,53 +158,80 @@ class CrsdJitSpmmKernel {
   index_t num_scatter_rows_ = 0;
 };
 
-/// Lint-gated JIT construction: generates the codelet source (or takes
-/// `source_override` — the fault-injection path for tests), runs the static
-/// codelet lint against `m`, and only hands clean source to the compiler.
-/// On lint findings it logs them and returns nullopt so the caller falls
-/// back to the interpreted kernel instead of running a miscompiled codelet.
+/// JIT construction, lint-gated by default: generates the codelet source
+/// (or takes `source_override` — the fault-injection path for tests) and,
+/// with Checked::kYes, runs the static codelet lint against `m`, handing
+/// only clean source to the compiler. On lint findings it logs them and
+/// returns nullopt so the caller falls back to the interpreted kernel
+/// instead of running a miscompiled codelet. Checked::kNo skips the lint
+/// and always compiles.
 template <Real T>
-std::optional<CrsdJitKernel<T>> make_jit_kernel_checked(
+std::optional<CrsdJitKernel<T>> make_jit_kernel(
     const CrsdMatrix<T>& m, JitCompiler& compiler,
+    Checked checked = Checked::kYes,
     const std::string* source_override = nullptr) {
   std::string source = source_override != nullptr
                            ? *source_override
                            : generate_cpu_codelet_source(m);
-  const std::vector<check::Diagnostic> findings =
-      lint_cpu_codelet_source(m, source);
-  if (!findings.empty()) {
-    CRSD_LOG_WARN("codelet lint rejected generated source; falling back to "
-                  "the interpreted kernel:\n"
-                  << check::format_diagnostics(findings));
-    return std::nullopt;
+  if (checked == Checked::kYes) {
+    const std::vector<check::Diagnostic> findings =
+        lint_cpu_codelet_source(m, source);
+    if (!findings.empty()) {
+      CRSD_LOG_WARN("codelet lint rejected generated source; falling back to "
+                    "the interpreted kernel:\n"
+                    << check::format_diagnostics(findings));
+      return std::nullopt;
+    }
   }
   return std::optional<CrsdJitKernel<T>>(
       CrsdJitKernel<T>(m, compiler, std::move(source)));
 }
 
-/// Lint-gated SpMM JIT construction, mirroring make_jit_kernel_checked:
-/// lints the generated (or injected) multi-variant source against `m` and
-/// only hands clean source to the compiler; findings log and return nullopt
+/// SpMM JIT construction, mirroring make_jit_kernel: with Checked::kYes the
+/// generated (or injected) multi-variant source is linted against `m` and
+/// only clean source reaches the compiler; findings log and return nullopt
 /// so callers fall back to the interpreted SpMM engine.
 template <Real T>
-std::optional<CrsdJitSpmmKernel<T>> make_jit_spmm_kernel_checked(
+std::optional<CrsdJitSpmmKernel<T>> make_jit_spmm_kernel(
     const CrsdMatrix<T>& m, JitCompiler& compiler,
+    Checked checked = Checked::kYes,
     const std::string* source_override = nullptr) {
   std::string source = source_override != nullptr
                            ? *source_override
                            : generate_cpu_spmm_codelet_source(m);
-  const std::vector<int> blocks(CrsdJitSpmmKernel<T>::kBlocks.begin(),
-                                CrsdJitSpmmKernel<T>::kBlocks.end());
-  const std::vector<check::Diagnostic> findings =
-      lint_cpu_spmm_codelet_source(m, source, blocks);
-  if (!findings.empty()) {
-    CRSD_LOG_WARN("SpMM codelet lint rejected generated source; falling back "
-                  "to the interpreted SpMM engine:\n"
-                  << check::format_diagnostics(findings));
-    return std::nullopt;
+  if (checked == Checked::kYes) {
+    const std::vector<int> blocks(CrsdJitSpmmKernel<T>::kBlocks.begin(),
+                                  CrsdJitSpmmKernel<T>::kBlocks.end());
+    const std::vector<check::Diagnostic> findings =
+        lint_cpu_spmm_codelet_source(m, source, blocks);
+    if (!findings.empty()) {
+      CRSD_LOG_WARN("SpMM codelet lint rejected generated source; falling "
+                    "back to the interpreted SpMM engine:\n"
+                    << check::format_diagnostics(findings));
+      return std::nullopt;
+    }
   }
   return std::optional<CrsdJitSpmmKernel<T>>(
       CrsdJitSpmmKernel<T>(m, compiler, std::move(source)));
+}
+
+/// Deprecated alias for make_jit_kernel(m, compiler, Checked::kYes, src).
+template <Real T>
+[[deprecated("use make_jit_kernel(m, compiler, Checked::kYes)")]]
+std::optional<CrsdJitKernel<T>> make_jit_kernel_checked(
+    const CrsdMatrix<T>& m, JitCompiler& compiler,
+    const std::string* source_override = nullptr) {
+  return make_jit_kernel(m, compiler, Checked::kYes, source_override);
+}
+
+/// Deprecated alias for make_jit_spmm_kernel(m, compiler, Checked::kYes,
+/// src).
+template <Real T>
+[[deprecated("use make_jit_spmm_kernel(m, compiler, Checked::kYes)")]]
+std::optional<CrsdJitSpmmKernel<T>> make_jit_spmm_kernel_checked(
+    const CrsdMatrix<T>& m, JitCompiler& compiler,
+    const std::string* source_override = nullptr) {
+  return make_jit_spmm_kernel(m, compiler, Checked::kYes, source_override);
 }
 
 }  // namespace crsd::codegen

@@ -12,6 +12,9 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/log.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace crsd::codegen {
 
@@ -111,11 +114,23 @@ std::string JitCompiler::object_path_for(const std::string& source) const {
 }
 
 JitLibrary JitCompiler::compile_and_load(const std::string& source) {
+  obs::Span span("jit/compile_and_load", "source_bytes",
+                 static_cast<std::int64_t>(source.size()));
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Histogram& source_bytes = reg.histogram("jit.source_bytes");
+  static obs::Counter& disk_hits = reg.counter("jit.cache_hits");
+  static obs::Counter& compiles = reg.counter("jit.compilations");
+  static obs::Histogram& compile_us = reg.histogram("jit.compile_us");
+  source_bytes.record(source.size());
+
   const fs::path so_path = object_path_for(source);
   fs::create_directories(so_path.parent_path());
 
   if (!fs::exists(so_path)) {
     ++compilations_;
+    compiles.add(1);
+    obs::Span compile_span("jit/compile");
+    Timer compile_timer;
     const fs::path src_path = fs::path(so_path).replace_extension(".cpp");
     const fs::path log_path = fs::path(so_path).replace_extension(".log");
     // Every file this attempt touches gets a unique temp name and is
@@ -167,8 +182,10 @@ JitLibrary JitCompiler::compile_and_load(const std::string& source) {
     fs::rename(so_tmp, so_path);
     fs::rename(src_tmp, src_path, ec);
     fs::rename(log_tmp, log_path, ec);
+    compile_us.record(static_cast<std::uint64_t>(compile_timer.micros()));
   } else {
     ++cache_hits_;
+    disk_hits.add(1);
   }
 
   JitLibrary lib;

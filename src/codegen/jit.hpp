@@ -11,6 +11,12 @@
 
 namespace crsd::codegen {
 
+/// Whether a JIT factory runs the static codelet lint before compiling.
+/// kYes (the default everywhere) gates the compiler behind the lint and
+/// falls back (nullopt) on findings; kNo hands the source straight to the
+/// compiler — for callers that already linted or deliberately bypass it.
+enum class Checked { kNo, kYes };
+
 /// A loaded shared object. Movable, closes on destruction.
 class JitLibrary {
  public:

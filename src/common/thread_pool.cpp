@@ -1,10 +1,28 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace crsd {
+
+namespace {
+
+// Pool-wide metrics. Relaxed atomic adds — negligible next to the mutex
+// traffic the pool already pays per task.
+obs::Counter& tasks_executed_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.tasks_executed");
+  return c;
+}
+
+obs::Histogram& queue_depth_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram("pool.queue_depth");
+  return h;
+}
+
+}  // namespace
 
 ParallelPlan ParallelPlan::static_partition(index_t begin, index_t end,
                                             int parts) {
@@ -83,6 +101,7 @@ void ThreadPool::parallel_for(
 
   if (chunks == 1) {
     fn(begin, end, 0);
+    tasks_executed_counter().add(1);
     return;
   }
 
@@ -109,11 +128,13 @@ void ThreadPool::parallel_for(
     first_error_ = nullptr;
     pending_.assign(tasks.begin() + 1, tasks.end());
     outstanding_ = static_cast<int>(pending_.size());
+    queue_depth_histogram().record(pending_.size());
   }
   cv_work_.notify_all();
 
   try {
     (*mine.fn)(mine.begin, mine.end, mine.thread_id);
+    tasks_executed_counter().add(1);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -152,6 +173,7 @@ void ThreadPool::parallel_for(
   if (mine < 0) return;
   if (tasks.empty()) {
     fn(plan.part_begin(mine), plan.part_end(mine), mine);
+    tasks_executed_counter().add(1);
     return;
   }
 
@@ -163,11 +185,13 @@ void ThreadPool::parallel_for(
     first_error_ = nullptr;
     pending_ = std::move(tasks);
     outstanding_ = static_cast<int>(pending_.size());
+    queue_depth_histogram().record(pending_.size());
   }
   cv_work_.notify_all();
 
   try {
     fn(plan.part_begin(mine), plan.part_end(mine), mine);
+    tasks_executed_counter().add(1);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -185,6 +209,7 @@ void ThreadPool::parallel_for(
     }
     try {
       (*task.fn)(task.begin, task.end, task.thread_id);
+      tasks_executed_counter().add(1);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -213,6 +238,7 @@ void ThreadPool::parallel_for_chunked(
   const index_t n = end - begin;
   if (num_threads_ == 1 || n <= chunk_size) {
     fn(begin, end, 0);
+    tasks_executed_counter().add(1);
     return;
   }
 
@@ -232,6 +258,7 @@ void ThreadPool::parallel_for_chunked(
       cursor = lo;
     }
     outstanding_ = static_cast<int>(pending_.size());
+    queue_depth_histogram().record(pending_.size());
   }
   cv_work_.notify_all();
 
@@ -246,6 +273,7 @@ void ThreadPool::parallel_for_chunked(
     }
     try {
       (*task.fn)(task.begin, task.end, 0);
+      tasks_executed_counter().add(1);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -277,6 +305,8 @@ void ThreadPool::run_tasks(const std::vector<std::function<void()>>& tasks) {
 }
 
 void ThreadPool::worker_loop(int worker_id) {
+  obs::Counter& my_tasks = obs::Registry::global().counter(
+      "pool.worker." + std::to_string(worker_id) + ".tasks");
   for (;;) {
     Task task;
     {
@@ -289,6 +319,8 @@ void ThreadPool::worker_loop(int worker_id) {
     try {
       (*task.fn)(task.begin, task.end,
                  task.thread_id >= 0 ? task.thread_id : worker_id);
+      tasks_executed_counter().add(1);
+      my_tasks.add(1);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();

@@ -50,6 +50,7 @@
 #include "common/types.hpp"
 #include "core/crsd_matrix.hpp"
 #include "matrix/coo.hpp"
+#include "obs/trace.hpp"
 
 // Debug builds (and any build defining CRSD_VALIDATE_BUILD) run the full
 // invariant validator on every built matrix, including the nnz-conservation
@@ -242,6 +243,7 @@ CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
   // regroup by diagonal.
   std::vector<DiagSegCount> counts;
   {
+    obs::Span span("build/pass1_diag_counts", "segments", num_segments);
     size64_t k = 0;
     for (index_t seg = 0; seg < num_segments; ++seg) {
       const index_t row1 = std::min<index_t>(n, (seg + 1) * mrows);
@@ -261,6 +263,7 @@ CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
   std::vector<std::vector<diag_offset_t>> live(
       static_cast<std::size_t>(num_segments));
   {
+    obs::Span span("build/pass2_live_runs");
     std::size_t i = 0;
     std::vector<index_t> final_segs;
     while (i < counts.size()) {
@@ -284,7 +287,12 @@ CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
   storage.num_cols = a.num_cols();
   storage.mrows = mrows;
   storage.nnz = a.nnz();
-  storage.patterns = coalesce_live_sets(live, mrows);
+  {
+    obs::Span span("build/pass3_coalesce");
+    storage.patterns = coalesce_live_sets(live, mrows);
+    span.set_arg("patterns",
+                 static_cast<std::int64_t>(storage.patterns.size()));
+  }
 
   // Value-array base offset per pattern (paper's Σ NRS_i × NNzRS_i).
   std::vector<size64_t> base(storage.patterns.size() + 1, 0);
@@ -309,20 +317,24 @@ CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
   // Pass 4: scatter rows = rows owning at least one nonzero that is not on a
   // live diagonal of the row's pattern.
   std::vector<bool> is_scatter(static_cast<std::size_t>(n), false);
-  for (size64_t k = 0; k < a.nnz(); ++k) {
-    const index_t seg = rows[k] / mrows;
-    const auto& offs =
-        storage.patterns[static_cast<std::size_t>(
-                             pattern_of_seg[static_cast<std::size_t>(seg)])]
-            .offsets;
-    const diag_offset_t off = cols[k] - rows[k];
-    if (!std::binary_search(offs.begin(), offs.end(), off)) {
-      is_scatter[static_cast<std::size_t>(rows[k])] = true;
+  {
+    obs::Span span("build/pass4_scatter_flags");
+    for (size64_t k = 0; k < a.nnz(); ++k) {
+      const index_t seg = rows[k] / mrows;
+      const auto& offs =
+          storage.patterns[static_cast<std::size_t>(
+                               pattern_of_seg[static_cast<std::size_t>(seg)])]
+              .offsets;
+      const diag_offset_t off = cols[k] - rows[k];
+      if (!std::binary_search(offs.begin(), offs.end(), off)) {
+        is_scatter[static_cast<std::size_t>(rows[k])] = true;
+      }
     }
   }
 
   // Pass 5: scatter ELL (whole rows, §II-D: the FP operation order of those
   // rows is preserved by recomputing them entirely in the scatter phase).
+  obs::Span pass5_span("build/pass5_scatter_ell");
   std::vector<index_t> scatter_slot_of_row(static_cast<std::size_t>(n),
                                            kInvalidIndex);
   for (index_t r = 0; r < n; ++r) {
@@ -333,6 +345,7 @@ CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
     }
   }
   const index_t nsr = static_cast<index_t>(storage.scatter_rowno.size());
+  pass5_span.set_arg("scatter_rows", nsr);
   if (nsr > 0) {
     std::vector<index_t> row_nnz(static_cast<std::size_t>(nsr), 0);
     for (size64_t k = 0; k < a.nnz(); ++k) {
@@ -367,8 +380,10 @@ CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
     throw_on_limit_overflow(
         check_build_limits(a.nnz(), mrows, &storage.patterns, 0, 0));
   }
+  pass5_span.end();
 
   // Pass 6: place diagonal-part values.
+  obs::Span pass6_span("build/pass6_place_values");
   storage.dia_val.assign(base.back(), T(0));
   for (size64_t k = 0; k < a.nnz(); ++k) {
     const index_t r = rows[k];
@@ -391,6 +406,7 @@ CrsdStorage<T> build_storage_serial(const Coo<T>& a, const CrsdConfig& cfg) {
         static_cast<size64_t>(d) * mrows + static_cast<size64_t>(r % mrows);
     storage.dia_val[slot] = vals[k];
   }
+  pass6_span.end();
   return storage;
 }
 
@@ -409,9 +425,11 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
   const auto& vals = a.values();
   const index_t seg_chunk = std::max<index_t>(
       1, num_segments / (8 * static_cast<index_t>(pool.num_threads())));
+  const std::int64_t num_shards = (num_segments + seg_chunk - 1) / seg_chunk;
 
   // COO shard boundaries: the input is row-sorted, so segment s owns the
   // contiguous slice [seg_ptr[s], seg_ptr[s+1]).
+  obs::Span stage1_span("build/par1_diag_counts", "shards", num_shards);
   std::vector<size64_t> seg_ptr(static_cast<std::size_t>(num_segments) + 1);
   seg_ptr[0] = 0;
   seg_ptr[static_cast<std::size_t>(num_segments)] = a.nnz();
@@ -468,12 +486,14 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
   seg_counts.clear();
   seg_counts.shrink_to_fit();
   parallel_sort(pool, counts.begin(), counts.end(), count_key_less);
+  stage1_span.end();
 
   // Stage 2: live-run discovery per diagonal, in parallel. Each static
   // chunk of diagonals emits (segment, offset) pairs into its own bucket;
   // the buckets are merged serially (they are tiny next to nnz) and each
   // segment's offset set is sorted, which makes the merge order — and thus
   // the thread count — unobservable.
+  obs::Span stage2_span("build/par2_live_runs");
   std::vector<std::size_t> diag_begin;
   for (std::size_t i = 0; i < counts.size();) {
     diag_begin.push_back(i);
@@ -508,6 +528,7 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
     auto& set = live[static_cast<std::size_t>(s)];
     std::sort(set.begin(), set.end());
   });
+  stage2_span.end();
 
   // Stage 3: pattern-run coalescing — inherently sequential over the (few)
   // segments and shared with the serial path.
@@ -516,7 +537,12 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
   storage.num_cols = a.num_cols();
   storage.mrows = mrows;
   storage.nnz = a.nnz();
-  storage.patterns = coalesce_live_sets(live, mrows);
+  {
+    obs::Span span("build/par3_coalesce");
+    storage.patterns = coalesce_live_sets(live, mrows);
+    span.set_arg("patterns",
+                 static_cast<std::int64_t>(storage.patterns.size()));
+  }
 
   std::vector<size64_t> base(storage.patterns.size() + 1, 0);
   for (std::size_t p = 0; p < storage.patterns.size(); ++p) {
@@ -540,6 +566,7 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
   // Stage 4: scatter-row flags over the shards. Rows never span segments,
   // so each flag byte has exactly one writing shard (std::vector<bool>
   // would pack bits and race).
+  obs::Span stage4_span("build/par4_scatter_flags", "shards", num_shards);
   std::vector<std::uint8_t> is_scatter(static_cast<std::size_t>(n), 0);
   pool.parallel_for_chunked(
       0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
@@ -564,6 +591,8 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
   // fill run over the shards — every scatter row belongs to exactly one
   // shard, so its fill cursor has one writer and its entries land in COO
   // (ascending column) order, as in the serial builder.
+  stage4_span.end();
+  obs::Span stage5_span("build/par5_scatter_ell", "shards", num_shards);
   std::vector<index_t> scatter_slot_of_row(static_cast<std::size_t>(n),
                                            kInvalidIndex);
   for (index_t r = 0; r < n; ++r) {
@@ -620,6 +649,9 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
   // Stage 6: diagonal-major value packing over the shards. Every nonzero's
   // slot is fully determined by the precomputed pattern bases, so writes
   // are disjoint and order-free.
+  stage5_span.set_arg("scatter_rows", nsr);
+  stage5_span.end();
+  obs::Span stage6_span("build/par6_place_values", "shards", num_shards);
   storage.dia_val.assign(base.back(), T(0));
   pool.parallel_for_chunked(
       0, num_segments, seg_chunk, [&](index_t sb, index_t se, int) {
@@ -650,6 +682,7 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
           }
         }
       });
+  stage6_span.end();
   return storage;
 }
 
@@ -661,6 +694,8 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
 template <Real T>
 CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {},
                          ThreadPool* pool = nullptr) {
+  obs::Span span("build/build_crsd", "nnz",
+                 static_cast<std::int64_t>(a.nnz()));
   CRSD_CHECK_MSG(a.is_canonical(), "CRSD requires canonical COO input");
   CRSD_CHECK_MSG(a.num_rows() >= 1 && a.num_cols() >= 1,
                  "CRSD requires a non-empty matrix");

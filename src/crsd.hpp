@@ -1,0 +1,74 @@
+// crsd.hpp — the library's single public entry point. Applications include
+// this one header and link the crsd_* libraries; every subsystem needed for
+// the paper's pipeline (ingest -> build CRSD -> tune -> codegen/JIT ->
+// simulated-GPU SpMV -> solvers) is pulled in, together with the
+// observability layer (obs::Span / obs::Registry, CRSD_TRACE/CRSD_METRICS).
+//
+// Deliberately not included:
+//  * check/memcheck.hpp (simulator checking mode) — needs the crsd_check
+//    library; include it directly where a checker is attached.
+//  * hybrid/ (CPU+GPU hybrid execution) and solver/gpu_cg.hpp — need
+//    crsd_hybrid; include directly.
+#pragma once
+
+// Common utilities: errors, fixed-width types, RNG, timers, thread pool.
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+// Observability: trace spans + metrics registry.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Matrix ingest, generators, and analysis.
+#include "matrix/coo.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/matrix_market.hpp"
+#include "matrix/paper_suite.hpp"
+#include "matrix/reorder.hpp"
+#include "matrix/spy.hpp"
+#include "matrix/stats.hpp"
+
+// Baseline sparse formats (Bell & Garland set + blocked/delta variants).
+#include "formats/bcsr.hpp"
+#include "formats/csr.hpp"
+#include "formats/dcsr.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/format.hpp"
+#include "formats/hyb.hpp"
+
+// CRSD container: builder, matrix, inspection, persistence, updates.
+#include "core/builder.hpp"
+#include "core/crsd_matrix.hpp"
+#include "core/dump.hpp"
+#include "core/exec_plan.hpp"
+#include "core/inspect.hpp"
+#include "core/serialize.hpp"
+#include "core/update.hpp"
+
+// Simulated GPU device and launch machinery.
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+
+// Kernels: per-format simulated-GPU SpMV, the dispatcher, autotuner, SpMM.
+#include "kernels/cpu_spmm.hpp"
+#include "kernels/crsd_autotune.hpp"
+#include "kernels/crsd_gpu.hpp"
+#include "kernels/gpu_spmv.hpp"
+
+// Runtime code generation and JIT compilation.
+#include "codegen/crsd_codegen.hpp"
+#include "codegen/crsd_gpu_jit.hpp"
+#include "codegen/crsd_jit_kernel.hpp"
+#include "codegen/jit.hpp"
+
+// Iterative solvers on CRSD SpMV.
+#include "solver/block_cg.hpp"
+#include "solver/solvers.hpp"
+
+// CPU roofline model (autotuner pruning, format advisor).
+#include "perf/cpu_model.hpp"

@@ -1,9 +1,12 @@
 #include "gpusim/executor.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace crsd::gpusim {
 
@@ -43,6 +46,17 @@ LaunchResult launch(Device& device, const LaunchConfig& cfg,
                                     << " unsupported by device (max "
                                     << spec.max_workgroup_size << ")");
 
+  // Trace the launch under its kernel name (interned — the set of kernel
+  // names is small and launches are coarse); skip the name build entirely
+  // when tracing is off.
+  obs::Span span(obs::tracing_enabled()
+                     ? obs::intern("gpusim/launch/" +
+                                   (cfg.kernel_name.empty()
+                                        ? std::string("anonymous")
+                                        : cfg.kernel_name))
+                     : nullptr,
+                 "groups", cfg.num_groups);
+
   const int ncu = spec.num_compute_units;
   std::vector<Counters> per_cu(static_cast<std::size_t>(ncu));
 
@@ -76,6 +90,33 @@ LaunchResult launch(Device& device, const LaunchConfig& cfg,
   for (const Counters& c : per_cu) result.counters += c;
   result.seconds = estimate_seconds(spec, result.counters, cfg);
   result.launches = cfg.launches;
+
+  // Bridge the per-launch event counters into the metrics registry so the
+  // simulated device shows up in the same dump as the host-side metrics.
+  {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter& launches = reg.counter("gpusim.launches");
+    static obs::Counter& flops = reg.counter("gpusim.flops");
+    static obs::Counter& alu_slots = reg.counter("gpusim.alu_slots");
+    static obs::Counter& load_bytes = reg.counter("gpusim.global_load_bytes");
+    static obs::Counter& store_bytes =
+        reg.counter("gpusim.global_store_bytes");
+    static obs::Counter& cache_hits = reg.counter("gpusim.cache_hits");
+    static obs::Counter& cache_misses = reg.counter("gpusim.cache_misses");
+    static obs::Counter& local_bytes = reg.counter("gpusim.local_bytes");
+    static obs::Counter& barriers = reg.counter("gpusim.barriers");
+    static obs::Counter& wavefronts = reg.counter("gpusim.wavefronts");
+    launches.add(1);
+    flops.add(result.counters.flops);
+    alu_slots.add(result.counters.alu_slots);
+    load_bytes.add(result.counters.global_load_bytes);
+    store_bytes.add(result.counters.global_store_bytes);
+    cache_hits.add(result.counters.cache_hits);
+    cache_misses.add(result.counters.cache_misses);
+    local_bytes.add(result.counters.local_bytes);
+    barriers.add(result.counters.barriers);
+    wavefronts.add(result.counters.wavefronts);
+  }
   return result;
 }
 

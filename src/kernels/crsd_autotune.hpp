@@ -40,6 +40,7 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +49,8 @@
 #include "core/builder.hpp"
 #include "core/inspect.hpp"
 #include "kernels/crsd_gpu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/cpu_model.hpp"
 
 namespace crsd::kernels {
@@ -255,7 +258,53 @@ inline void run_trial_tasks(ThreadPool* pool,
   }
 }
 
+/// Cache entry name for a (structure, device, precision, space) tuple.
+template <Real T>
+std::string tune_cache_key(const gpusim::DeviceSpec& spec, const Coo<T>& a,
+                           const AutotuneSpace& space,
+                           const AutotuneOptions& opts) {
+  return "tune_" + fnv1a64_hex(tune_key_string(spec, a, space, opts));
+}
+
 }  // namespace detail
+
+/// A resolved persistent-cache entry: the winning configuration a previous
+/// autotune run stored for this matrix structure on this device.
+struct CachedTuning {
+  CrsdConfig config;
+  bool local_memory = true;
+  double seconds = 0.0;   ///< simulated SpMV seconds of the cached winner
+  std::string key;        ///< cache entry name
+};
+
+/// Looks up the persistent tuning cache without running any search. Returns
+/// the cached winner for this (matrix structure, device, precision, search
+/// space), or nullopt on a miss or when opts.use_cache is false. This is how
+/// dispatch layers default their configuration from earlier tuning runs
+/// without paying for a search.
+template <Real T>
+std::optional<CachedTuning> load_cached_tuning(const gpusim::DeviceSpec& spec,
+                                               const Coo<T>& a,
+                                               const AutotuneSpace& space = {},
+                                               const AutotuneOptions& opts = {}) {
+  if (!opts.use_cache) return std::nullopt;
+  obs::Span span("autotune/cache_lookup");
+  static obs::Counter& hits =
+      obs::Registry::global().counter("autotune.cache_hit");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("autotune.cache_miss");
+  CachedTuning t;
+  t.key = detail::tune_cache_key(spec, a, space, opts);
+  const std::string path =
+      (std::filesystem::path(detail::tune_cache_dir(opts)) / (t.key + ".txt"))
+          .string();
+  if (detail::tune_cache_load(path, t.config, t.local_memory, t.seconds)) {
+    hits.add(1);
+    return t;
+  }
+  misses.add(1);
+  return std::nullopt;
+}
 
 /// Searches the candidate grid for the fastest configuration, with
 /// cost-model pruning, concurrent evaluation, and the persistent cache per
@@ -267,26 +316,24 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
   CRSD_CHECK_MSG(!space.mrows.empty(), "empty search space");
   namespace fs = std::filesystem;
 
+  obs::Span search_span("autotune/search");
+
   AutotuneResult result;
   std::string cache_dir;
   std::string cache_path;
   if (opts.use_cache) {
     cache_dir = detail::tune_cache_dir(opts);
-    result.cache_key =
-        "tune_" + fnv1a64_hex(detail::tune_key_string(dev.spec(), a, space,
-                                                      opts));
-    cache_path = (fs::path(cache_dir) / (result.cache_key + ".txt")).string();
-    CrsdConfig cached_cfg;
-    bool cached_local = true;
-    double cached_seconds = 0.0;
-    if (detail::tune_cache_load(cache_path, cached_cfg, cached_local,
-                                cached_seconds)) {
-      result.best_config = cached_cfg;
-      result.best_local_memory = cached_local;
-      result.best_seconds = cached_seconds;
+    if (std::optional<CachedTuning> cached =
+            load_cached_tuning(dev.spec(), a, space, opts)) {
+      result.cache_key = cached->key;
+      result.best_config = cached->config;
+      result.best_local_memory = cached->local_memory;
+      result.best_seconds = cached->seconds;
       result.cache_hit = true;
       return result;
     }
+    result.cache_key = detail::tune_cache_key(dev.spec(), a, space, opts);
+    cache_path = (fs::path(cache_dir) / (result.cache_key + ".txt")).string();
   }
 
   // Candidate configurations in fixed grid order; every trial owns a fixed
@@ -314,6 +361,8 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
   std::vector<std::unique_ptr<CrsdMatrix<T>>> mats(configs.size());
   std::vector<double> predicted(configs.size(), 0.0);
   {
+    obs::Span span("autotune/build_candidates", "candidates",
+                   static_cast<std::int64_t>(configs.size()));
     std::vector<std::function<void()>> tasks;
     tasks.reserve(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -342,6 +391,7 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
   // trial (Device tracks allocations, so trials must not share one).
   result.trials.resize(configs.size() * space.use_local_memory.size());
   {
+    obs::Span span("autotune/measure");
     std::vector<std::function<void()>> tasks;
     for (std::size_t c = 0; c < configs.size(); ++c) {
       for (std::size_t l = 0; l < space.use_local_memory.size(); ++l) {
@@ -408,6 +458,16 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
       ++err_n;
     }
     result.model_rel_error = err_n > 0 ? err_sum / err_n : 0.0;
+  }
+
+  {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter& measured = reg.counter("autotune.trials_measured");
+    static obs::Counter& pruned = reg.counter("autotune.trials_pruned");
+    static obs::Gauge& rel_error = reg.gauge("autotune.model_rel_error");
+    measured.add(static_cast<std::uint64_t>(result.measured_trials));
+    pruned.add(static_cast<std::uint64_t>(result.pruned_trials));
+    rel_error.set(result.model_rel_error);
   }
 
   if (opts.use_cache && result.measured_trials > 0) {

@@ -2,8 +2,11 @@
 // plus CRSD), with a convenience dispatcher used by benches and examples.
 #pragma once
 
+#include <optional>
+
 #include "core/builder.hpp"
 #include "formats/format.hpp"
+#include "kernels/crsd_autotune.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "kernels/csr_gpu.hpp"
 #include "kernels/dia_gpu.hpp"
@@ -13,6 +16,28 @@
 
 namespace crsd::kernels {
 
+/// Dispatcher knobs. A default-constructed value reproduces the historic
+/// behaviour (work-group size 128, stock CrsdGpuOptions) except that the
+/// CRSD path defaults its build configuration from the persistent autotuner
+/// cache when a tuning entry exists for the matrix structure.
+struct GpuSpmvOptions {
+  /// Work-group size for the CSR/DIA/ELL/HYB/COO kernels. The CRSD kernel
+  /// derives its group geometry from the container's mrows instead.
+  index_t work_group_size = 128;
+
+  /// CRSD execution options (local-memory staging, JIT codelet, checker).
+  CrsdGpuOptions crsd;
+
+  /// CRSD build configuration. When set it is used verbatim — explicit
+  /// configuration always wins and the tuning cache is never consulted.
+  std::optional<CrsdConfig> crsd_config;
+
+  /// When crsd_config is unset, consult the persistent autotuner cache
+  /// (kernels::load_cached_tuning) and adopt the cached winner — including
+  /// its local-memory decision — before falling back to CrsdConfig{}.
+  bool tune_from_cache = true;
+};
+
 /// Builds `format` from `a` and runs one simulated SpMV, writing y.
 /// CSR uses the vector kernel (the stronger Bell–Garland variant on the
 /// suite's row widths). Throws crsd::Error if the format does not fit in
@@ -20,40 +45,66 @@ namespace crsd::kernels {
 template <Real T>
 gpusim::LaunchResult gpu_spmv(gpusim::Device& dev, Format format,
                               const Coo<T>& a, const T* x, T* y,
-                              const CrsdConfig& crsd_cfg = {},
+                              const GpuSpmvOptions& opts,
                               ThreadPool* pool = nullptr) {
+  const index_t wgs = opts.work_group_size;
   switch (format) {
     case Format::kCsr: {
       const auto m = CsrMatrix<T>::from_coo(a);
-      return gpu_spmv_csr_vector(dev, m, x, y, 128, pool);
+      return gpu_spmv_csr_vector(dev, m, x, y, wgs, pool);
     }
     case Format::kDia: {
       const size64_t limit =
           (dev.spec().global_mem_bytes - dev.allocated_bytes()) / sizeof(T);
       const auto m = DiaMatrix<T>::from_coo(a, limit);
-      return gpu_spmv_dia(dev, m, x, y, 128, pool);
+      return gpu_spmv_dia(dev, m, x, y, wgs, pool);
     }
     case Format::kEll: {
       const auto m = EllMatrix<T>::from_coo(a);
-      return gpu_spmv_ell(dev, m, x, y, 128, pool);
+      return gpu_spmv_ell(dev, m, x, y, wgs, pool);
     }
     case Format::kHyb: {
       const auto m = HybMatrix<T>::from_coo(a);
-      return gpu_spmv_hyb(dev, m, x, y, 128, pool);
+      return gpu_spmv_hyb(dev, m, x, y, wgs, pool);
     }
     case Format::kCrsd: {
-      const auto m = build_crsd(a, crsd_cfg);
-      return gpu_spmv_crsd(dev, m, x, y, CrsdGpuOptions{}, pool);
+      CrsdConfig cfg;
+      CrsdGpuOptions gpu_opts = opts.crsd;
+      if (opts.crsd_config.has_value()) {
+        cfg = *opts.crsd_config;
+      } else if (opts.tune_from_cache) {
+        if (std::optional<CachedTuning> tuned =
+                load_cached_tuning(dev.spec(), a)) {
+          cfg = tuned->config;
+          gpu_opts.use_local_memory = tuned->local_memory;
+        }
+      }
+      const auto m = build_crsd(a, cfg);
+      return gpu_spmv_crsd(dev, m, x, y, gpu_opts, pool);
     }
     case Format::kCoo: {
       // Flat accumulate kernel over the raw triplets.
       std::fill(y, y + a.num_rows(), T(0));
       return gpu_spmv_coo_accumulate(dev, a.row_indices(), a.col_indices(),
                                      a.values(), a.num_rows(), a.num_cols(),
-                                     x, y, 128, pool);
+                                     x, y, wgs, pool);
     }
   }
   throw Error("unhandled format in gpu_spmv");
+}
+
+/// Convenience overload: explicit CRSD build configuration, everything else
+/// defaulted. Passing a CrsdConfig (even a default-constructed one) pins the
+/// CRSD build to it — the tuning cache is not consulted, so results stay
+/// deterministic for callers that sweep configurations themselves.
+template <Real T>
+gpusim::LaunchResult gpu_spmv(gpusim::Device& dev, Format format,
+                              const Coo<T>& a, const T* x, T* y,
+                              const CrsdConfig& crsd_cfg = {},
+                              ThreadPool* pool = nullptr) {
+  GpuSpmvOptions opts;
+  opts.crsd_config = crsd_cfg;
+  return gpu_spmv(dev, format, a, x, y, opts, pool);
 }
 
 }  // namespace crsd::kernels

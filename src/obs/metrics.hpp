@@ -1,0 +1,118 @@
+// Metrics registry: named counters, gauges, and log2-bucketed histograms
+// shared by every instrumented module (builder passes, autotuner, JIT
+// compiler, thread pool, simulated-GPU launches).
+//
+// Updates are lock-free relaxed atomics — instrument sites look a metric up
+// once (registration takes a mutex) and then update through the returned
+// reference, which stays valid for the process lifetime. The registry can
+// be snapshotted concurrently with updates; snapshots are monotonic but not
+// cross-metric atomic, which is what a monitoring dump wants.
+//
+// Registry::write_json emits the flat JSON dump benches embed into their
+// BENCH_*.json as provenance and that CRSD_METRICS=<path> writes at exit.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace crsd::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins floating-point level (model errors, ratios, sizes).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over fixed log2 buckets: bucket b counts samples v with
+/// bit_width(v) == b, i.e. bucket 0 holds v == 0, bucket b >= 1 holds
+/// v in [2^(b-1), 2^b). 64-bit samples need kNumBuckets = 65 buckets.
+/// count/sum ride along so dumps can report means without bucket math.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static int bucket_of(std::uint64_t v) { return std::bit_width(v); }
+  /// Inclusive lower bound of bucket b (0 for buckets 0 and 1).
+  static std::uint64_t bucket_floor(int b) {
+    return b <= 1 ? 0 : (std::uint64_t{1} << (b - 1));
+  }
+
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Name -> metric table. Metrics register on first lookup and are never
+/// removed, so references handed out stay valid; hot paths cache them:
+///
+///   static obs::Counter& hits = obs::Registry::global().counter("jit.hits");
+///   hits.add();
+class Registry {
+ public:
+  /// The process-wide registry every instrumented module reports into.
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Flat JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, buckets: {floor: n}}}}. Keys are
+  /// sorted; histograms list only non-empty buckets (keyed by their
+  /// inclusive lower bound).
+  void write_json(std::ostream& os, int indent = 0) const;
+  std::string json(int indent = 0) const;
+
+  /// Zeroes every registered metric (registrations survive).
+  void reset();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace crsd::obs

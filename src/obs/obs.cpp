@@ -1,0 +1,391 @@
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace crsd::obs {
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: references handed out stay valid across registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumented code (worker threads, atexit hooks) may
+  // still update metrics during static destruction.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  os << pad << "{\n";
+  os << pad << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    os << (first ? "" : ",") << "\n"
+       << pad << "    \"" << json_escape(name) << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+  os << pad << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    os << (first ? "" : ",") << "\n"
+       << pad << "    \"" << json_escape(name)
+       << "\": " << format_double(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+  os << pad << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    os << (first ? "" : ",") << "\n"
+       << pad << "    \"" << json_escape(name) << "\": {\"count\": "
+       << h->count() << ", \"sum\": " << h->sum() << ", \"buckets\": {";
+    bool bfirst = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;
+      os << (bfirst ? "" : ", ") << "\"" << Histogram::bucket_floor(b)
+         << "\": " << n;
+      bfirst = false;
+    }
+    os << "}}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "}\n";
+  os << pad << "}";
+}
+
+std::string Registry::json(int indent) const {
+  std::ostringstream os;
+  write_json(os, indent);
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread span storage. Fixed capacity; full rings overwrite their
+/// oldest event so a long tracing session degrades to "most recent spans"
+/// instead of unbounded growth.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+struct SpanSink {
+  std::mutex mu;  ///< writer (owning thread) vs snapshot/clear readers
+  std::uint32_t tid = 0;
+  std::vector<SpanEvent> ring;
+  std::size_t next = 0;  ///< overwrite cursor once the ring is full
+  std::uint64_t dropped = 0;
+};
+
+struct SinkRegistry {
+  std::mutex mu;
+  // shared_ptr: sinks outlive their threads so spans recorded on a worker
+  // survive until the trace is exported.
+  std::vector<std::shared_ptr<SpanSink>> sinks;
+  std::uint32_t next_tid = 1;
+};
+
+SinkRegistry& sink_registry() {
+  static SinkRegistry* r = new SinkRegistry;  // leaked, see Registry::global
+  return *r;
+}
+
+SpanSink& thread_sink() {
+  thread_local std::shared_ptr<SpanSink> sink = [] {
+    auto s = std::make_shared<SpanSink>();
+    SinkRegistry& reg = sink_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    s->tid = reg.next_tid++;
+    reg.sinks.push_back(s);
+    return s;
+  }();
+  return *sink;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, const char* arg_name,
+                 std::int64_t arg) {
+  SpanSink& s = thread_sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  SpanEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = s.tid;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  if (s.ring.size() < kRingCapacity) {
+    s.ring.push_back(ev);
+  } else {
+    s.ring[s.next] = ev;
+    s.next = (s.next + 1) % kRingCapacity;
+    ++s.dropped;
+  }
+}
+
+}  // namespace detail
+
+void enable_tracing() {
+  detail::now_ns();  // pin the trace epoch before the first span
+  detail::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() {
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  SinkRegistry& reg = sink_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& s : reg.sinks) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    s->ring.clear();
+    s->next = 0;
+    s->dropped = 0;
+  }
+}
+
+const char* intern(std::string_view s) {
+  static std::mutex mu;
+  static auto* pool = new std::unordered_set<std::string>;
+  std::lock_guard<std::mutex> lock(mu);
+  return pool->emplace(s).first->c_str();
+}
+
+std::vector<SpanEvent> trace_snapshot() {
+  std::vector<SpanEvent> out;
+  SinkRegistry& reg = sink_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& s : reg.sinks) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    out.insert(out.end(), s->ring.begin(), s->ring.end());
+  }
+  // Start-time order; ties break longer-first so an enclosing span sorts
+  // before the spans it contains.
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.dur_ns > b.dur_ns;
+  });
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  std::uint64_t total = 0;
+  SinkRegistry& reg = sink_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& s : reg.sinks) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    total += s->dropped;
+  }
+  return total;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<SpanEvent> events = trace_snapshot();
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  char buf[64];
+  for (const SpanEvent& ev : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.3f", double(ev.start_ns) / 1e3);
+    os << "  {\"name\": \"" << json_escape(ev.name)
+       << "\", \"cat\": \"crsd\", \"ph\": \"X\", \"ts\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", double(ev.dur_ns) / 1e3);
+    os << ", \"dur\": " << buf << ", \"pid\": 1, \"tid\": " << ev.tid;
+    if (ev.arg_name != nullptr) {
+      os << ", \"args\": {\"" << json_escape(ev.arg_name)
+         << "\": " << ev.arg << "}";
+    }
+    os << "}";
+  }
+  os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\", "
+     << "\"otherData\": {\"dropped_spans\": " << trace_dropped() << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "crsd-obs: cannot open trace file %s\n",
+                 path.c_str());
+    return false;
+  }
+  write_chrome_trace(out);
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "crsd-obs: failed writing trace file %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Environment enablement: CRSD_TRACE=<path> turns tracing on at startup and
+// exports the Chrome-trace file at process exit; CRSD_METRICS=<path> dumps
+// the metrics registry JSON at exit.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string& trace_out_path() {
+  static std::string* p = new std::string;
+  return *p;
+}
+
+std::string& metrics_out_path() {
+  static std::string* p = new std::string;
+  return *p;
+}
+
+struct EnvInit {
+  EnvInit() {
+    if (const char* path = std::getenv("CRSD_TRACE");
+        path != nullptr && *path != '\0') {
+      trace_out_path() = path;
+      enable_tracing();
+      std::atexit([] {
+        if (write_chrome_trace_file(trace_out_path())) {
+          std::fprintf(stderr, "crsd-obs: wrote Chrome trace %s (%zu spans)\n",
+                       trace_out_path().c_str(), trace_snapshot().size());
+        }
+      });
+    }
+    if (const char* path = std::getenv("CRSD_METRICS");
+        path != nullptr && *path != '\0') {
+      metrics_out_path() = path;
+      std::atexit([] {
+        std::ofstream out(metrics_out_path());
+        if (!out.good()) {
+          std::fprintf(stderr, "crsd-obs: cannot open metrics file %s\n",
+                       metrics_out_path().c_str());
+          return;
+        }
+        Registry::global().write_json(out);
+        out << "\n";
+      });
+    }
+  }
+};
+
+const EnvInit g_env_init;
+
+}  // namespace
+
+}  // namespace crsd::obs

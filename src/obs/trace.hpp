@@ -1,0 +1,144 @@
+// Trace spans: RAII scopes recorded into per-thread ring buffers and
+// exported as Chrome-trace JSON (chrome://tracing / ui.perfetto.dev).
+//
+// The design optimizes for the disabled case, which is what production
+// SpMV loops run with: constructing a Span while tracing is off is a single
+// branch on a relaxed atomic load — no clock read, no allocation, no store.
+// Ring buffers are allocated lazily the first time a thread records a span,
+// so a process that never enables tracing never pays a byte.
+//
+// When tracing is on, each thread appends fixed-size SpanEvent records to
+// its own ring (no cross-thread contention on the hot path beyond one
+// uncontended mutex); full rings overwrite their oldest events and count
+// the drops, so instrumentation can never grow memory without bound.
+//
+// Enablement: programmatic (enable_tracing / disable_tracing) or the
+// CRSD_TRACE environment variable — `CRSD_TRACE=out.json` switches tracing
+// on at process start and writes the Chrome-trace file at exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crsd::obs {
+
+/// One completed span. `name` and `arg_name` point at static or interned
+/// strings (see intern()); timestamps are nanoseconds since the process
+/// trace epoch.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;          ///< per-thread id, assigned on first record
+  const char* arg_name = nullptr; ///< optional numeric payload, null if unset
+  std::int64_t arg = 0;
+};
+
+namespace detail {
+
+/// The global tracing switch. Defined in obs.cpp; read relaxed on every
+/// Span construction — the only cost instrumentation adds when tracing is
+/// off.
+extern std::atomic<bool> g_tracing;
+
+/// Nanoseconds since the process trace epoch (steady clock).
+std::uint64_t now_ns();
+
+/// Appends one completed span to the calling thread's ring buffer.
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, const char* arg_name, std::int64_t arg);
+
+}  // namespace detail
+
+/// True while spans are being recorded.
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on/off. Spans already open when the state flips
+/// keep the decision made at their construction.
+void enable_tracing();
+void disable_tracing();
+
+/// Discards every recorded span and resets the drop counter (rings stay
+/// allocated). For tests and benches that want a clean capture.
+void clear_trace();
+
+/// Returns a stable pointer for a dynamic span name (kernel names, worker
+/// ids). Interned strings live for the process lifetime; the table is
+/// mutex-protected, so intern on launch-granularity paths, not per element.
+const char* intern(std::string_view s);
+
+/// All recorded spans, merged across threads and sorted by start time.
+std::vector<SpanEvent> trace_snapshot();
+
+/// Spans lost to ring-buffer wrap-around since the last clear_trace().
+std::uint64_t trace_dropped();
+
+/// Writes the Chrome-trace JSON ({"traceEvents": [...]}) for every
+/// recorded span. Loads in chrome://tracing and ui.perfetto.dev.
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace to a file path. Returns false (and logs to stderr)
+/// when the file cannot be written.
+bool write_chrome_trace_file(const std::string& path);
+
+/// RAII trace scope. `name` must outlive the trace (string literal or
+/// intern()). Pass nullptr to make the span an explicit no-op regardless of
+/// the tracing state — callers use that to skip building dynamic names:
+///
+///   obs::Span s(obs::tracing_enabled() ? obs::intern(dyn_name) : nullptr);
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (name != nullptr && tracing_enabled()) {
+      name_ = name;
+      start_ = detail::now_ns();
+    }
+  }
+
+  /// Span with a numeric payload, shown under "args" in the trace viewer.
+  Span(const char* name, const char* arg_name, std::int64_t arg)
+      : Span(name) {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches/overwrites the numeric payload after construction (for values
+  /// only known mid-scope, e.g. a pass's output size).
+  void set_arg(const char* arg_name, std::int64_t arg) {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+
+  /// True when this span will be recorded at scope exit.
+  bool active() const { return name_ != nullptr; }
+
+  /// Records the span now instead of at scope exit — for spans whose
+  /// logical end precedes the end of the enclosing scope. Idempotent; the
+  /// destructor becomes a no-op afterwards.
+  void end() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, start_, detail::now_ns() - start_,
+                          arg_name_, arg_);
+      name_ = nullptr;
+    }
+  }
+
+  ~Span() { end(); }
+
+ private:
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace crsd::obs

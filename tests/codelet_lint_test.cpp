@@ -206,7 +206,7 @@ TEST(CheckedJit, RejectsMutatedSourceWithoutCompiling) {
   // needs no working toolchain.
   const std::string bad = mutated(generate_cpu_codelet_source(m),
                                   ", 0, 127)", ", 0, 126)");
-  EXPECT_FALSE(make_jit_kernel_checked(m, compiler, &bad).has_value());
+  EXPECT_FALSE(make_jit_kernel(m, compiler, Checked::kYes, &bad).has_value());
   EXPECT_EQ(compiler.compilations(), 0);
 
   const std::string bad_gpu =
@@ -214,7 +214,7 @@ TEST(CheckedJit, RejectsMutatedSourceWithoutCompiling) {
               "if (group_id < 7) {  // pattern 1:",
               "if (group_id < 9) {  // pattern 1:");
   EXPECT_FALSE(
-      make_gpu_jit_kernel_checked(m, compiler, {}, &bad_gpu).has_value());
+      make_gpu_jit_kernel(m, compiler, {}, Checked::kYes, &bad_gpu).has_value());
   EXPECT_EQ(compiler.compilations(), 0);
 }
 
@@ -222,7 +222,7 @@ TEST(CheckedJit, CleanSourceCompilesAndMatchesScalar) {
   if (!JitCompiler::compiler_available()) GTEST_SKIP();
   const auto m = stencil_matrix();
   JitCompiler compiler = fresh_compiler();
-  auto kernel = make_jit_kernel_checked(m, compiler);
+  auto kernel = make_jit_kernel(m, compiler);
   ASSERT_TRUE(kernel.has_value());
 
   Rng rng(7);
@@ -243,7 +243,7 @@ TEST(CheckedJit, CleanGpuSourceRunsUnderTheChecker) {
   // simulated Tesla C2050), so this fixture uses a wider segment height.
   const auto m = build_crsd(stencil_5pt_2d(16, 8), CrsdConfig{.mrows = 32});
   JitCompiler compiler = fresh_compiler();
-  auto kernel = make_gpu_jit_kernel_checked(m, compiler);
+  auto kernel = make_gpu_jit_kernel(m, compiler);
   ASSERT_TRUE(kernel.has_value());
 
   Rng rng(13);

@@ -424,7 +424,7 @@ TEST(JitSpmm, AppliesAllBlockSizesWithinTolerance) {
   const auto a = random_pattern_matrix(160, 8, 41, 12);
   const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
   auto compiler = fresh_compiler();
-  const auto kernel = codegen::make_jit_spmm_kernel_checked(m, compiler);
+  const auto kernel = codegen::make_jit_spmm_kernel(m, compiler);
   ASSERT_TRUE(kernel.has_value()) << "lint rejected generated SpMM source";
 
   const index_t k = 5;
