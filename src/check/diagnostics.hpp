@@ -40,6 +40,8 @@ enum class Code {
                         ///< exceeds its range (builder overflow guard)
   kStorageMismatch,     ///< two containers that must be bitwise identical
                         ///< (serial vs parallel build) differ
+  kDeltaStream,         ///< delta-compressed column stream malformed
+                        ///< (truncated/non-monotone/out-of-range decode)
   // JIT codelet lint (crsd::codegen::lint_*_codelet_source).
   kLintMissingSymbol,   ///< expected exported codelet symbol absent
   kLintTripCount,       ///< baked loop trip count inconsistent with mrows
@@ -64,6 +66,7 @@ inline const char* code_name(Code code) {
     case Code::kNnzMismatch: return "nnz-mismatch";
     case Code::kIndexOverflow: return "index-overflow";
     case Code::kStorageMismatch: return "storage-mismatch";
+    case Code::kDeltaStream: return "delta-stream";
     case Code::kLintMissingSymbol: return "lint-missing-symbol";
     case Code::kLintTripCount: return "lint-trip-count";
     case Code::kLintBakedOffset: return "lint-baked-offset";

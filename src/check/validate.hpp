@@ -35,9 +35,12 @@
 
 #include "check/diagnostics.hpp"
 #include "common/error.hpp"
+#include "common/half.hpp"
 #include "common/types.hpp"
 #include "core/crsd_matrix.hpp"
 #include "core/pattern.hpp"
+#include "core/storage_mode.hpp"
+#include "formats/delta_stream.hpp"
 #include "matrix/coo.hpp"
 
 namespace crsd::check {
@@ -51,8 +54,11 @@ struct ValidateOptions {
 
 namespace detail {
 
-/// Borrowed view over the container fields the checks need; lets one
-/// implementation serve raw CrsdStorage and validated CrsdMatrix alike.
+/// Decoded, owning view over the container streams: values widened to T,
+/// scatter columns materialized as i32 ELL with kInvalidIndex pads. One
+/// validate_view implementation serves every storage mode this way; the
+/// encoded representations get their own integrity pass (validate_streams)
+/// before decoding. patterns/rowno stay borrowed — they are mode-invariant.
 template <Real T>
 struct CrsdView {
   index_t num_rows;
@@ -60,28 +66,13 @@ struct CrsdView {
   index_t mrows;
   size64_t nnz;
   const std::vector<DiagonalPattern>& patterns;
-  const std::vector<T>& dia_val;
+  std::vector<T> dia_val;
   const std::vector<index_t>& scatter_rowno;
   index_t scatter_width;
-  const std::vector<index_t>& scatter_col;
-  const std::vector<T>& scatter_val;
+  std::vector<index_t> scatter_col;
+  std::vector<T> scatter_val;
+  ValuePrecision value_precision;
 };
-
-template <Real T>
-CrsdView<T> make_view(const CrsdStorage<T>& s) {
-  return CrsdView<T>{s.num_rows,       s.num_cols,      s.mrows,
-                     s.nnz,            s.patterns,      s.dia_val,
-                     s.scatter_rowno,  s.scatter_width, s.scatter_col,
-                     s.scatter_val};
-}
-
-template <Real T>
-CrsdView<T> make_view(const CrsdMatrix<T>& m) {
-  return CrsdView<T>{m.num_rows(),     m.num_cols(),      m.mrows(),
-                     m.nnz(),          m.patterns(),      m.dia_values(),
-                     m.scatter_rows(), m.scatter_width(), m.scatter_col(),
-                     m.scatter_val()};
-}
 
 template <Real T>
 void emit(std::vector<Diagnostic>& out, Code code, std::int64_t where,
@@ -91,6 +82,171 @@ void emit(std::vector<Diagnostic>& out, Code code, std::int64_t where,
   d.offset = where;
   d.message = os.str();
   out.push_back(std::move(d));
+}
+
+template <Real T>
+std::vector<T> decode_value_stream(const CrsdStorage<T>& s, bool dia_part) {
+  switch (s.value_precision) {
+    case ValuePrecision::kNative:
+      return dia_part ? s.dia_val : s.scatter_val;
+    case ValuePrecision::kFloat32: {
+      const auto& src = dia_part ? s.dia_val_f32 : s.scatter_val_f32;
+      std::vector<T> out(src.size());
+      for (size64_t i = 0; i < src.size(); ++i)
+        out[i] = static_cast<T>(src[i]);
+      return out;
+    }
+    case ValuePrecision::kFloat16: {
+      const auto& src = dia_part ? s.dia_val_f16 : s.scatter_val_f16;
+      std::vector<T> out(src.size());
+      for (size64_t i = 0; i < src.size(); ++i)
+        out[i] = static_cast<T>(half_to_float(src[i]));
+      return out;
+    }
+  }
+  return {};
+}
+
+/// Integrity of the *encoded* stream representations — everything that must
+/// hold before decoding is even meaningful. Delta streams get the full
+/// treatment (pointer monotonicity/coverage, per-row varint decode, row
+/// width, ascending in-range columns — the decoder rejects all of those) as
+/// kDeltaStream errors; u16 columns check the num_cols bound and sizing.
+template <Real T>
+std::vector<Diagnostic> validate_streams(const CrsdStorage<T>& s) {
+  std::vector<Diagnostic> out;
+  const index_t nsr = static_cast<index_t>(s.scatter_rowno.size());
+  const size64_t ell_slots =
+      static_cast<size64_t>(s.scatter_width) * static_cast<size64_t>(nsr);
+  switch (s.scatter_index_mode) {
+    case ScatterIndexMode::kIndex32:
+      break;  // raw ELL; validate_view checks it directly
+    case ScatterIndexMode::kIndex16:
+      if (s.num_cols > 0xffff) {
+        std::ostringstream os;
+        os << "u16 scatter columns with num_cols=" << s.num_cols
+           << " (> 65535): real columns would collide with the pad sentinel";
+        emit<T>(out, Code::kScatterLayout, -1, os);
+      }
+      if (s.scatter_col16.size() != ell_slots) {
+        std::ostringstream os;
+        os << "scatter_col16 holds " << s.scatter_col16.size()
+           << " slots; width " << s.scatter_width << " × " << nsr
+           << " rows needs " << ell_slots;
+        emit<T>(out, Code::kScatterLayout, -1, os);
+      }
+      break;
+    case ScatterIndexMode::kDelta: {
+      if (s.scatter_delta_ptr.size() !=
+          static_cast<std::size_t>(nsr) + 1) {
+        std::ostringstream os;
+        os << "scatter_delta_ptr holds " << s.scatter_delta_ptr.size()
+           << " entries, " << nsr << " scatter rows need " << (nsr + 1);
+        emit<T>(out, Code::kDeltaStream, -1, os);
+        break;  // per-row slicing is undefined without the pointers
+      }
+      if (s.scatter_delta_ptr.front() != 0 ||
+          !std::is_sorted(s.scatter_delta_ptr.begin(),
+                          s.scatter_delta_ptr.end()) ||
+          static_cast<size64_t>(s.scatter_delta_ptr.back()) !=
+              s.scatter_delta.size()) {
+        std::ostringstream os;
+        os << "scatter_delta_ptr is not a monotone cover of the "
+           << s.scatter_delta.size() << "-byte stream";
+        emit<T>(out, Code::kDeltaStream, -1, os);
+        break;
+      }
+      std::vector<index_t> cols;
+      for (index_t i = 0; i < nsr; ++i) {
+        cols.clear();
+        const bool ok = delta::decode_ascending(
+            s.scatter_delta.data(),
+            static_cast<size64_t>(
+                s.scatter_delta_ptr[static_cast<std::size_t>(i)]),
+            static_cast<size64_t>(
+                s.scatter_delta_ptr[static_cast<std::size_t>(i) + 1]),
+            s.num_cols, cols);
+        if (!ok) {
+          std::ostringstream os;
+          os << "scatter delta stream for row index " << i
+             << " is malformed (truncated varint, zero gap, or column "
+             << "outside [0, " << s.num_cols << "))";
+          emit<T>(out, Code::kDeltaStream, i, os);
+        } else if (static_cast<index_t>(cols.size()) > s.scatter_width) {
+          std::ostringstream os;
+          os << "scatter delta stream for row index " << i << " decodes "
+             << cols.size() << " columns, ELL width is " << s.scatter_width;
+          emit<T>(out, Code::kDeltaStream, i, os);
+        }
+        if (out.size() >= 64) return out;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Decodes storage into the owning view. Native streams copy through as-is
+/// (wrong-sized hand-built fixtures propagate so validate_view reports
+/// them); encoded modes are only decoded after validate_streams passed, but
+/// the delta path still skips undecodable rows defensively.
+template <Real T>
+CrsdView<T> make_view(const CrsdStorage<T>& s) {
+  CrsdView<T> v{s.num_rows,
+                s.num_cols,
+                s.mrows,
+                s.nnz,
+                s.patterns,
+                decode_value_stream(s, /*dia_part=*/true),
+                s.scatter_rowno,
+                s.scatter_width,
+                {},
+                decode_value_stream(s, /*dia_part=*/false),
+                s.value_precision};
+  const index_t nsr = static_cast<index_t>(s.scatter_rowno.size());
+  switch (s.scatter_index_mode) {
+    case ScatterIndexMode::kIndex32:
+      v.scatter_col = s.scatter_col;
+      break;
+    case ScatterIndexMode::kIndex16:
+      v.scatter_col.resize(s.scatter_col16.size());
+      for (size64_t i = 0; i < s.scatter_col16.size(); ++i) {
+        v.scatter_col[i] = s.scatter_col16[i] == kScatterPad16
+                               ? kInvalidIndex
+                               : static_cast<index_t>(s.scatter_col16[i]);
+      }
+      break;
+    case ScatterIndexMode::kDelta: {
+      v.scatter_col.assign(
+          static_cast<size64_t>(s.scatter_width) *
+              static_cast<size64_t>(nsr),
+          kInvalidIndex);
+      std::vector<index_t> cols;
+      for (index_t i = 0;
+           i < nsr && static_cast<std::size_t>(i) + 1 <
+                          s.scatter_delta_ptr.size();
+           ++i) {
+        cols.clear();
+        if (!delta::decode_ascending(
+                s.scatter_delta.data(),
+                static_cast<size64_t>(
+                    s.scatter_delta_ptr[static_cast<std::size_t>(i)]),
+                static_cast<size64_t>(
+                    s.scatter_delta_ptr[static_cast<std::size_t>(i) + 1]),
+                s.num_cols, cols)) {
+          continue;
+        }
+        const std::size_t take = std::min<std::size_t>(
+            cols.size(), static_cast<std::size_t>(s.scatter_width));
+        for (std::size_t k = 0; k < take; ++k) {
+          v.scatter_col[k * static_cast<size64_t>(nsr) +
+                        static_cast<size64_t>(i)] = cols[k];
+        }
+      }
+      break;
+    }
+  }
+  return v;
 }
 
 /// Pattern owning global segment `seg` (linear scan; validation is cold).
@@ -221,6 +377,40 @@ std::vector<Diagnostic> validate_view(const CrsdView<T>& v,
         break;
       }
     }
+    // Per-row column discipline: live entries strictly ascending, padding
+    // only at the tail of each row's k-run. The builder emits both (the
+    // source COO is canonical), and the delta encoder plus the
+    // cross-width storage oracle rely on them — a flipped narrow index
+    // that stays in range still breaks the order and is caught here.
+    for (index_t i = 0; i < nsr && out.size() < 64; ++i) {
+      index_t prev = -1;
+      bool padded = false;
+      for (index_t k = 0; k < v.scatter_width; ++k) {
+        const size64_t s =
+            static_cast<size64_t>(k) * static_cast<size64_t>(nsr) +
+            static_cast<size64_t>(i);
+        const index_t c = v.scatter_col[s];
+        if (c == kInvalidIndex) {
+          padded = true;
+          continue;
+        }
+        if (padded) {
+          std::ostringstream os;
+          os << "scatter row " << i << " has a live column after padding "
+             << "(slot " << s << "); pads belong at the row's tail";
+          emit<T>(out, Code::kScatterLayout, static_cast<std::int64_t>(s), os);
+          break;
+        }
+        if (c >= 0 && c < v.num_cols && c <= prev) {
+          std::ostringstream os;
+          os << "scatter row " << i << " columns not strictly ascending at "
+             << "k=" << k << " (" << prev << " then " << c << ")";
+          emit<T>(out, Code::kScatterLayout, static_cast<std::int64_t>(s), os);
+          break;
+        }
+        prev = c;
+      }
+    }
   }
 
   // Padding content and scatter disjointness need a coherent value stream
@@ -271,29 +461,41 @@ std::vector<Diagnostic> validate_view(const CrsdView<T>& v,
 
 }  // namespace detail
 
-/// Validates a raw builder output (or hand-assembled mutation fixture).
+/// Validates a raw builder output (or hand-assembled mutation fixture):
+/// first the encoded-stream integrity pass (u16 bounds, delta pointers and
+/// per-row decode), then — when the streams decode at all — the structural
+/// invariants over the decoded view.
 template <Real T>
 std::vector<Diagnostic> validate(const CrsdStorage<T>& s,
                                  const ValidateOptions& opts = {}) {
-  return detail::validate_view(detail::make_view(s), opts);
+  std::vector<Diagnostic> out = detail::validate_streams(s);
+  if (has_errors(out)) return out;  // decoding is undefined past this point
+  std::vector<Diagnostic> more =
+      detail::validate_view(detail::make_view(s), opts);
+  out.insert(out.end(), more.begin(), more.end());
+  return out;
 }
 
-/// Validates a constructed CrsdMatrix via its accessors.
+/// Validates a constructed CrsdMatrix via its storage.
 template <Real T>
 std::vector<Diagnostic> validate(const CrsdMatrix<T>& m,
                                  const ValidateOptions& opts = {}) {
-  return detail::validate_view(detail::make_view(m), opts);
+  return validate(m.storage(), opts);
 }
 
 /// Cross-checks a container against its source COO: every source entry must
-/// be stored exactly once with its exact value (in the diagonal stream for
-/// non-scatter rows, in the scatter ELL for scatter rows), and no container
-/// nonzero may lack a source entry. This is the end-to-end nnz-conservation
-/// proof that builder passes 4–6 dropped or invented nothing.
+/// be stored exactly once (in the diagonal stream for non-scatter rows, in
+/// the scatter ELL for scatter rows), and no container nonzero may lack a
+/// source entry. This is the end-to-end nnz-conservation proof that builder
+/// passes 4–6 dropped or invented nothing. Values compare exactly against
+/// the source *as quantized by the storage precision* — f32/f16 streams
+/// legitimately round (and f16 may flush tiny magnitudes to zero), but any
+/// deviation beyond that round-trip is corruption.
 template <Real T>
 std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
                                          const Coo<T>& a) {
   std::vector<Diagnostic> out;
+  const ValuePrecision vp = m.value_precision();
   auto mismatch = [&out](std::int64_t where, const std::ostringstream& os) {
     if (out.size() >= 64) return;
     detail::emit<T>(out, Code::kNnzMismatch, where, os);
@@ -327,6 +529,7 @@ std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
 
   // Diagonal stream: every nonzero slot must be a source entry (scatter-row
   // duplicates are checked by the structural scatter-overlap rule, not here).
+  const std::vector<T> dia_vals = m.decoded_dia_values();
   const auto& patterns = m.patterns();
   size64_t slot = 0;
   index_t seg_base = 0;
@@ -337,7 +540,7 @@ std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
       for (index_t d = 0; d < pat.num_diagonals(); ++d) {
         const diag_offset_t off = pat.offsets[static_cast<std::size_t>(d)];
         for (index_t lane = 0; lane < m.mrows(); ++lane, ++slot) {
-          const T v = m.dia_values()[slot];
+          const T v = dia_vals[slot];
           if (v == T(0)) continue;
           const index_t r = row0 + lane;
           const std::int64_t c = static_cast<std::int64_t>(r) + off;
@@ -349,10 +552,11 @@ std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
             os << "diagonal stream stores (" << r << ", " << c << ") = " << v
                << " but the source has no entry there";
             mismatch(static_cast<std::int64_t>(slot), os);
-          } else if (it->second != v) {
+          } else if (storage_quantize(it->second, vp) != v) {
             std::ostringstream os;
             os << "diagonal stream stores (" << r << ", " << c << ") = " << v
-               << ", source has " << it->second;
+               << ", source has " << it->second << " (quantized "
+               << storage_quantize(it->second, vp) << ")";
             mismatch(static_cast<std::int64_t>(slot), os);
           } else {
             src.erase(it);
@@ -364,25 +568,28 @@ std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
   }
 
   // Scatter ELL: every filled slot must be a source entry.
+  const std::vector<index_t> scatter_cols = m.decoded_scatter_col();
+  const std::vector<T> scatter_vals = m.decoded_scatter_val();
   const index_t nsr = m.num_scatter_rows();
   for (index_t i = 0; i < nsr; ++i) {
     const index_t r = m.scatter_rows()[static_cast<std::size_t>(i)];
     for (index_t k = 0; k < m.scatter_width(); ++k) {
       const size64_t s =
           static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
-      const index_t c = m.scatter_col()[s];
+      const index_t c = scatter_cols[s];
       if (c == kInvalidIndex) continue;
-      const T v = m.scatter_val()[s];
+      const T v = scatter_vals[s];
       const auto it = src.find(key(r, c));
       if (it == src.end()) {
         std::ostringstream os;
         os << "scatter ELL stores (" << r << ", " << c << ") = " << v
            << " but the source has no entry there";
         mismatch(static_cast<std::int64_t>(s), os);
-      } else if (it->second != v) {
+      } else if (storage_quantize(it->second, vp) != v) {
         std::ostringstream os;
         os << "scatter ELL stores (" << r << ", " << c << ") = " << v
-           << ", source has " << it->second;
+           << ", source has " << it->second << " (quantized "
+           << storage_quantize(it->second, vp) << ")";
         mismatch(static_cast<std::int64_t>(s), os);
       } else {
         src.erase(it);
@@ -391,10 +598,11 @@ std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
   }
 
   // Whatever survives in the map was dropped by the container. Entries whose
-  // value is zero are legitimately indistinguishable from fill.
+  // value quantizes to zero in the storage precision are legitimately
+  // indistinguishable from fill (f16 flushes magnitudes below 2^-24).
   size64_t lost = 0;
   for (const auto& [kc, v] : src) {
-    if (v == T(0)) continue;
+    if (storage_quantize(v, vp) == T(0)) continue;
     ++lost;
     if (lost <= 4) {
       std::ostringstream os;
@@ -412,13 +620,18 @@ std::vector<Diagnostic> validate_against(const CrsdMatrix<T>& m,
   return out;
 }
 
-/// Bitwise storage comparison: every field and array of the two containers
-/// must be identical, down to the bit pattern of the value streams (memcmp,
-/// so -0.0 vs +0.0 and differing NaN payloads count as mismatches). This is
-/// the oracle the determinism suite uses to prove the parallel builder
-/// reproduces the serial reference at any thread count; each difference is
-/// reported as a kStorageMismatch diagnostic naming the field and the first
-/// offending index.
+/// Bitwise storage comparison over the *decoded* streams: every field and
+/// array of the two containers must be identical, down to the bit pattern
+/// of the (widened) value streams (memcmp, so -0.0 vs +0.0 and differing
+/// NaN payloads count as mismatches). Comparing decoded streams makes the
+/// oracle work across storage modes: a u16/delta-encoded build compares
+/// equal to an i32 build of the same content, and two builds of the same
+/// precision compare equal iff their raw streams do (the narrowing casts
+/// are injective). This is what the determinism suite uses to prove the
+/// parallel builder reproduces the serial reference at any thread count and
+/// in every compaction mode; each difference is reported as a
+/// kStorageMismatch diagnostic naming the field and the first offending
+/// index.
 template <Real T>
 std::vector<Diagnostic> validate_same_storage(const CrsdMatrix<T>& a,
                                               const CrsdMatrix<T>& b) {
@@ -479,10 +692,16 @@ std::vector<Diagnostic> validate_same_storage(const CrsdMatrix<T>& a,
       }
     }
   };
-  cmp_array("dia_val", a.dia_values(), b.dia_values());
+  const std::vector<T> dia_a = a.decoded_dia_values();
+  const std::vector<T> dia_b = b.decoded_dia_values();
+  const std::vector<index_t> col_a = a.decoded_scatter_col();
+  const std::vector<index_t> col_b = b.decoded_scatter_col();
+  const std::vector<T> sval_a = a.decoded_scatter_val();
+  const std::vector<T> sval_b = b.decoded_scatter_val();
+  cmp_array("dia_val", dia_a, dia_b);
   cmp_array("scatter_rowno", a.scatter_rows(), b.scatter_rows());
-  cmp_array("scatter_col", a.scatter_col(), b.scatter_col());
-  cmp_array("scatter_val", a.scatter_val(), b.scatter_val());
+  cmp_array("scatter_col", col_a, col_b);
+  cmp_array("scatter_val", sval_a, sval_b);
   return out;
 }
 

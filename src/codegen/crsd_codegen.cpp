@@ -22,9 +22,84 @@ struct Meta {
   index_t num_scatter_rows = 0;
   index_t scatter_width = 0;
   const char* type_name = "double";
+  /// Storage mode of the matrix the codelet is generated for. Native
+  /// fp64/fp32 + i32 storage emits the historical source byte for byte;
+  /// compact modes switch the value/column stream parameters to a raw
+  /// void* ABI and widen loads into double accumulators.
+  ValuePrecision value_precision = ValuePrecision::kNative;
+  ScatterIndexMode scol_mode = ScatterIndexMode::kIndex32;
 };
 
 std::string itos(std::int64_t v) { return std::to_string(v); }
+
+/// Text-generation policy derived from the storage mode: which type names
+/// the value stream and accumulators use, and how a value load / multiply /
+/// store line is spelled. The native policy reproduces the historical text
+/// exactly (vt/at collapse to "T", term() is the bare product).
+struct StorageCtx {
+  bool raw = false;    ///< non-native storage: void* stream parameters
+  bool widen = false;  ///< compact values: accumulate in double
+  bool half = false;   ///< f16 storage: decode bits on load
+  ScatterIndexMode scol_mode = ScatterIndexMode::kIndex32;
+
+  const char* vt() const { return raw ? "VT" : "T"; }
+  const char* at() const { return widen ? "AT" : "T"; }
+  std::string load(const std::string& val_expr) const {
+    return half ? "crsd_h2f(" + val_expr + ")" : val_expr;
+  }
+  std::string term(const std::string& val_expr,
+                   const std::string& x_expr) const {
+    if (!widen) return val_expr + " * " + x_expr;
+    return "(AT)" + load(val_expr) + " * (AT)" + x_expr;
+  }
+  std::string store(const std::string& acc_expr) const {
+    return widen ? "(T)" + acc_expr : acc_expr;
+  }
+};
+
+StorageCtx make_storage_ctx(const Meta& meta) {
+  StorageCtx sc;
+  sc.raw = meta.value_precision != ValuePrecision::kNative ||
+           meta.scol_mode != ScatterIndexMode::kIndex32;
+  sc.widen = meta.value_precision != ValuePrecision::kNative;
+  sc.half = meta.value_precision == ValuePrecision::kFloat16;
+  sc.scol_mode = meta.scol_mode;
+  return sc;
+}
+
+/// Emits the binary16 storage type and its exact widening decoder (the
+/// generated-source mirror of crsd::half_to_float — same bit algorithm, so
+/// the codelet and the interpreted kernel decode identical floats).
+void emit_half_decoder(CodeWriter& w) {
+  w.line("struct VT { std::uint16_t bits; };");
+  w.open("static inline float crsd_h2f(VT h)");
+  w.line("const std::uint32_t sign = (std::uint32_t)(h.bits & 0x8000u) << 16;");
+  w.line("const std::uint32_t exp = (h.bits >> 10) & 0x1fu;");
+  w.line("const std::uint32_t man = h.bits & 0x3ffu;");
+  w.line("std::uint32_t f;");
+  w.open("if (exp == 0)");
+  w.open("if (man == 0)");
+  w.line("f = sign;");
+  w.close();
+  w.open("else");
+  w.line("int e = 0;");
+  w.line("std::uint32_t m = man;");
+  w.line("while ((m & 0x400u) == 0) { m <<= 1; ++e; }");
+  w.line("f = sign | ((std::uint32_t)(127 - 15 - e) << 23) | "
+         "((m & 0x3ffu) << 13);");
+  w.close();
+  w.close();
+  w.open("else if (exp == 31)");
+  w.line("f = sign | 0x7f800000u | (man << 13);");
+  w.close();
+  w.open("else");
+  w.line("f = sign | ((exp + (127 - 15)) << 23) | (man << 13);");
+  w.close();
+  w.line("float out;");
+  w.line("__builtin_memcpy(&out, &f, sizeof(out));");
+  w.line("return out;");
+  w.close();
+}
 
 /// True if diagonal `off` stays inside [0, num_cols) for every row the
 /// pattern covers — then the generated x index needs no clamp.
@@ -51,8 +126,10 @@ std::string x_index_expr(const Meta& meta, const DiagonalPattern& p,
 /// `p` — used for edge segments (partial lanes / out-of-range columns).
 void emit_cpu_edge_segment_body(CodeWriter& w, const Meta& meta,
                                 const DiagonalPattern& p, index_t seg0,
-                                size64_t base, size64_t slots) {
-  w.line("const T* unit = dia_val + " + itos(static_cast<std::int64_t>(base)) +
+                                size64_t base, size64_t slots,
+                                const StorageCtx& sc) {
+  w.line("const " + std::string(sc.vt()) + "* unit = dia_val + " +
+         itos(static_cast<std::int64_t>(base)) +
          "ull + static_cast<std::uint64_t>(g - " + itos(seg0) + ") * " +
          itos(static_cast<std::int64_t>(slots)) + "ull;");
   w.line("const std::int32_t row0 = g * " + itos(meta.mrows) + ";");
@@ -64,16 +141,18 @@ void emit_cpu_edge_segment_body(CodeWriter& w, const Meta& meta,
   if (p.offsets.empty()) {
     w.line("y[r] = T(0);");
   } else {
-    w.line("T sum = T(0);");
+    w.line(std::string(sc.at()) + " sum = " + sc.at() + "(0);");
     // The unrolled per-diagonal lines: the paper's loop-unrolling
     // optimization, with the column offsets as immediates.
     for (index_t d = 0; d < p.num_diagonals(); ++d) {
       const diag_offset_t off = p.offsets[static_cast<std::size_t>(d)];
-      w.line("sum += unit[lane + " +
-             itos(static_cast<std::int64_t>(d) * meta.mrows) + "] * " +
-             x_index_expr(meta, p, off, "r") + ";");
+      w.line("sum += " +
+             sc.term("unit[lane + " +
+                         itos(static_cast<std::int64_t>(d) * meta.mrows) + "]",
+                     x_index_expr(meta, p, off, "r")) +
+             ";");
     }
-    w.line("y[r] = sum;");
+    w.line("y[r] = " + sc.store("sum") + ";");
   }
   w.close();  // lane loop
 }
@@ -84,16 +163,22 @@ void emit_cpu_edge_segment_body(CodeWriter& w, const Meta& meta,
 /// groups (the codelet analogue of the paper's local-memory staging).
 void emit_cpu_interior_loop(CodeWriter& w, const Meta& meta,
                             const DiagonalPattern& p, index_t seg0,
-                            size64_t base, size64_t slots) {
+                            size64_t base, size64_t slots,
+                            const StorageCtx& sc) {
   const index_t m = meta.mrows;
   w.open("for (std::int32_t g = i0; g < i1; ++g)");
-  w.line("const T* CRSD_RESTRICT unit = dia_val + " +
+  w.line("const " + std::string(sc.vt()) + "* CRSD_RESTRICT unit = dia_val + " +
          itos(static_cast<std::int64_t>(base)) +
          "ull + static_cast<std::uint64_t>(g - " + itos(seg0) + ") * " +
          itos(static_cast<std::int64_t>(slots)) + "ull;");
   w.line("T* CRSD_RESTRICT yy = y + static_cast<std::int64_t>(g) * " +
          itos(m) + ";");
   w.line("const T* xx = x + static_cast<std::int64_t>(g) * " + itos(m) + ";");
+  // Widened accumulation keeps the native per-diagonal loop structure but
+  // targets a stack double buffer, stored back to y in one pass at the end.
+  const bool acc_buf = sc.widen && p.num_diagonals() > 0;
+  if (acc_buf) w.line("AT acc[" + itos(m) + "];");
+  const std::string target = acc_buf ? "acc[lane]" : "yy[lane]";
   bool init = true;
   for (const auto& grp : p.groups) {
     const bool staged =
@@ -114,9 +199,11 @@ void emit_cpu_interior_loop(CodeWriter& w, const Meta& meta,
       for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
         const index_t d = grp.first_diagonal + gd;
         w.open("for (std::int32_t lane = 0; lane < " + itos(m) + "; ++lane)");
-        w.line("yy[lane] " + std::string(init ? "=" : "+=") + " unit[lane + " +
-               itos(static_cast<std::int64_t>(d) * m) + "] * xbuf[lane + " +
-               itos(gd) + "];");
+        w.line(target + " " + std::string(init ? "=" : "+=") + " " +
+               sc.term("unit[lane + " + itos(static_cast<std::int64_t>(d) * m) +
+                           "]",
+                       "xbuf[lane + " + itos(gd) + "]") +
+               ";");
         w.close();
         init = false;
       }
@@ -130,22 +217,38 @@ void emit_cpu_interior_loop(CodeWriter& w, const Meta& meta,
                      : (off > 0 ? "lane + " + itos(off)
                                 : "lane - " + itos(-std::int64_t{off}));
         w.open("for (std::int32_t lane = 0; lane < " + itos(m) + "; ++lane)");
-        w.line("yy[lane] " + std::string(init ? "=" : "+=") + " unit[lane + " +
-               itos(static_cast<std::int64_t>(d) * m) + "] * xx[" + xoff +
-               "];");
+        w.line(target + " " + std::string(init ? "=" : "+=") + " " +
+               sc.term("unit[lane + " + itos(static_cast<std::int64_t>(d) * m) +
+                           "]",
+                       "xx[" + xoff + "]") +
+               ";");
         w.close();
         init = false;
       }
     }
   }
+  if (acc_buf) {
+    w.open("for (std::int32_t lane = 0; lane < " + itos(m) + "; ++lane)");
+    w.line("yy[lane] = (T)acc[lane];");
+    w.close();
+  }
   w.close();  // interior segment loop
 }
 
 void emit_cpu_diag(CodeWriter& w, const Meta& meta,
-                   const CpuCodeletOptions& opts) {
-  w.open("extern \"C\" void " + opts.symbol_prefix +
-         "_diag(const T* dia_val, const T* x, T* y, std::int32_t seg_begin, "
-         "std::int32_t seg_end)");
+                   const CpuCodeletOptions& opts, const StorageCtx& sc) {
+  if (sc.raw) {
+    // Compact storage: the value stream travels as an untyped pointer (the
+    // host passes the active stream's data()), typed here once.
+    w.open("extern \"C\" void " + opts.symbol_prefix +
+           "_diag(const void* dia_stream, const T* x, T* y, "
+           "std::int32_t seg_begin, std::int32_t seg_end)");
+    w.line("const VT* dia_val = (const VT*)dia_stream;");
+  } else {
+    w.open("extern \"C\" void " + opts.symbol_prefix +
+           "_diag(const T* dia_val, const T* x, T* y, std::int32_t seg_begin, "
+           "std::int32_t seg_end)");
+  }
   const auto& patterns = *meta.patterns;
   for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
     const auto& p = patterns[pi];
@@ -168,7 +271,7 @@ void emit_cpu_diag(CodeWriter& w, const Meta& meta,
     if (in.begin >= in.end) {
       // No interior: the whole pattern runs on the clamped edge path.
       w.open("for (std::int32_t g = g0; g < g1; ++g)");
-      emit_cpu_edge_segment_body(w, meta, p, seg0, base, slots);
+      emit_cpu_edge_segment_body(w, meta, p, seg0, base, slots, sc);
       w.close();
     } else {
       w.line("const std::int32_t i0 = crsd_clampi(" + itos(in.begin) +
@@ -180,10 +283,10 @@ void emit_cpu_diag(CodeWriter& w, const Meta& meta,
       w.open("for (std::int32_t ei = 0; ei < 2; ++ei)");
       w.open("for (std::int32_t g = edge_bounds[2 * ei]; "
              "g < edge_bounds[2 * ei + 1]; ++g)");
-      emit_cpu_edge_segment_body(w, meta, p, seg0, base, slots);
+      emit_cpu_edge_segment_body(w, meta, p, seg0, base, slots, sc);
       w.close();
       w.close();
-      emit_cpu_interior_loop(w, meta, p, seg0, base, slots);
+      emit_cpu_interior_loop(w, meta, p, seg0, base, slots, sc);
     }
     w.close();  // pattern scope
   }
@@ -191,35 +294,122 @@ void emit_cpu_diag(CodeWriter& w, const Meta& meta,
 }
 
 void emit_cpu_scatter(CodeWriter& w, const Meta& meta,
-                      const CpuCodeletOptions& opts) {
+                      const CpuCodeletOptions& opts, const StorageCtx& sc) {
+  if (!sc.raw) {
+    w.open("extern \"C\" void " + opts.symbol_prefix +
+           "_scatter(const T* scatter_val, const std::int32_t* scatter_col, "
+           "const std::int32_t* scatter_rowno, const T* x, T* y, "
+           "std::int32_t row_begin, std::int32_t row_end)");
+    if (meta.num_scatter_rows == 0) {
+      w.line("(void)scatter_val; (void)scatter_col; (void)scatter_rowno;");
+      w.line("(void)x; (void)y; (void)row_begin; (void)row_end;");
+    } else {
+      const index_t nsr = meta.num_scatter_rows;
+      w.line("const std::int32_t i0 = row_begin < 0 ? 0 : row_begin;");
+      w.line("const std::int32_t i1 = row_end > " + itos(nsr) + " ? " +
+             itos(nsr) + " : row_end;");
+      w.open("for (std::int32_t i = i0; i < i1; ++i)");
+      w.line("T sum = T(0);");
+      for (index_t k = 0; k < meta.scatter_width; ++k) {
+        const std::string slot =
+            "i + " + itos(static_cast<std::int64_t>(k) * nsr);
+        w.open("");
+        w.line("const std::int32_t c = scatter_col[" + slot + "];");
+        w.line("if (c >= 0) sum += scatter_val[" + slot + "] * x[c];");
+        w.close();
+      }
+      w.line(
+          "y[scatter_rowno[i]] = sum;  // overwrite after the diagonal phase");
+      w.close();
+    }
+    w.close();
+    return;
+  }
+
+  // Raw-ABI scatter for compact storage: the value stream and the column
+  // representation travel untyped; delta mode additionally carries the
+  // per-row byte offsets in the aux pointer.
   w.open("extern \"C\" void " + opts.symbol_prefix +
-         "_scatter(const T* scatter_val, const std::int32_t* scatter_col, "
+         "_scatter(const void* scatter_val_stream, "
+         "const void* scatter_col_stream, const void* scatter_aux_stream, "
          "const std::int32_t* scatter_rowno, const T* x, T* y, "
          "std::int32_t row_begin, std::int32_t row_end)");
   if (meta.num_scatter_rows == 0) {
-    w.line("(void)scatter_val; (void)scatter_col; (void)scatter_rowno;");
+    w.line("(void)scatter_val_stream; (void)scatter_col_stream;");
+    w.line("(void)scatter_aux_stream; (void)scatter_rowno;");
     w.line("(void)x; (void)y; (void)row_begin; (void)row_end;");
-  } else {
-    const index_t nsr = meta.num_scatter_rows;
-    w.line("const std::int32_t i0 = row_begin < 0 ? 0 : row_begin;");
-    w.line("const std::int32_t i1 = row_end > " + itos(nsr) + " ? " +
-           itos(nsr) + " : row_end;");
+    w.close();
+    return;
+  }
+  const index_t nsr = meta.num_scatter_rows;
+  w.line("const VT* scatter_val = (const VT*)scatter_val_stream;");
+  w.line("const std::int32_t i0 = row_begin < 0 ? 0 : row_begin;");
+  w.line("const std::int32_t i1 = row_end > " + itos(nsr) + " ? " + itos(nsr) +
+         " : row_end;");
+  if (sc.scol_mode == ScatterIndexMode::kDelta) {
+    w.line("const unsigned char* deltas = "
+           "(const unsigned char*)scatter_col_stream;");
+    w.line("const std::int32_t* row_bytes = "
+           "(const std::int32_t*)scatter_aux_stream;");
     w.open("for (std::int32_t i = i0; i < i1; ++i)");
-    w.line("T sum = T(0);");
+    w.line(std::string(sc.at()) + " sum = " + sc.at() + "(0);");
+    w.line("std::int32_t pos = row_bytes[i];");
+    w.line("const std::int32_t end = row_bytes[i + 1];");
+    w.line("std::int32_t col = -1;");
+    w.line("std::int32_t k = 0;");
+    // Per-entry varint decode: absolute first column, then strictly
+    // positive gaps. Values live at the ELL slots k*nsr + i in k order.
+    w.open("while (pos < end)");
+    w.line("std::uint32_t u = 0;");
+    w.line("int sh = 0;");
+    w.line("unsigned char byte;");
+    w.open("do");
+    w.line("byte = deltas[pos++];");
+    w.line("u |= (std::uint32_t)(byte & 0x7fu) << sh;");
+    w.line("sh += 7;");
+    w.close(" while (byte & 0x80u);");
+    w.line("col = col < 0 ? (std::int32_t)u : col + (std::int32_t)u;");
+    w.line("sum += " +
+           sc.term("scatter_val[i + (std::int64_t)k * " + itos(nsr) + "]",
+                   "x[col]") +
+           ";");
+    w.line("++k;");
+    w.close();
+    w.line("y[scatter_rowno[i]] = " + sc.store("sum") +
+           ";  // overwrite after the diagonal phase");
+    w.close();
+  } else {
+    const bool narrow = sc.scol_mode == ScatterIndexMode::kIndex16;
+    w.line(narrow ? "const std::uint16_t* scatter_col = "
+                    "(const std::uint16_t*)scatter_col_stream;"
+                  : "const std::int32_t* scatter_col = "
+                    "(const std::int32_t*)scatter_col_stream;");
+    w.line("(void)scatter_aux_stream;");
+    w.open("for (std::int32_t i = i0; i < i1; ++i)");
+    w.line(std::string(sc.at()) + " sum = " + sc.at() + "(0);");
     for (index_t k = 0; k < meta.scatter_width; ++k) {
       const std::string slot = "i + " + itos(static_cast<std::int64_t>(k) * nsr);
       w.open("");
-      w.line("const std::int32_t c = scatter_col[" + slot + "];");
-      w.line("if (c >= 0) sum += scatter_val[" + slot + "] * x[c];");
+      if (narrow) {
+        w.line("const std::uint32_t c = scatter_col[" + slot + "];");
+        w.line("if (c != 65535u) sum += " +
+               sc.term("scatter_val[" + slot + "]", "x[c]") + ";");
+      } else {
+        w.line("const std::int32_t c = scatter_col[" + slot + "];");
+        w.line("if (c >= 0) sum += " +
+               sc.term("scatter_val[" + slot + "]", "x[c]") + ";");
+      }
       w.close();
     }
-    w.line("y[scatter_rowno[i]] = sum;  // overwrite after the diagonal phase");
+    w.line("y[scatter_rowno[i]] = " + sc.store("sum") +
+           ";  // overwrite after the diagonal phase");
     w.close();
   }
   w.close();
 }
 
 std::string generate_cpu(const Meta& meta, const CpuCodeletOptions& opts) {
+  const StorageCtx sc = make_storage_ctx(meta);
   CodeWriter w;
   w.line("// Generated by crsd::codegen — CRSD SpMV codelet for one matrix");
   w.line("// structure (" + itos((*meta.patterns).size()) +
@@ -229,6 +419,22 @@ std::string generate_cpu(const Meta& meta, const CpuCodeletOptions& opts) {
   w.line("#include <cstdint>");
   w.line();
   w.line("using T = " + std::string(meta.type_name) + ";");
+  if (sc.raw) {
+    w.line("// Compact storage mode: value precision " +
+           std::string(value_precision_name(meta.value_precision)) +
+           ", scatter indices " +
+           std::string(scatter_index_mode_name(meta.scol_mode)) + ".");
+    if (sc.half) {
+      emit_half_decoder(w);
+    } else {
+      w.line("using VT = " +
+             std::string(meta.value_precision == ValuePrecision::kFloat32
+                             ? "float"
+                             : "T") +
+             ";");
+    }
+    if (sc.widen) w.line("using AT = double;");
+  }
   w.line();
   w.line("#if defined(_MSC_VER) && !defined(__clang__)");
   w.line("#define CRSD_RESTRICT __restrict");
@@ -241,9 +447,9 @@ std::string generate_cpu(const Meta& meta, const CpuCodeletOptions& opts) {
   w.line("return v < lo ? lo : (v > hi ? hi : v);");
   w.close();
   w.line();
-  emit_cpu_diag(w, meta, opts);
+  emit_cpu_diag(w, meta, opts, sc);
   w.line();
-  emit_cpu_scatter(w, meta, opts);
+  emit_cpu_scatter(w, meta, opts, sc);
   return w.str();
 }
 
@@ -824,6 +1030,8 @@ Meta make_meta(const CrsdMatrix<T>& m) {
   meta.num_scatter_rows = m.num_scatter_rows();
   meta.scatter_width = m.scatter_width();
   meta.type_name = std::is_same_v<T, double> ? "double" : "float";
+  meta.value_precision = m.value_precision();
+  meta.scol_mode = m.scatter_index_mode();
   return meta;
 }
 

@@ -59,6 +59,10 @@ class CrsdGpuJitKernel {
     const index_t mrows = m.mrows();
     CRSD_CHECK_MSG(mrows % dev.spec().wavefront_size == 0,
                    "mrows must be a multiple of the wavefront size");
+    CRSD_CHECK_MSG(m.value_precision() == ValuePrecision::kNative &&
+                       m.scatter_index_mode() == ScatterIndexMode::kIndex32,
+                   "the GPU codelet supports native storage only; use the "
+                   "interpreted gpu_spmv_crsd kernel for compact storage");
     std::array<gpusim::Buffer, 6> bufs;
     bufs[kBufDiaVal] = dev.alloc(m.dia_values().size() * sizeof(T));
     bufs[kBufX] = dev.alloc(static_cast<size64_t>(m.num_cols()) * sizeof(T));
@@ -173,6 +177,13 @@ std::optional<CrsdGpuJitKernel<T>> make_gpu_jit_kernel(
     const CrsdMatrix<T>& m, JitCompiler& compiler, GpuCodeletOptions opts = {},
     Checked checked = Checked::kYes,
     const std::string* source_override = nullptr) {
+  if (m.value_precision() != ValuePrecision::kNative ||
+      m.scatter_index_mode() != ScatterIndexMode::kIndex32) {
+    CRSD_LOG_WARN("GPU JIT supports native storage only; falling back to the "
+                  "interpreted kernel (which models compact storage traffic "
+                  "directly)");
+    return std::nullopt;
+  }
   std::string source = source_override != nullptr
                            ? *source_override
                            : generate_gpu_codelet_source(m, opts);

@@ -28,6 +28,14 @@ class CrsdJitKernel {
   using ScatterFn = void (*)(const T*, const std::int32_t*,
                              const std::int32_t*, const T*, T*, std::int32_t,
                              std::int32_t);
+  /// Compact-storage ABI: value/column streams travel untyped (the codelet
+  /// bakes the real element types — float/binary16 values, u16 or varint
+  /// byte-stream columns — into its own source).
+  using RawDiagFn = void (*)(const void*, const T*, T*, std::int32_t,
+                             std::int32_t);
+  using RawScatterFn = void (*)(const void*, const void*, const void*,
+                                const std::int32_t*, const T*, T*,
+                                std::int32_t, std::int32_t);
 
   /// Generates and compiles the codelet for `m`'s structure.
   /// Throws crsd::Error if no compiler is available or compilation fails.
@@ -41,8 +49,16 @@ class CrsdJitKernel {
                 std::string source)
       : source_(std::move(source)) {
     lib_ = compiler.compile_and_load(source_);
-    diag_ = lib_.template symbol_as<DiagFn>("crsd_codelet_diag");
-    scatter_ = lib_.template symbol_as<ScatterFn>("crsd_codelet_scatter");
+    raw_abi_ = m.value_precision() != ValuePrecision::kNative ||
+               m.scatter_index_mode() != ScatterIndexMode::kIndex32;
+    if (raw_abi_) {
+      raw_diag_ = lib_.template symbol_as<RawDiagFn>("crsd_codelet_diag");
+      raw_scatter_ =
+          lib_.template symbol_as<RawScatterFn>("crsd_codelet_scatter");
+    } else {
+      diag_ = lib_.template symbol_as<DiagFn>("crsd_codelet_diag");
+      scatter_ = lib_.template symbol_as<ScatterFn>("crsd_codelet_scatter");
+    }
     num_segments_ = m.num_segments_total();
     num_scatter_rows_ = m.num_scatter_rows();
   }
@@ -50,9 +66,9 @@ class CrsdJitKernel {
   const std::string& source() const { return source_; }
 
   /// y = A*x using the compiled codelet. `m` must be the matrix the kernel
-  /// was built from (or one with identical structure).
+  /// was built from (or one with identical structure and storage mode).
   void spmv(const CrsdMatrix<T>& m, const T* x, T* y) const {
-    diag_(m.dia_values().data(), x, y, 0, num_segments_);
+    run_diag(m, x, y, 0, num_segments_);
     run_scatter(m, x, y, 0, num_scatter_rows_);
   }
 
@@ -65,7 +81,7 @@ class CrsdJitKernel {
         1, num_segments_ / (8 * static_cast<index_t>(pool.num_threads())));
     pool.parallel_for_chunked(0, num_segments_, chunk,
                               [&](index_t sb, index_t se, int) {
-                                diag_(m.dia_values().data(), x, y, sb, se);
+                                run_diag(m, x, y, sb, se);
                               });
     pool.parallel_for(0, num_scatter_rows_,
                       [&](index_t b, index_t e, int) {
@@ -74,16 +90,66 @@ class CrsdJitKernel {
   }
 
  private:
+  static const void* dia_stream(const CrsdMatrix<T>& m) {
+    const auto& s = m.storage();
+    switch (s.value_precision) {
+      case ValuePrecision::kNative: return s.dia_val.data();
+      case ValuePrecision::kFloat32: return s.dia_val_f32.data();
+      case ValuePrecision::kFloat16: return s.dia_val_f16.data();
+    }
+    return nullptr;
+  }
+  static const void* scatter_val_stream(const CrsdMatrix<T>& m) {
+    const auto& s = m.storage();
+    switch (s.value_precision) {
+      case ValuePrecision::kNative: return s.scatter_val.data();
+      case ValuePrecision::kFloat32: return s.scatter_val_f32.data();
+      case ValuePrecision::kFloat16: return s.scatter_val_f16.data();
+    }
+    return nullptr;
+  }
+  static const void* scatter_col_stream(const CrsdMatrix<T>& m) {
+    const auto& s = m.storage();
+    switch (s.scatter_index_mode) {
+      case ScatterIndexMode::kIndex32: return s.scatter_col.data();
+      case ScatterIndexMode::kIndex16: return s.scatter_col16.data();
+      case ScatterIndexMode::kDelta: return s.scatter_delta.data();
+    }
+    return nullptr;
+  }
+  static const void* scatter_aux_stream(const CrsdMatrix<T>& m) {
+    const auto& s = m.storage();
+    return s.scatter_index_mode == ScatterIndexMode::kDelta
+               ? static_cast<const void*>(s.scatter_delta_ptr.data())
+               : nullptr;
+  }
+
+  void run_diag(const CrsdMatrix<T>& m, const T* x, T* y, index_t b,
+                index_t e) const {
+    if (raw_abi_) {
+      raw_diag_(dia_stream(m), x, y, b, e);
+    } else {
+      diag_(m.dia_values().data(), x, y, b, e);
+    }
+  }
   void run_scatter(const CrsdMatrix<T>& m, const T* x, T* y, index_t b,
                    index_t e) const {
-    scatter_(m.scatter_val().data(), m.scatter_col().data(),
-             m.scatter_rows().data(), x, y, b, e);
+    if (raw_abi_) {
+      raw_scatter_(scatter_val_stream(m), scatter_col_stream(m),
+                   scatter_aux_stream(m), m.scatter_rows().data(), x, y, b, e);
+    } else {
+      scatter_(m.scatter_val().data(), m.scatter_col().data(),
+               m.scatter_rows().data(), x, y, b, e);
+    }
   }
 
   std::string source_;
   JitLibrary lib_;
+  bool raw_abi_ = false;
   DiagFn diag_ = nullptr;
   ScatterFn scatter_ = nullptr;
+  RawDiagFn raw_diag_ = nullptr;
+  RawScatterFn raw_scatter_ = nullptr;
   index_t num_segments_ = 0;
   index_t num_scatter_rows_ = 0;
 };
@@ -113,6 +179,10 @@ class CrsdJitSpmmKernel {
   CrsdJitSpmmKernel(const CrsdMatrix<T>& m, JitCompiler& compiler,
                     std::string source)
       : source_(std::move(source)) {
+    CRSD_CHECK_MSG(m.value_precision() == ValuePrecision::kNative &&
+                       m.scatter_index_mode() == ScatterIndexMode::kIndex32,
+                   "the SpMM codelet supports native storage only; "
+                   "rebuild without storage compaction for batched SpMM");
     lib_ = compiler.compile_and_load(source_);
     for (std::size_t bi = 0; bi < kBlocks.size(); ++bi) {
       const std::string stem =
@@ -173,7 +243,14 @@ std::optional<CrsdJitKernel<T>> make_jit_kernel(
   std::string source = source_override != nullptr
                            ? *source_override
                            : generate_cpu_codelet_source(m);
-  if (checked == Checked::kYes) {
+  // The structural lint models the native source shape (typed T* parameters,
+  // i32 ELL columns); compact-storage codelets use the raw-ABI text it does
+  // not know, so they compile unlinted — parity is covered by the
+  // tolerance-gated mixed-precision tests instead.
+  const bool native_storage =
+      m.value_precision() == ValuePrecision::kNative &&
+      m.scatter_index_mode() == ScatterIndexMode::kIndex32;
+  if (checked == Checked::kYes && native_storage) {
     const std::vector<check::Diagnostic> findings =
         lint_cpu_codelet_source(m, source);
     if (!findings.empty()) {
@@ -196,6 +273,13 @@ std::optional<CrsdJitSpmmKernel<T>> make_jit_spmm_kernel(
     const CrsdMatrix<T>& m, JitCompiler& compiler,
     Checked checked = Checked::kYes,
     const std::string* source_override = nullptr) {
+  if (m.value_precision() != ValuePrecision::kNative ||
+      m.scatter_index_mode() != ScatterIndexMode::kIndex32) {
+    CRSD_LOG_WARN("SpMM JIT supports native storage only; falling back to "
+                  "the interpreted SpMM engine for this compact-storage "
+                  "matrix");
+    return std::nullopt;
+  }
   std::string source = source_override != nullptr
                            ? *source_override
                            : generate_cpu_spmm_codelet_source(m);

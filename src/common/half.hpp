@@ -1,0 +1,110 @@
+// Software-emulated IEEE 754 binary16 ("half") storage type. The container
+// never computes in half precision — fp16 is a *storage* format for the
+// bandwidth-diet modes; every kernel widens on load and accumulates in
+// double (see core/storage_mode.hpp for the accumulator policy). Keeping the
+// type a trivial 16-bit struct means value streams memcpy/serialize like any
+// other POD stream and the simulated GPU can charge 2-byte loads for it.
+//
+// Conversion follows IEEE semantics: round-to-nearest-even on narrowing,
+// exact widening, subnormals handled (they matter: fp16 flushes magnitudes
+// below 2^-24 to zero, which the validator must treat as legitimate storage
+// loss, not corruption).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace crsd {
+
+/// 16-bit storage scalar: IEEE binary16 bit pattern. Trivially copyable on
+/// purpose — value streams of half_t behave exactly like float/double
+/// streams for memcmp/serialize/footprint accounting.
+struct half_t {
+  std::uint16_t bits = 0;
+
+  friend bool operator==(half_t a, half_t b) { return a.bits == b.bits; }
+  friend bool operator!=(half_t a, half_t b) { return a.bits != b.bits; }
+};
+
+static_assert(sizeof(half_t) == 2, "half_t must be a bare 16-bit pattern");
+
+/// Exact widening binary16 -> binary32 (every half is representable).
+inline float half_to_float(half_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h.bits & 0x8000u) << 16;
+  const std::uint32_t exp = (h.bits >> 10) & 0x1fu;
+  const std::uint32_t man = h.bits & 0x3ffu;
+  std::uint32_t f;
+  if (exp == 0) {
+    if (man == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize into a binary32 exponent.
+      int e = 0;
+      std::uint32_t m = man;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        ++e;
+      }
+      f = sign | ((127 - 15 - e) << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 31) {
+    f = sign | 0x7f800000u | (man << 13);  // inf / NaN (payload widened)
+  } else {
+    f = sign | ((exp + (127 - 15)) << 23) | (man << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+/// Narrowing binary32 -> binary16 with round-to-nearest-even. Overflow goes
+/// to infinity, magnitudes below the subnormal range flush to signed zero.
+inline half_t float_to_half(float v) {
+  std::uint32_t f;
+  std::memcpy(&f, &v, sizeof(f));
+  const std::uint16_t sign = static_cast<std::uint16_t>((f >> 16) & 0x8000u);
+  const std::uint32_t fexp = (f >> 23) & 0xffu;
+  std::uint32_t man = f & 0x7fffffu;
+  half_t h;
+  if (fexp == 0xffu) {  // inf / NaN (keep NaN-ness with a quiet payload bit)
+    h.bits = static_cast<std::uint16_t>(sign | 0x7c00u | (man != 0 ? 0x200u : 0u));
+    return h;
+  }
+  const std::int32_t exp = static_cast<std::int32_t>(fexp) - 127 + 15;
+  if (exp >= 31) {  // overflow -> inf
+    h.bits = static_cast<std::uint16_t>(sign | 0x7c00u);
+  } else if (exp <= 0) {
+    if (exp < -10) {  // below half subnormal range -> signed zero
+      h.bits = sign;
+    } else {
+      // Subnormal result: shift the full significand (implicit bit set)
+      // right, rounding to nearest-even on the dropped bits.
+      man |= 0x800000u;
+      const int shift = 14 - exp;  // in [14, 24]
+      std::uint32_t hman = man >> shift;
+      const std::uint32_t rem = man & ((1u << shift) - 1u);
+      const std::uint32_t half_way = 1u << (shift - 1);
+      if (rem > half_way || (rem == half_way && (hman & 1u) != 0)) ++hman;
+      h.bits = static_cast<std::uint16_t>(sign | hman);
+    }
+  } else {
+    std::uint32_t hman = man >> 13;
+    std::uint16_t bits =
+        static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10) |
+                                   hman);
+    const std::uint32_t rem = man & 0x1fffu;
+    // Round to nearest-even; a mantissa carry correctly rolls into the
+    // exponent (and to infinity at the top).
+    if (rem > 0x1000u || (rem == 0x1000u && (hman & 1u) != 0)) ++bits;
+    h.bits = bits;
+  }
+  return h;
+}
+
+/// Round-trips a double through binary16 storage (what a half-mode value
+/// stream actually retains of it).
+inline double half_storage_round(double v) {
+  return static_cast<double>(half_to_float(float_to_half(static_cast<float>(v))));
+}
+
+}  // namespace crsd

@@ -49,7 +49,10 @@
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "core/crsd_matrix.hpp"
+#include "core/storage_mode.hpp"
+#include "formats/delta_stream.hpp"
 #include "matrix/coo.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 // Debug builds (and any build defining CRSD_VALIDATE_BUILD) run the full
@@ -97,6 +100,11 @@ struct CrsdConfig {
   /// output is bitwise identical either way; the value is an intent, the
   /// pool's width bounds the real concurrency.
   int threads = 1;
+
+  /// Storage compaction applied as pass 7 after construction: value-stream
+  /// precision and scatter-index representation (core/storage_mode.hpp).
+  /// Defaults keep the historical fp64/i32 layout bit for bit.
+  StorageOptions storage = {};
 };
 
 namespace detail {
@@ -686,6 +694,112 @@ CrsdStorage<T> build_storage_parallel(const Coo<T>& a, const CrsdConfig& cfg,
   return storage;
 }
 
+/// Pass 7: storage compaction (core/storage_mode.hpp). Always records the
+/// per-pattern index width — entries are narrowable to 2 bytes when the
+/// pattern's diagonal offsets fit int16 and its segment/start-row counters
+/// fit uint16 (diagonal addressing stores offsets, not absolute columns,
+/// which is what makes this possible on banded matrices) — then re-encodes
+/// the value streams and scatter columns as requested. Runs after either
+/// construction path on identical input, so serial and parallel builds stay
+/// bitwise identical in every mode.
+template <Real T>
+void compact_storage(CrsdStorage<T>& storage, const StorageOptions& opts) {
+  const index_t mrows = storage.mrows;
+  const index_t total_segments =
+      mrows == 0 ? 0 : (storage.num_rows + mrows - 1) / mrows;
+  storage.pattern_index_width.clear();
+  storage.pattern_index_width.reserve(storage.patterns.size());
+  for (const auto& p : storage.patterns) {
+    bool narrow = total_segments <= 0xffff;
+    for (const diag_offset_t off : p.offsets) {
+      if (off < -32768 || off > 32767) {
+        narrow = false;
+        break;
+      }
+    }
+    storage.pattern_index_width.push_back(narrow ? 2 : 4);
+  }
+
+  ValuePrecision target = opts.value_precision;
+  // f32 storage of a float matrix *is* the native stream.
+  if (std::is_same_v<T, float> && target == ValuePrecision::kFloat32) {
+    target = ValuePrecision::kNative;
+  }
+  switch (target) {
+    case ValuePrecision::kNative:
+      break;
+    case ValuePrecision::kFloat32:
+      storage.dia_val_f32.resize(storage.dia_val.size());
+      for (size64_t i = 0; i < storage.dia_val.size(); ++i) {
+        storage.dia_val_f32[i] = static_cast<float>(storage.dia_val[i]);
+      }
+      storage.scatter_val_f32.resize(storage.scatter_val.size());
+      for (size64_t i = 0; i < storage.scatter_val.size(); ++i) {
+        storage.scatter_val_f32[i] =
+            static_cast<float>(storage.scatter_val[i]);
+      }
+      std::vector<T>().swap(storage.dia_val);
+      std::vector<T>().swap(storage.scatter_val);
+      break;
+    case ValuePrecision::kFloat16:
+      storage.dia_val_f16.resize(storage.dia_val.size());
+      for (size64_t i = 0; i < storage.dia_val.size(); ++i) {
+        storage.dia_val_f16[i] =
+            float_to_half(static_cast<float>(storage.dia_val[i]));
+      }
+      storage.scatter_val_f16.resize(storage.scatter_val.size());
+      for (size64_t i = 0; i < storage.scatter_val.size(); ++i) {
+        storage.scatter_val_f16[i] =
+            float_to_half(static_cast<float>(storage.scatter_val[i]));
+      }
+      std::vector<T>().swap(storage.dia_val);
+      std::vector<T>().swap(storage.scatter_val);
+      break;
+  }
+  storage.value_precision = target;
+
+  const index_t nsr = static_cast<index_t>(storage.scatter_rowno.size());
+  if (opts.delta_scatter_indices) {
+    storage.scatter_delta.clear();
+    storage.scatter_delta_ptr.assign(1, 0);
+    std::vector<index_t> cols;
+    for (index_t i = 0; i < nsr; ++i) {
+      cols.clear();
+      for (index_t k = 0; k < storage.scatter_width; ++k) {
+        const index_t c =
+            storage.scatter_col[static_cast<size64_t>(k) * nsr +
+                                static_cast<size64_t>(i)];
+        if (c != kInvalidIndex) cols.push_back(c);
+      }
+      delta::encode_ascending(cols.data(), static_cast<index_t>(cols.size()),
+                              storage.scatter_delta);
+      if (storage.scatter_delta.size() >
+          static_cast<size64_t>(std::numeric_limits<index_t>::max())) {
+        check::Diagnostic d;
+        d.code = check::Code::kIndexOverflow;
+        d.severity = check::Severity::kError;
+        d.message = "scatter delta stream exceeds index_t range";
+        throw check::DiagnosticError(d.format(), {d});
+      }
+      storage.scatter_delta_ptr.push_back(
+          static_cast<index_t>(storage.scatter_delta.size()));
+    }
+    std::vector<index_t>().swap(storage.scatter_col);
+    storage.scatter_index_mode = ScatterIndexMode::kDelta;
+  } else if (opts.narrow_scatter_indices && storage.num_cols <= 0xffff) {
+    // Falls through (keeping i32) when the column count does not allow u16.
+    storage.scatter_col16.resize(storage.scatter_col.size());
+    for (size64_t i = 0; i < storage.scatter_col.size(); ++i) {
+      storage.scatter_col16[i] =
+          storage.scatter_col[i] == kInvalidIndex
+              ? kScatterPad16
+              : static_cast<std::uint16_t>(storage.scatter_col[i]);
+    }
+    std::vector<index_t>().swap(storage.scatter_col);
+    storage.scatter_index_mode = ScatterIndexMode::kIndex16;
+  }
+}
+
 }  // namespace detail
 
 /// Builds a CRSD matrix from canonical COO. With cfg.threads > 1 the
@@ -720,7 +834,22 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {},
     storage = detail::build_storage_serial(a, cfg);
   }
 
+  {
+    obs::Span pass7_span("build/pass7_compact");
+    detail::compact_storage(storage, cfg.storage);
+    pass7_span.set_arg("value_precision",
+                       static_cast<std::int64_t>(storage.value_precision));
+    pass7_span.set_arg("index_mode",
+                       static_cast<std::int64_t>(storage.scatter_index_mode));
+  }
+
   CrsdMatrix<T> m(std::move(storage));
+  obs::Registry::global()
+      .gauge("crsd.storage.bytes_per_nnz")
+      .set(m.nnz() == 0
+               ? 0.0
+               : static_cast<double>(m.footprint_bytes()) /
+                     static_cast<double>(m.nnz()));
 #if defined(CRSD_VALIDATE_BUILD_ENABLED)
   check::ValidateOptions vopts;
   vopts.require_scatter_disjoint = cfg.zero_scatter_rows_in_dia;

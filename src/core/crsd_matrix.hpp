@@ -15,16 +15,26 @@
 // Zero-filled slots (edge lanes, short idle-section gaps, scatter rows) hold
 // value 0; kernels clamp the x index so the multiply-by-zero is harmless and
 // branch-free.
+//
+// Storage modes (core/storage_mode.hpp): after construction the builder may
+// compact the streams — value streams to f32/f16 with widen-on-load +
+// double accumulation, scatter columns to u16 ELL or per-row varint delta
+// streams with decode-in-kernel. The native mode keeps the original layout
+// and arithmetic bit for bit.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/half.hpp"
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "core/pattern.hpp"
+#include "core/storage_mode.hpp"
+#include "formats/delta_stream.hpp"
 
 namespace crsd {
 
@@ -39,6 +49,13 @@ struct CrsdStats {
   size64_t scatter_nnz = 0;     ///< true nonzeros stored in the scatter part
   double ad_diag_fraction = 0;  ///< slot-weighted fraction of diagonals in AD groups
 
+  // Actual storage-mode byte accounting (0 when produced by something other
+  // than CrsdMatrix::stats(), e.g. a hand-built struct — consumers fall back
+  // to their historical 8-byte-value / 4-byte-index assumptions then).
+  int value_bytes = 0;            ///< bytes per stored value
+  size64_t scatter_index_bytes = 0;  ///< scatter column stream, encoded size
+  size64_t dia_index_bytes = 0;      ///< pattern index metadata, actual widths
+
   /// Fraction of diagonal-part slots that are filled zeros.
   double fill_ratio() const {
     return dia_slots == 0 ? 0.0
@@ -47,6 +64,9 @@ struct CrsdStats {
 };
 
 /// Raw storage produced by the builder; CrsdMatrix validates and owns it.
+/// Exactly one value stream and one scatter-column representation is active,
+/// selected by value_precision / scatter_index_mode; compaction clears the
+/// replaced streams so footprint accounting stays honest.
 template <Real T>
 struct CrsdStorage {
   index_t num_rows = 0;
@@ -59,6 +79,20 @@ struct CrsdStorage {
   index_t scatter_width = 0;
   std::vector<index_t> scatter_col;  ///< ELL column-major, kInvalidIndex pad
   std::vector<T> scatter_val;
+
+  // --- storage-mode extensions (pass 7, core/builder.hpp) ---
+  ValuePrecision value_precision = ValuePrecision::kNative;
+  ScatterIndexMode scatter_index_mode = ScatterIndexMode::kIndex32;
+  std::vector<float> dia_val_f32;     ///< active iff value_precision == kFloat32
+  std::vector<float> scatter_val_f32;
+  std::vector<half_t> dia_val_f16;    ///< active iff value_precision == kFloat16
+  std::vector<half_t> scatter_val_f16;
+  std::vector<std::uint16_t> scatter_col16;  ///< u16 ELL, kScatterPad16 pad
+  std::vector<std::uint8_t> scatter_delta;   ///< per-row varint streams
+  std::vector<index_t> scatter_delta_ptr;    ///< size num_scatter_rows+1
+  /// Bytes per pattern-index entry (2 or 4) chosen from each pattern's
+  /// diagonal-offset range; empty means the historical uniform 4 bytes.
+  std::vector<std::uint8_t> pattern_index_width;
 };
 
 template <Real T>
@@ -99,12 +133,65 @@ class CrsdMatrix {
     }
     stage_window_ = max_window;
     CRSD_CHECK_MSG(seg_cursor == segs, "patterns must cover every row segment");
-    CRSD_CHECK_MSG(val_cursor == s_.dia_val.size(),
-                   "diagonal value array size mismatch");
     CRSD_CHECK(std::is_sorted(s_.scatter_rowno.begin(), s_.scatter_rowno.end()));
-    CRSD_CHECK(s_.scatter_col.size() ==
-               s_.scatter_rowno.size() * static_cast<size64_t>(s_.scatter_width));
-    CRSD_CHECK(s_.scatter_val.size() == s_.scatter_col.size());
+    const size64_t ell_slots = s_.scatter_rowno.size() *
+                               static_cast<size64_t>(s_.scatter_width);
+    // The active value stream must match the slot counts exactly.
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        CRSD_CHECK_MSG(val_cursor == s_.dia_val.size(),
+                       "diagonal value array size mismatch");
+        CRSD_CHECK(s_.scatter_val.size() == ell_slots);
+        break;
+      case ValuePrecision::kFloat32:
+        CRSD_CHECK_MSG(val_cursor == s_.dia_val_f32.size(),
+                       "f32 diagonal value array size mismatch");
+        CRSD_CHECK(s_.scatter_val_f32.size() == ell_slots);
+        break;
+      case ValuePrecision::kFloat16:
+        CRSD_CHECK_MSG(val_cursor == s_.dia_val_f16.size(),
+                       "f16 diagonal value array size mismatch");
+        CRSD_CHECK(s_.scatter_val_f16.size() == ell_slots);
+        break;
+    }
+    switch (s_.scatter_index_mode) {
+      case ScatterIndexMode::kIndex32:
+        CRSD_CHECK(s_.scatter_col.size() == ell_slots);
+        break;
+      case ScatterIndexMode::kIndex16:
+        CRSD_CHECK_MSG(s_.num_cols <= 0xffff,
+                       "u16 scatter columns require num_cols <= 65535");
+        CRSD_CHECK(s_.scatter_col16.size() == ell_slots);
+        break;
+      case ScatterIndexMode::kDelta: {
+        CRSD_CHECK_MSG(s_.scatter_delta_ptr.size() ==
+                           s_.scatter_rowno.size() + 1,
+                       "delta stream pointer array size mismatch");
+        CRSD_CHECK(s_.scatter_delta_ptr.front() == 0);
+        CRSD_CHECK(std::is_sorted(s_.scatter_delta_ptr.begin(),
+                                  s_.scatter_delta_ptr.end()));
+        CRSD_CHECK(static_cast<size64_t>(s_.scatter_delta_ptr.back()) ==
+                   s_.scatter_delta.size());
+        // Decode-validate every row once here so the kernels can trust the
+        // streams (they re-decode per call but never re-verify).
+        std::vector<index_t> cols;
+        for (std::size_t i = 0; i + 1 < s_.scatter_delta_ptr.size(); ++i) {
+          cols.clear();
+          const bool ok = delta::decode_ascending(
+              s_.scatter_delta.data(),
+              static_cast<size64_t>(s_.scatter_delta_ptr[i]),
+              static_cast<size64_t>(s_.scatter_delta_ptr[i + 1]), s_.num_cols,
+              cols);
+          CRSD_CHECK_MSG(ok && static_cast<index_t>(cols.size()) <=
+                                   s_.scatter_width,
+                         "malformed scatter delta stream at row " << i);
+        }
+        break;
+      }
+    }
+    if (!s_.pattern_index_width.empty()) {
+      CRSD_CHECK(s_.pattern_index_width.size() == s_.patterns.size());
+    }
   }
 
   index_t num_rows() const { return s_.num_rows; }
@@ -120,6 +207,8 @@ class CrsdMatrix {
   index_t num_patterns() const {
     return static_cast<index_t>(s_.patterns.size());
   }
+  /// Native diagonal value stream. Empty in f32/f16 modes — mode-agnostic
+  /// consumers should use decoded_dia_values()/dia_value() instead.
   const std::vector<T>& dia_values() const { return s_.dia_val; }
 
   /// Cumulative segment counts, size num_patterns()+1 (paper's Σ NRS_i).
@@ -154,14 +243,162 @@ class CrsdMatrix {
     return static_cast<index_t>(s_.scatter_rowno.size());
   }
   index_t scatter_width() const { return s_.scatter_width; }
+  /// Native (i32 ELL) scatter columns. Empty in u16/delta modes — use
+  /// decoded_scatter_col() for a mode-agnostic view.
   const std::vector<index_t>& scatter_col() const { return s_.scatter_col; }
+  /// Native scatter value stream. Empty in f32/f16 modes.
   const std::vector<T>& scatter_val() const { return s_.scatter_val; }
+
+  // --- storage-mode introspection ---
+  const CrsdStorage<T>& storage() const { return s_; }
+  ValuePrecision value_precision() const { return s_.value_precision; }
+  ScatterIndexMode scatter_index_mode() const { return s_.scatter_index_mode; }
+  /// Bytes per stored value in the active streams.
+  int value_bytes() const {
+    return value_stream_bytes<T>(s_.value_precision);
+  }
+  size64_t dia_slot_count() const {
+    return pattern_val_offset_.empty() ? 0 : pattern_val_offset_.back();
+  }
+  size64_t scatter_slot_count() const {
+    return s_.scatter_rowno.size() * static_cast<size64_t>(s_.scatter_width);
+  }
+  /// Diagonal value at `slot`, widened from the active stream.
+  T dia_value(size64_t slot_idx) const {
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        return s_.dia_val[slot_idx];
+      case ValuePrecision::kFloat32:
+        return static_cast<T>(s_.dia_val_f32[slot_idx]);
+      case ValuePrecision::kFloat16:
+        return static_cast<T>(half_to_float(s_.dia_val_f16[slot_idx]));
+    }
+    return T(0);
+  }
+  /// Scatter value at ELL slot, widened from the active stream.
+  T scatter_value(size64_t slot_idx) const {
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        return s_.scatter_val[slot_idx];
+      case ValuePrecision::kFloat32:
+        return static_cast<T>(s_.scatter_val_f32[slot_idx]);
+      case ValuePrecision::kFloat16:
+        return static_cast<T>(half_to_float(s_.scatter_val_f16[slot_idx]));
+    }
+    return T(0);
+  }
+  /// Materializes the diagonal value stream widened to T.
+  std::vector<T> decoded_dia_values() const {
+    std::vector<T> out(dia_slot_count());
+    for (size64_t i = 0; i < out.size(); ++i) out[i] = dia_value(i);
+    return out;
+  }
+  /// Materializes the scatter value stream widened to T.
+  std::vector<T> decoded_scatter_val() const {
+    std::vector<T> out(scatter_slot_count());
+    for (size64_t i = 0; i < out.size(); ++i) out[i] = scatter_value(i);
+    return out;
+  }
+  /// Materializes the scatter columns as i32 ELL with kInvalidIndex pads,
+  /// regardless of the encoded representation.
+  std::vector<index_t> decoded_scatter_col() const {
+    const index_t nsr = num_scatter_rows();
+    std::vector<index_t> out(scatter_slot_count(), kInvalidIndex);
+    switch (s_.scatter_index_mode) {
+      case ScatterIndexMode::kIndex32:
+        out = s_.scatter_col;
+        break;
+      case ScatterIndexMode::kIndex16:
+        for (size64_t i = 0; i < out.size(); ++i) {
+          out[i] = s_.scatter_col16[i] == kScatterPad16
+                       ? kInvalidIndex
+                       : static_cast<index_t>(s_.scatter_col16[i]);
+        }
+        break;
+      case ScatterIndexMode::kDelta: {
+        std::vector<index_t> cols;
+        for (index_t i = 0; i < nsr; ++i) {
+          cols.clear();
+          decode_scatter_row(i, cols);
+          for (std::size_t k = 0; k < cols.size(); ++k) {
+            out[k * static_cast<size64_t>(nsr) + static_cast<size64_t>(i)] =
+                cols[k];
+          }
+        }
+        break;
+      }
+    }
+    return out;
+  }
+  /// Decodes scatter row i's real columns (no pads) into `out` (appended).
+  void decode_scatter_row(index_t i, std::vector<index_t>& out) const {
+    switch (s_.scatter_index_mode) {
+      case ScatterIndexMode::kIndex32:
+      case ScatterIndexMode::kIndex16: {
+        const index_t nsr = num_scatter_rows();
+        for (index_t k = 0; k < s_.scatter_width; ++k) {
+          const size64_t slot_idx =
+              static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
+          if (s_.scatter_index_mode == ScatterIndexMode::kIndex32) {
+            if (s_.scatter_col[slot_idx] != kInvalidIndex)
+              out.push_back(s_.scatter_col[slot_idx]);
+          } else if (s_.scatter_col16[slot_idx] != kScatterPad16) {
+            out.push_back(static_cast<index_t>(s_.scatter_col16[slot_idx]));
+          }
+        }
+        break;
+      }
+      case ScatterIndexMode::kDelta: {
+        const bool ok = delta::decode_ascending(
+            s_.scatter_delta.data(),
+            static_cast<size64_t>(
+                s_.scatter_delta_ptr[static_cast<std::size_t>(i)]),
+            static_cast<size64_t>(
+                s_.scatter_delta_ptr[static_cast<std::size_t>(i) + 1]),
+            s_.num_cols, out);
+        CRSD_ASSERT(ok);
+        (void)ok;
+        break;
+      }
+    }
+  }
+  /// Bytes per pattern-index entry for pattern p (2 or 4).
+  int pattern_index_width(index_t p) const {
+    return s_.pattern_index_width.empty()
+               ? 4
+               : static_cast<int>(
+                     s_.pattern_index_width[static_cast<std::size_t>(p)]);
+  }
+  /// Encoded size of the scatter column representation (excluding rowno).
+  size64_t scatter_index_stream_bytes() const {
+    switch (s_.scatter_index_mode) {
+      case ScatterIndexMode::kIndex32:
+        return s_.scatter_col.size() * sizeof(index_t);
+      case ScatterIndexMode::kIndex16:
+        return s_.scatter_col16.size() * sizeof(std::uint16_t);
+      case ScatterIndexMode::kDelta:
+        return s_.scatter_delta.size() +
+               s_.scatter_delta_ptr.size() * sizeof(index_t);
+    }
+    return 0;
+  }
+  /// Pattern index metadata bytes at the recorded per-pattern widths.
+  size64_t dia_index_bytes() const {
+    size64_t bytes = 0;
+    for (std::size_t pi = 0; pi < s_.patterns.size(); ++pi) {
+      bytes += pattern_index_entries(s_.patterns[pi]) *
+               static_cast<size64_t>(
+                   pattern_index_width(static_cast<index_t>(pi)));
+    }
+    return bytes;
+  }
 
   /// y = A*x, single thread, on the vectorized engine: branch-free interior
   /// segments through the SIMD kernel, clamped edge segments through the
-  /// scalar path, then the scatter overwrite. Accumulation order per row is
-  /// identical to spmv_scalar, so the two agree bit-for-bit (modulo uniform
-  /// fp-contract settings).
+  /// scalar path, then the scatter overwrite. In native mode accumulation
+  /// order per row is identical to spmv_scalar, so the two agree
+  /// bit-for-bit (modulo uniform fp-contract settings); compacted value
+  /// streams widen on load and accumulate in double.
   void spmv(const T* x, T* y) const {
     spmv_segments_vec(0, num_segments_total(), x, y);
     spmv_scatter(0, num_scatter_rows(), x, y);
@@ -194,29 +431,20 @@ class CrsdMatrix {
   }
 
   /// Diagonal phase for global segments [seg_begin, seg_end) — the CPU
-  /// analogue of one work-group per segment.
+  /// analogue of one work-group per segment. Dispatches on the active
+  /// value stream; compacted streams accumulate in double.
   void spmv_segments(index_t seg_begin, index_t seg_end, const T* x,
                      T* y) const {
-    for (index_t g = seg_begin; g < seg_end; ++g) {
-      const index_t p = pattern_of_segment(g);
-      const auto& pat = s_.patterns[static_cast<std::size_t>(p)];
-      const index_t seg_in_p = g - cum_segments_[static_cast<std::size_t>(p)];
-      const index_t row0 = g * s_.mrows;
-      const index_t lanes = std::min<index_t>(s_.mrows, s_.num_rows - row0);
-      const T* unit = s_.dia_val.data() +
-                      pattern_val_offset_[static_cast<std::size_t>(p)] +
-                      static_cast<size64_t>(seg_in_p) *
-                          pat.slots_per_segment(s_.mrows);
-      const index_t ndias = pat.num_diagonals();
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        const index_t r = row0 + lane;
-        T sum = T(0);
-        for (index_t d = 0; d < ndias; ++d) {
-          const index_t c = clamp_col(r + pat.offsets[static_cast<std::size_t>(d)]);
-          sum += unit[static_cast<size64_t>(d) * s_.mrows + lane] * x[c];
-        }
-        y[r] = sum;
-      }
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        return spmv_segments_impl<T>(s_.dia_val.data(), seg_begin, seg_end, x,
+                                     y);
+      case ValuePrecision::kFloat32:
+        return spmv_segments_impl<float>(s_.dia_val_f32.data(), seg_begin,
+                                         seg_end, x, y);
+      case ValuePrecision::kFloat16:
+        return spmv_segments_impl<half_t>(s_.dia_val_f16.data(), seg_begin,
+                                          seg_end, x, y);
     }
   }
 
@@ -230,6 +458,12 @@ class CrsdMatrix {
     // memory window (§III): one contiguous copy serves every diagonal of
     // the group. Allocated once per call (i.e. once per parallel chunk).
     std::vector<T> xbuf(static_cast<std::size_t>(stage_window_));
+    // Widened per-segment accumulator for the compacted value streams
+    // (unused in native mode, where y itself is the accumulator).
+    std::vector<double> acc(
+        s_.value_precision == ValuePrecision::kNative
+            ? 0
+            : static_cast<std::size_t>(s_.mrows));
     for (std::size_t pi = 0;
          pi < s_.patterns.size() && cum_segments_[pi] < seg_end; ++pi) {
       const index_t g0 = std::max(seg_begin, cum_segments_[pi]);
@@ -239,7 +473,7 @@ class CrsdMatrix {
       const index_t ie = std::clamp(interior_[pi].end, ib, g1);
       spmv_segments(g0, ib, x, y);
       spmv_pattern_interior(static_cast<index_t>(pi), ib, ie, x, y,
-                            xbuf.data());
+                            xbuf.data(), acc.data());
       spmv_segments(ie, g1, x, y);
     }
   }
@@ -252,56 +486,55 @@ class CrsdMatrix {
 
   /// Scatter phase over scatter-row indices [row_begin, row_end): full-row
   /// recompute, overwriting y. Each scatter row is written exactly once, so
-  /// disjoint ranges can run on different threads.
+  /// disjoint ranges can run on different threads. Dispatches on value
+  /// precision x column representation.
   void spmv_scatter(index_t row_begin, index_t row_end, const T* x,
                     T* y) const {
-    const index_t nsr = num_scatter_rows();
-    for (index_t i = std::max<index_t>(row_begin, 0);
-         i < std::min(row_end, nsr); ++i) {
-      T sum = T(0);
-      for (index_t k = 0; k < s_.scatter_width; ++k) {
-        const size64_t slot_idx =
-            static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
-        const index_t c = s_.scatter_col[slot_idx];
-        if (c != kInvalidIndex) sum += s_.scatter_val[slot_idx] * x[c];
-      }
-      y[s_.scatter_rowno[static_cast<std::size_t>(i)]] = sum;
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        return spmv_scatter_dispatch<T>(s_.scatter_val.data(), row_begin,
+                                        row_end, x, y);
+      case ValuePrecision::kFloat32:
+        return spmv_scatter_dispatch<float>(s_.scatter_val_f32.data(),
+                                            row_begin, row_end, x, y);
+      case ValuePrecision::kFloat16:
+        return spmv_scatter_dispatch<half_t>(s_.scatter_val_f16.data(),
+                                             row_begin, row_end, x, y);
     }
   }
 
   /// Bytes of values plus the index metadata the paper's arrays would hold
-  /// (matrix/crsd_dia_index/scatter_rowno/scatter_colval).
+  /// (matrix/crsd_dia_index/scatter_rowno/scatter_colval), accounted at the
+  /// active storage mode's actual widths.
   size64_t footprint_bytes() const {
-    size64_t index_entries = 0;
-    for (const auto& p : s_.patterns) {
-      index_entries += 2;                     // start row + NRS
-      index_entries += 2 * p.groups.size();   // (type, count) per group
-      for (const auto& g : p.groups) {
-        // Column index per NAD diagonal; one per AD group (§II-D).
-        index_entries += g.type == GroupType::kAdjacent
-                             ? 1
-                             : static_cast<size64_t>(g.num_diagonals);
-      }
-    }
-    return s_.dia_val.size() * sizeof(T) + index_entries * sizeof(index_t) +
+    const size64_t vb = static_cast<size64_t>(value_bytes());
+    return dia_slot_count() * vb + dia_index_bytes() +
            s_.scatter_rowno.size() * sizeof(index_t) +
-           s_.scatter_col.size() * sizeof(index_t) +
-           s_.scatter_val.size() * sizeof(T);
+           scatter_index_stream_bytes() + scatter_slot_count() * vb;
   }
 
-  /// Occupancy statistics (fill ratio, AD fraction, scatter share).
+  /// Occupancy statistics (fill ratio, AD fraction, scatter share) plus the
+  /// actual per-stream byte widths of the active storage mode.
   CrsdStats stats() const {
     CrsdStats st;
     st.num_patterns = num_patterns();
     st.num_segments = num_segments_total();
-    st.dia_slots = s_.dia_val.size();
-    for (const T& v : s_.dia_val) {
-      if (v != T(0)) ++st.dia_nnz;
-    }
+    st.dia_slots = dia_slot_count();
     st.num_scatter_rows = num_scatter_rows();
     st.scatter_width = s_.scatter_width;
-    for (const T& v : s_.scatter_val) {
-      if (v != T(0)) ++st.scatter_nnz;
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        st.dia_nnz = count_nonzero(s_.dia_val);
+        st.scatter_nnz = count_nonzero(s_.scatter_val);
+        break;
+      case ValuePrecision::kFloat32:
+        st.dia_nnz = count_nonzero(s_.dia_val_f32);
+        st.scatter_nnz = count_nonzero(s_.scatter_val_f32);
+        break;
+      case ValuePrecision::kFloat16:
+        st.dia_nnz = count_nonzero(s_.dia_val_f16);
+        st.scatter_nnz = count_nonzero(s_.scatter_val_f16);
+        break;
     }
     size64_t ad_slots = 0;
     for (std::size_t p = 0; p < s_.patterns.size(); ++p) {
@@ -314,6 +547,9 @@ class CrsdMatrix {
     }
     st.ad_diag_fraction =
         st.dia_slots == 0 ? 0.0 : double(ad_slots) / double(st.dia_slots);
+    st.value_bytes = value_bytes();
+    st.scatter_index_bytes = scatter_index_stream_bytes();
+    st.dia_index_bytes = dia_index_bytes();
     return st;
   }
 
@@ -324,33 +560,206 @@ class CrsdMatrix {
   }
 
   /// Replaces the value streams without touching the structure (used by
-  /// update_values — the inspector/executor value-refresh path). Sizes must
-  /// match the existing arrays exactly.
+  /// update_values — the inspector/executor value-refresh path). Input is
+  /// always widened T; compacted modes re-quantize into the active stream.
+  /// Sizes must match the slot counts exactly.
   void replace_values(std::vector<T> dia_val, std::vector<T> scatter_val) {
-    CRSD_CHECK_MSG(dia_val.size() == s_.dia_val.size() &&
-                       scatter_val.size() == s_.scatter_val.size(),
+    CRSD_CHECK_MSG(dia_val.size() == dia_slot_count() &&
+                       scatter_val.size() == scatter_slot_count(),
                    "replace_values size mismatch");
-    s_.dia_val = std::move(dia_val);
-    s_.scatter_val = std::move(scatter_val);
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        s_.dia_val = std::move(dia_val);
+        s_.scatter_val = std::move(scatter_val);
+        break;
+      case ValuePrecision::kFloat32:
+        for (size64_t i = 0; i < dia_val.size(); ++i)
+          s_.dia_val_f32[i] = static_cast<float>(dia_val[i]);
+        for (size64_t i = 0; i < scatter_val.size(); ++i)
+          s_.scatter_val_f32[i] = static_cast<float>(scatter_val[i]);
+        break;
+      case ValuePrecision::kFloat16:
+        for (size64_t i = 0; i < dia_val.size(); ++i)
+          s_.dia_val_f16[i] = float_to_half(static_cast<float>(dia_val[i]));
+        for (size64_t i = 0; i < scatter_val.size(); ++i)
+          s_.scatter_val_f16[i] =
+              float_to_half(static_cast<float>(scatter_val[i]));
+        break;
+    }
+  }
+
+  /// Index metadata entries the paper's crsd_dia_index holds for pattern p:
+  /// start row + NRS, (type, count) per group, a column index per NAD
+  /// diagonal and one per AD group (§II-D).
+  static size64_t pattern_index_entries(const DiagonalPattern& p) {
+    size64_t entries = 2 + 2 * p.groups.size();
+    for (const auto& g : p.groups) {
+      entries += g.type == GroupType::kAdjacent
+                     ? 1
+                     : static_cast<size64_t>(g.num_diagonals);
+    }
+    return entries;
   }
 
  private:
+  /// Widens a stored value to the arithmetic type T.
+  template <typename VT>
+  static T load_value(VT v) {
+    if constexpr (std::is_same_v<VT, half_t>) {
+      return static_cast<T>(half_to_float(v));
+    } else {
+      return static_cast<T>(v);
+    }
+  }
+
+  static bool stream_nonzero(half_t v) { return (v.bits & 0x7fffu) != 0; }
+  template <typename VT>
+  static bool stream_nonzero(VT v) {
+    return v != VT(0);
+  }
+  template <typename VT>
+  static size64_t count_nonzero(const std::vector<VT>& v) {
+    size64_t n = 0;
+    for (const VT& e : v) {
+      if (stream_nonzero(e)) ++n;
+    }
+    return n;
+  }
+
+  /// Scalar clamped diagonal phase over value-stream type VT. Native
+  /// (VT == T) accumulates in T — bitwise identical to the historical
+  /// kernel; compacted streams widen each load and accumulate in double.
+  template <typename VT>
+  void spmv_segments_impl(const VT* stream, index_t seg_begin, index_t seg_end,
+                          const T* x, T* y) const {
+    using Acc = std::conditional_t<std::is_same_v<VT, T>, T, double>;
+    for (index_t g = seg_begin; g < seg_end; ++g) {
+      const index_t p = pattern_of_segment(g);
+      const auto& pat = s_.patterns[static_cast<std::size_t>(p)];
+      const index_t seg_in_p = g - cum_segments_[static_cast<std::size_t>(p)];
+      const index_t row0 = g * s_.mrows;
+      const index_t lanes = std::min<index_t>(s_.mrows, s_.num_rows - row0);
+      const VT* unit = stream +
+                       pattern_val_offset_[static_cast<std::size_t>(p)] +
+                       static_cast<size64_t>(seg_in_p) *
+                           pat.slots_per_segment(s_.mrows);
+      const index_t ndias = pat.num_diagonals();
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        const index_t r = row0 + lane;
+        Acc sum = Acc(0);
+        for (index_t d = 0; d < ndias; ++d) {
+          const index_t c = clamp_col(r + pat.offsets[static_cast<std::size_t>(d)]);
+          sum += static_cast<Acc>(
+                     load_value(unit[static_cast<size64_t>(d) * s_.mrows +
+                                     lane])) *
+                 static_cast<Acc>(x[c]);
+        }
+        y[r] = static_cast<T>(sum);
+      }
+    }
+  }
+
+  /// ELL scatter phase over value type VT and column type CT (i32 with
+  /// kInvalidIndex pads, or u16 with kScatterPad16 pads).
+  template <typename VT, typename CT>
+  void spmv_scatter_ell(const VT* sval, const CT* scol, CT pad,
+                        index_t row_begin, index_t row_end, const T* x,
+                        T* y) const {
+    using Acc = std::conditional_t<std::is_same_v<VT, T>, T, double>;
+    const index_t nsr = num_scatter_rows();
+    for (index_t i = std::max<index_t>(row_begin, 0);
+         i < std::min(row_end, nsr); ++i) {
+      Acc sum = Acc(0);
+      for (index_t k = 0; k < s_.scatter_width; ++k) {
+        const size64_t slot_idx =
+            static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
+        const CT c = scol[slot_idx];
+        if (c != pad) {
+          sum += static_cast<Acc>(load_value(sval[slot_idx])) *
+                 static_cast<Acc>(x[static_cast<index_t>(c)]);
+        }
+      }
+      y[s_.scatter_rowno[static_cast<std::size_t>(i)]] = static_cast<T>(sum);
+    }
+  }
+
+  /// Delta-stream scatter phase: decode each row's varint column stream,
+  /// then the same k-ascending accumulation as the ELL path — native mode
+  /// stays bitwise identical because pads contribute nothing either way.
+  template <typename VT>
+  void spmv_scatter_delta(const VT* sval, index_t row_begin, index_t row_end,
+                          const T* x, T* y) const {
+    using Acc = std::conditional_t<std::is_same_v<VT, T>, T, double>;
+    const index_t nsr = num_scatter_rows();
+    std::vector<index_t> cols;
+    for (index_t i = std::max<index_t>(row_begin, 0);
+         i < std::min(row_end, nsr); ++i) {
+      cols.clear();
+      decode_scatter_row(i, cols);
+      Acc sum = Acc(0);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const size64_t slot_idx =
+            static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
+        sum += static_cast<Acc>(load_value(sval[slot_idx])) *
+               static_cast<Acc>(x[cols[k]]);
+      }
+      y[s_.scatter_rowno[static_cast<std::size_t>(i)]] = static_cast<T>(sum);
+    }
+  }
+
+  template <typename VT>
+  void spmv_scatter_dispatch(const VT* sval, index_t row_begin,
+                             index_t row_end, const T* x, T* y) const {
+    switch (s_.scatter_index_mode) {
+      case ScatterIndexMode::kIndex32:
+        return spmv_scatter_ell<VT, index_t>(sval, s_.scatter_col.data(),
+                                             kInvalidIndex, row_begin, row_end,
+                                             x, y);
+      case ScatterIndexMode::kIndex16:
+        return spmv_scatter_ell<VT, std::uint16_t>(
+            sval, s_.scatter_col16.data(), kScatterPad16, row_begin, row_end,
+            x, y);
+      case ScatterIndexMode::kDelta:
+        return spmv_scatter_delta<VT>(sval, row_begin, row_end, x, y);
+    }
+  }
+
   /// Clamp-free lane-innermost kernel for interior segments [g0, g1) of
-  /// pattern `p`. Every (row, diagonal) access is in-bounds by construction,
-  /// all three streams are unit-stride over lanes, and each diagonal is one
-  /// fused multiply-accumulate sweep over the segment. `xbuf` must hold at
-  /// least mrows + max_adjacent_width - 1 elements.
+  /// pattern `p`, dispatched on the active value stream. `xbuf` must hold at
+  /// least mrows + max_adjacent_width - 1 elements; `acc` must hold mrows
+  /// doubles in the compacted modes (unused in native mode).
   void spmv_pattern_interior(index_t p, index_t g0, index_t g1, const T* x,
-                             T* y, T* xbuf) const {
+                             T* y, T* xbuf, double* acc) const {
+    switch (s_.value_precision) {
+      case ValuePrecision::kNative:
+        return spmv_pattern_interior_impl<T>(s_.dia_val.data(), p, g0, g1, x,
+                                             y, xbuf, acc);
+      case ValuePrecision::kFloat32:
+        return spmv_pattern_interior_impl<float>(s_.dia_val_f32.data(), p, g0,
+                                                 g1, x, y, xbuf, acc);
+      case ValuePrecision::kFloat16:
+        return spmv_pattern_interior_impl<half_t>(s_.dia_val_f16.data(), p, g0,
+                                                  g1, x, y, xbuf, acc);
+    }
+  }
+
+  /// Interior kernel body. Native mode (VT == T) accumulates directly into
+  /// y via simd::axpy_lanes — the historical bitwise-reproducible path.
+  /// Compacted streams accumulate each segment into the double buffer via
+  /// simd::axpy_lanes_widen and store once at the end.
+  template <typename VT>
+  void spmv_pattern_interior_impl(const VT* stream, index_t p, index_t g0,
+                                  index_t g1, const T* x, T* y, T* xbuf,
+                                  double* acc) const {
     if (g0 >= g1) return;
     const auto& pat = s_.patterns[static_cast<std::size_t>(p)];
     const index_t m = s_.mrows;
     const size64_t slots = pat.slots_per_segment(m);
-    const T* base = s_.dia_val.data() +
-                    pattern_val_offset_[static_cast<std::size_t>(p)];
+    const VT* base = stream + pattern_val_offset_[static_cast<std::size_t>(p)];
     const index_t seg0 = cum_segments_[static_cast<std::size_t>(p)];
+    constexpr bool kNativeStream = std::is_same_v<VT, T>;
     for (index_t g = g0; g < g1; ++g) {
-      const T* CRSD_RESTRICT unit =
+      const VT* CRSD_RESTRICT unit =
           base + static_cast<size64_t>(g - seg0) * slots;
       T* CRSD_RESTRICT yy = y + static_cast<size64_t>(g) * m;
       const T* xx = x + static_cast<size64_t>(g) * m;  // x[row0 + lane]
@@ -365,8 +774,13 @@ class CrsdMatrix {
           std::copy(xx + first, xx + first + window, xbuf);
           for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
             const index_t d = grp.first_diagonal + gd;
-            simd::axpy_lanes(yy, unit + static_cast<size64_t>(d) * m,
-                             xbuf + gd, m, init);
+            if constexpr (kNativeStream) {
+              simd::axpy_lanes(yy, unit + static_cast<size64_t>(d) * m,
+                               xbuf + gd, m, init);
+            } else {
+              simd::axpy_lanes_widen(acc, unit + static_cast<size64_t>(d) * m,
+                                     xbuf + gd, m, init);
+            }
             init = false;
           }
         } else {
@@ -374,9 +788,21 @@ class CrsdMatrix {
             const index_t d = grp.first_diagonal + gd;
             const diag_offset_t off =
                 pat.offsets[static_cast<std::size_t>(d)];
-            simd::axpy_lanes(yy, unit + static_cast<size64_t>(d) * m,
-                             xx + off, m, init);
+            if constexpr (kNativeStream) {
+              simd::axpy_lanes(yy, unit + static_cast<size64_t>(d) * m,
+                               xx + off, m, init);
+            } else {
+              simd::axpy_lanes_widen(acc, unit + static_cast<size64_t>(d) * m,
+                                     xx + off, m, init);
+            }
             init = false;
+          }
+        }
+      }
+      if constexpr (!kNativeStream) {
+        if (!init) {
+          for (index_t lane = 0; lane < m; ++lane) {
+            yy[lane] = static_cast<T>(acc[lane]);
           }
         }
       }

@@ -20,6 +20,11 @@ namespace crsd {
 /// diagonal of each AD group; C is start_row + offset.
 template <Real T>
 void dump_crsd(std::ostream& os, const CrsdMatrix<T>& m) {
+  // Decoded views print identically for every storage mode (compact modes
+  // show their round-tripped values, which is what the kernels compute with).
+  const std::vector<T> dia_vals = m.decoded_dia_values();
+  const std::vector<index_t> scatter_cols = m.decoded_scatter_col();
+  const std::vector<T> scatter_vals = m.decoded_scatter_val();
   os << "num_scatter_rows = " << m.num_scatter_rows()
      << "; num_dia_patterns = " << m.num_patterns()
      << "; num_scatter_width = " << m.scatter_width() << "; mrows = "
@@ -65,7 +70,7 @@ void dump_crsd(std::ostream& os, const CrsdMatrix<T>& m) {
         for (index_t d = 0; d < g.num_diagonals; ++d) {
           for (index_t lane = 0; lane < m.mrows(); ++lane) {
             if (d != 0 || lane != 0) os << ',';
-            os << m.dia_values()[m.slot(p, seg, g.first_diagonal + d, lane)];
+            os << dia_vals[m.slot(p, seg, g.first_diagonal + d, lane)];
           }
         }
         os << ')';
@@ -89,7 +94,7 @@ void dump_crsd(std::ostream& os, const CrsdMatrix<T>& m) {
     if (i != 0) os << "; ";
     for (index_t k = 0; k < m.scatter_width(); ++k) {
       const index_t c =
-          m.scatter_col()[static_cast<size64_t>(k) * nsr + i];
+          scatter_cols[static_cast<size64_t>(k) * nsr + i];
       if (k != 0) os << ", ";
       if (c == kInvalidIndex) {
         os << '-';
@@ -105,7 +110,7 @@ void dump_crsd(std::ostream& os, const CrsdMatrix<T>& m) {
     if (i != 0) os << "; ";
     for (index_t k = 0; k < m.scatter_width(); ++k) {
       if (k != 0) os << ", ";
-      os << m.scatter_val()[static_cast<size64_t>(k) * nsr + i];
+      os << scatter_vals[static_cast<size64_t>(k) * nsr + i];
     }
   }
   os << "}\n";

@@ -57,6 +57,11 @@ template <Real T>
 Coo<T> crsd_to_coo(const CrsdMatrix<T>& m) {
   Coo<T> out(m.num_rows(), m.num_cols());
   out.reserve(m.nnz());
+  // Decode once up front so compact storage (f32/f16 values, u16/delta
+  // columns) round-trips through the same ELL-shaped loops as native.
+  const std::vector<T> dia_vals = m.decoded_dia_values();
+  const std::vector<index_t> scatter_cols = m.decoded_scatter_col();
+  const std::vector<T> scatter_vals = m.decoded_scatter_val();
   const auto& scatter_rows = m.scatter_rows();
   auto is_scatter_row = [&](index_t r) {
     return std::binary_search(scatter_rows.begin(), scatter_rows.end(), r);
@@ -71,7 +76,7 @@ Coo<T> crsd_to_coo(const CrsdMatrix<T>& m) {
         for (index_t lane = 0; lane < m.mrows(); ++lane) {
           const index_t r = row0 + lane;
           if (r >= m.num_rows()) break;
-          const T v = m.dia_values()[m.slot(p, seg, d, lane)];
+          const T v = dia_vals[m.slot(p, seg, d, lane)];
           if (v == T(0) || is_scatter_row(r)) continue;
           const std::int64_t c = static_cast<std::int64_t>(r) + off;
           CRSD_ASSERT(c >= 0 && c < m.num_cols());
@@ -86,10 +91,10 @@ Coo<T> crsd_to_coo(const CrsdMatrix<T>& m) {
     for (index_t k = 0; k < m.scatter_width(); ++k) {
       const size64_t slot =
           static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i);
-      const index_t c = m.scatter_col()[slot];
-      if (c != kInvalidIndex && m.scatter_val()[slot] != T(0)) {
+      const index_t c = scatter_cols[slot];
+      if (c != kInvalidIndex && scatter_vals[slot] != T(0)) {
         out.add(scatter_rows[static_cast<std::size_t>(i)], c,
-                m.scatter_val()[slot]);
+                scatter_vals[slot]);
       }
     }
   }

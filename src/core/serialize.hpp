@@ -15,7 +15,9 @@ namespace crsd {
 
 namespace detail {
 
-inline constexpr char kCrsdMagic[8] = {'C', 'R', 'S', 'D', 'v', '0', '0', '1'};
+// v002 added the storage-mode fields (value precision, scatter index
+// representation, per-pattern index widths); v001 streams are not accepted.
+inline constexpr char kCrsdMagic[8] = {'C', 'R', 'S', 'D', 'v', '0', '0', '2'};
 
 template <typename P>
 void write_pod(std::ostream& os, const P& v) {
@@ -64,11 +66,48 @@ void write_crsd(std::ostream& os, const CrsdMatrix<T>& m) {
     detail::write_pod<index_t>(os, p.num_segments);
     detail::write_vec(os, p.offsets);
   }
-  detail::write_vec(os, m.dia_values());
-  detail::write_vec(os, m.scatter_rows());
-  detail::write_pod<index_t>(os, m.scatter_width());
-  detail::write_vec(os, m.scatter_col());
-  detail::write_vec(os, m.scatter_val());
+  const CrsdStorage<T>& s = m.storage();
+  detail::write_pod<std::uint8_t>(os,
+                                  static_cast<std::uint8_t>(s.value_precision));
+  detail::write_pod<std::uint8_t>(
+      os, static_cast<std::uint8_t>(s.scatter_index_mode));
+  detail::write_vec(os, s.pattern_index_width);
+  switch (s.value_precision) {
+    case ValuePrecision::kNative:
+      detail::write_vec(os, s.dia_val);
+      break;
+    case ValuePrecision::kFloat32:
+      detail::write_vec(os, s.dia_val_f32);
+      break;
+    case ValuePrecision::kFloat16:
+      detail::write_vec(os, s.dia_val_f16);
+      break;
+  }
+  detail::write_vec(os, s.scatter_rowno);
+  detail::write_pod<index_t>(os, s.scatter_width);
+  switch (s.scatter_index_mode) {
+    case ScatterIndexMode::kIndex32:
+      detail::write_vec(os, s.scatter_col);
+      break;
+    case ScatterIndexMode::kIndex16:
+      detail::write_vec(os, s.scatter_col16);
+      break;
+    case ScatterIndexMode::kDelta:
+      detail::write_vec(os, s.scatter_delta);
+      detail::write_vec(os, s.scatter_delta_ptr);
+      break;
+  }
+  switch (s.value_precision) {
+    case ValuePrecision::kNative:
+      detail::write_vec(os, s.scatter_val);
+      break;
+    case ValuePrecision::kFloat32:
+      detail::write_vec(os, s.scatter_val_f32);
+      break;
+    case ValuePrecision::kFloat16:
+      detail::write_vec(os, s.scatter_val_f16);
+      break;
+  }
   CRSD_CHECK_MSG(os.good(), "write failure while serializing CRSD");
 }
 
@@ -103,11 +142,49 @@ CrsdMatrix<T> read_crsd(std::istream& is) {
     pat.groups = group_diagonals(pat.offsets);
     s.patterns.push_back(std::move(pat));
   }
-  s.dia_val = detail::read_vec<T>(is);
+  const auto vp_tag = detail::read_pod<std::uint8_t>(is);
+  CRSD_CHECK_MSG(vp_tag <= 2, "unknown value-precision tag " << int(vp_tag));
+  s.value_precision = static_cast<ValuePrecision>(vp_tag);
+  const auto im_tag = detail::read_pod<std::uint8_t>(is);
+  CRSD_CHECK_MSG(im_tag <= 2, "unknown index-mode tag " << int(im_tag));
+  s.scatter_index_mode = static_cast<ScatterIndexMode>(im_tag);
+  s.pattern_index_width = detail::read_vec<std::uint8_t>(is);
+  switch (s.value_precision) {
+    case ValuePrecision::kNative:
+      s.dia_val = detail::read_vec<T>(is);
+      break;
+    case ValuePrecision::kFloat32:
+      s.dia_val_f32 = detail::read_vec<float>(is);
+      break;
+    case ValuePrecision::kFloat16:
+      s.dia_val_f16 = detail::read_vec<half_t>(is);
+      break;
+  }
   s.scatter_rowno = detail::read_vec<index_t>(is);
   s.scatter_width = detail::read_pod<index_t>(is);
-  s.scatter_col = detail::read_vec<index_t>(is);
-  s.scatter_val = detail::read_vec<T>(is);
+  switch (s.scatter_index_mode) {
+    case ScatterIndexMode::kIndex32:
+      s.scatter_col = detail::read_vec<index_t>(is);
+      break;
+    case ScatterIndexMode::kIndex16:
+      s.scatter_col16 = detail::read_vec<std::uint16_t>(is);
+      break;
+    case ScatterIndexMode::kDelta:
+      s.scatter_delta = detail::read_vec<std::uint8_t>(is);
+      s.scatter_delta_ptr = detail::read_vec<index_t>(is);
+      break;
+  }
+  switch (s.value_precision) {
+    case ValuePrecision::kNative:
+      s.scatter_val = detail::read_vec<T>(is);
+      break;
+    case ValuePrecision::kFloat32:
+      s.scatter_val_f32 = detail::read_vec<float>(is);
+      break;
+    case ValuePrecision::kFloat16:
+      s.scatter_val_f16 = detail::read_vec<half_t>(is);
+      break;
+  }
   return CrsdMatrix<T>(std::move(s));
 }
 

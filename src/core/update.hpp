@@ -26,8 +26,10 @@ void update_values(CrsdMatrix<T>& m, const Coo<T>& a) {
                  "nonzero count mismatch: matrix was built with "
                      << m.nnz() << " entries, update carries " << a.nnz());
 
-  std::vector<T> dia_val(m.dia_values().size(), T(0));
-  std::vector<T> scatter_val(m.scatter_val().size(), T(0));
+  std::vector<T> dia_val(m.dia_slot_count(), T(0));
+  std::vector<T> scatter_val(m.scatter_slot_count(), T(0));
+  // Mode-agnostic column view (u16/delta storage decodes to i32 ELL).
+  const std::vector<index_t> scatter_cols = m.decoded_scatter_col();
 
   const auto& rows = a.row_indices();
   const auto& cols = a.col_indices();
@@ -54,7 +56,7 @@ void update_values(CrsdMatrix<T>& m, const Coo<T>& a) {
                                "scatter width");
       const size64_t slot = static_cast<size64_t>(fill) * nsr +
                             static_cast<size64_t>(slot_row);
-      CRSD_CHECK_MSG(m.scatter_col()[slot] == cols[k],
+      CRSD_CHECK_MSG(scatter_cols[slot] == cols[k],
                      "structure mismatch at (" << r << ", " << cols[k]
                                                << "): scatter column differs");
       scatter_val[slot] = vals[k];

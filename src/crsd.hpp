@@ -13,11 +13,15 @@
 
 // Common utilities: errors, fixed-width types, RNG, timers, thread pool.
 #include "common/error.hpp"
+#include "common/half.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+
+// Tolerance-gated comparison for compact-storage parity checks.
+#include "check/close.hpp"
 
 // Observability: trace spans + metrics registry.
 #include "obs/metrics.hpp"
@@ -36,6 +40,7 @@
 #include "formats/bcsr.hpp"
 #include "formats/csr.hpp"
 #include "formats/dcsr.hpp"
+#include "formats/delta_stream.hpp"
 #include "formats/dia.hpp"
 #include "formats/ell.hpp"
 #include "formats/format.hpp"
@@ -44,6 +49,7 @@
 // CRSD container: builder, matrix, inspection, persistence, updates.
 #include "core/builder.hpp"
 #include "core/crsd_matrix.hpp"
+#include "core/storage_mode.hpp"
 #include "core/dump.hpp"
 #include "core/exec_plan.hpp"
 #include "core/inspect.hpp"

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "check/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -21,8 +23,46 @@ class DcsrMatrix {
  public:
   DcsrMatrix() = default;
 
+  /// Encodability guard for `from_coo`. The encoder assumes every column
+  /// fits the 4-byte raw path and every in-row delta is strictly positive;
+  /// a column outside [0, num_cols) or a non-ascending pair (possible when
+  /// a caller marks hand-built COO canonical without sorting it) would
+  /// otherwise corrupt the byte stream silently. Returns one kDeltaStream
+  /// diagnostic per offending nonzero.
+  static std::vector<check::Diagnostic> check_encode_limits(const Coo<T>& a) {
+    std::vector<check::Diagnostic> out;
+    auto flag = [&out](size64_t k, const std::string& what) {
+      check::Diagnostic d;
+      d.code = check::Code::kDeltaStream;
+      d.offset = static_cast<std::int64_t>(k);
+      d.message = what;
+      out.push_back(std::move(d));
+    };
+    const auto& rows = a.row_indices();
+    const auto& cols = a.col_indices();
+    for (size64_t k = 0; k < a.nnz(); ++k) {
+      if (cols[k] < 0 || cols[k] >= a.num_cols()) {
+        flag(k, "column " + std::to_string(cols[k]) +
+                    " is outside [0, " + std::to_string(a.num_cols()) +
+                    ") and does not fit the 4-byte escape path");
+      } else if (k > 0 && rows[k] == rows[k - 1] && cols[k] <= cols[k - 1]) {
+        flag(k, "non-ascending column pair (" + std::to_string(cols[k - 1]) +
+                    ", " + std::to_string(cols[k]) + ") in row " +
+                    std::to_string(rows[k]) +
+                    "; deltas must be strictly positive");
+      }
+    }
+    return out;
+  }
+
   static DcsrMatrix from_coo(const Coo<T>& a) {
     CRSD_CHECK_MSG(a.is_canonical(), "DCSR requires canonical COO input");
+    if (std::vector<check::Diagnostic> bad = check_encode_limits(a);
+        !bad.empty()) {
+      throw check::DiagnosticError(
+          "DCSR encode rejected input:\n" + check::format_diagnostics(bad),
+          std::move(bad));
+    }
     DcsrMatrix m;
     m.num_rows_ = a.num_rows();
     m.num_cols_ = a.num_cols();

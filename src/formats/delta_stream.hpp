@@ -1,0 +1,90 @@
+// Byte-granular delta codec for ascending column-index sequences.
+//
+// This generalizes the fixed "1-byte delta + 0xff escape" scheme prototyped
+// in formats/dcsr.hpp into a proper varint (LEB128) stream usable as an
+// optional CRSD scatter-row representation: per row, the first column is
+// encoded absolute and each subsequent column as the strictly positive gap
+// to its predecessor. Banded/scattered rows with small gaps compress to
+// ~1 byte per index versus 4 for raw int32.
+//
+// The decoder is deliberately paranoid — streams may arrive from disk or a
+// hand-mutated test fixture, so every read is bounds-checked and zero gaps
+// (which would mean duplicate columns) are rejected rather than decoded
+// into out-of-range gathers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace crsd::delta {
+
+/// Appends `v` as LEB128 (7 bits per byte, high bit = continuation).
+inline void append_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>((v & 0x7fu) | 0x80u));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Reads one varint from data[pos..end). Returns false (leaving `v`
+/// unspecified) on truncation or an over-long (>5 byte) encoding.
+inline bool read_varint(const std::uint8_t* data, size64_t end, size64_t& pos,
+                        std::uint32_t& v) {
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 35; shift += 7) {
+    if (pos >= end) return false;  // truncated
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint32_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      v = value;
+      return true;
+    }
+  }
+  return false;  // over-long encoding
+}
+
+/// Encodes a strictly ascending, non-negative column list: absolute first
+/// column, then positive gaps. Appends to `out`.
+inline void encode_ascending(const index_t* cols, index_t n,
+                             std::vector<std::uint8_t>& out) {
+  if (n <= 0) return;
+  CRSD_ASSERT(cols[0] >= 0);
+  append_varint(out, static_cast<std::uint32_t>(cols[0]));
+  for (index_t k = 1; k < n; ++k) {
+    CRSD_ASSERT(cols[k] > cols[k - 1]);
+    append_varint(out,
+                  static_cast<std::uint32_t>(cols[k]) -
+                      static_cast<std::uint32_t>(cols[k - 1]));
+  }
+}
+
+/// Decodes one row's stream slice data[begin..end) and appends the columns
+/// to `out`. Returns false on any malformation: truncated/over-long varint,
+/// a zero gap (duplicate column), or a column outside [0, num_cols).
+inline bool decode_ascending(const std::uint8_t* data, size64_t begin,
+                             size64_t end, index_t num_cols,
+                             std::vector<index_t>& out) {
+  size64_t pos = begin;
+  bool first = true;
+  std::int64_t col = 0;
+  while (pos < end) {
+    std::uint32_t v = 0;
+    if (!read_varint(data, end, pos, v)) return false;
+    if (first) {
+      col = static_cast<std::int64_t>(v);
+      first = false;
+    } else {
+      if (v == 0) return false;  // zero gap: duplicate column
+      col += static_cast<std::int64_t>(v);
+    }
+    if (col < 0 || col >= static_cast<std::int64_t>(num_cols)) return false;
+    out.push_back(static_cast<index_t>(col));
+  }
+  return true;
+}
+
+}  // namespace crsd::delta

@@ -191,6 +191,9 @@ class SpmmEngine {
  public:
   SpmmEngine(const CrsdMatrix<T>& m, const ExecPlan<T>& plan)
       : m_(&m), plan_(&plan) {
+    CRSD_CHECK_MSG(m.value_precision() == ValuePrecision::kNative,
+                   "the batched SpMM engine reads the native value stream "
+                   "directly; rebuild without value compaction for SpMM");
     plan.check_matches(m);
     index_t max_ndias = 0;
     for (const auto& pat : m.patterns()) {

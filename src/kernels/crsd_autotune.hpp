@@ -83,6 +83,12 @@ struct AutotuneOptions {
   /// serially. The result is identical either way — trials land in fixed
   /// grid slots and simulated seconds are counter-derived.
   ThreadPool* pool = nullptr;
+
+  /// Storage compaction applied to every candidate build. Part of the cache
+  /// key: an fp32 or narrow-index tuning run must not reuse (or overwrite)
+  /// the entry a full-precision run stored for the same structure — the
+  /// byte traffic, and therefore the winning configuration, can differ.
+  StorageOptions storage = {};
 };
 
 struct AutotuneTrial {
@@ -157,6 +163,11 @@ std::string tune_key_string(const gpusim::DeviceSpec& spec, const Coo<T>& a,
   std::ostringstream os;
   os << "crsd-tune-v1|dev=" << spec.name << "|wf=" << spec.wavefront_size
      << "|fp=" << (std::is_same_v<T, double> ? "f64" : "f32")
+     << "|vp=" << value_precision_name(opts.storage.value_precision)
+     << "|ix="
+     << (opts.storage.delta_scatter_indices
+             ? "delta"
+             : (opts.storage.narrow_scatter_indices ? "narrow" : "i32"))
      << "|shash=" << fnv1a64_hex(std::to_string(structure_hash(a)));
   os << "|mrows=";
   for (index_t v : space.mrows) os << v << ',';
@@ -299,6 +310,9 @@ std::optional<CachedTuning> load_cached_tuning(const gpusim::DeviceSpec& spec,
       (std::filesystem::path(detail::tune_cache_dir(opts)) / (t.key + ".txt"))
           .string();
   if (detail::tune_cache_load(path, t.config, t.local_memory, t.seconds)) {
+    // The entry was stored under these storage options (they are part of
+    // the key), so rebuild-from-cache must apply them too.
+    t.config.storage = opts.storage;
     hits.add(1);
     return t;
   }
@@ -347,6 +361,7 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
         cfg.mrows = mrows;
         cfg.fill_max_gap_segments = gap;
         cfg.live_min_fill = min_fill;
+        cfg.storage = opts.storage;
         configs.push_back(cfg);
       }
     }

@@ -45,23 +45,30 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
                            << "size (" << dev.spec().wavefront_size
                            << ") on the GPU");
 
-  const auto& dia_val = m.dia_values();
   const index_t nsr = m.num_scatter_rows();
+  // Storage-mode parameters: compact modes shrink the value and index
+  // streams, which is exactly what the DRAM-transaction counters measure.
+  const int vb = m.value_bytes();
+  const ScatterIndexMode scol_mode = m.scatter_index_mode();
+  const bool native = m.value_precision() == ValuePrecision::kNative;
 
   // Device allocations: diagonal values, scatter ELL, vectors, and (for the
-  // interpreted kernel) the index metadata.
-  gpusim::Buffer b_v = dev.alloc(dia_val.size() * sizeof(T));
+  // interpreted kernel) the index metadata. Sizes follow the storage mode;
+  // delta mode ships the varint byte stream instead of an ELL column array.
+  gpusim::Buffer b_v = dev.alloc(m.dia_slot_count() * vb);
   gpusim::Buffer b_x =
       dev.alloc(static_cast<size64_t>(m.num_cols()) * sizeof(T));
   gpusim::Buffer b_y = dev.alloc(static_cast<size64_t>(n) * sizeof(T));
   gpusim::Buffer b_srow = dev.alloc(m.scatter_rows().size() * sizeof(index_t));
-  gpusim::Buffer b_scol = dev.alloc(m.scatter_col().size() * sizeof(index_t));
-  gpusim::Buffer b_sval = dev.alloc(m.scatter_val().size() * sizeof(T));
-  size64_t index_entries = 0;
-  for (const auto& p : m.patterns()) {
-    index_entries += 2 + p.offsets.size();
+  gpusim::Buffer b_scol = dev.alloc(m.scatter_index_stream_bytes());
+  gpusim::Buffer b_sval = dev.alloc(m.scatter_slot_count() * vb);
+  size64_t index_bytes = 0;
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+    index_bytes += (2 + pat.offsets.size()) *
+                   static_cast<size64_t>(m.pattern_index_width(p));
   }
-  gpusim::Buffer b_idx = dev.alloc(index_entries * sizeof(index_t));
+  gpusim::Buffer b_idx = dev.alloc(index_bytes);
 
   gpusim::LaunchConfig diag_cfg;
   diag_cfg.num_groups = m.num_segments_total();
@@ -84,15 +91,20 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
 
     if (!opts.jit_codelet) {
       // Interpreted kernel: fetch the pattern's offset table and walk the
-      // cumulative-segment table to locate p (log2 P probes).
-      ctx.global_read_block(b_idx, 0, ndias + 2, sizeof(index_t),
+      // cumulative-segment table to locate p (log2 P probes). Narrow-index
+      // patterns stream their metadata at 2 bytes per entry.
+      ctx.global_read_block(b_idx, 0, ndias + 2, m.pattern_index_width(p),
                             /*cached=*/true);
       index_t probes = 1;
       while ((index_t{1} << probes) < m.num_patterns()) ++probes;
       ctx.alu(static_cast<size64_t>(probes) * mrows);
     }
 
-    std::vector<T> sums(static_cast<std::size_t>(lanes), T(0));
+    // Native storage keeps the historical per-lane accumulation in T;
+    // compacted value streams widen on load and accumulate in double.
+    std::vector<T> sums(native ? static_cast<std::size_t>(lanes) : 0, T(0));
+    std::vector<double> dsums(native ? 0 : static_cast<std::size_t>(lanes),
+                              0.0);
     for (const auto& grp : pat.groups) {
       const bool staged = opts.use_local_memory &&
                           grp.type == GroupType::kAdjacent &&
@@ -114,9 +126,10 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
       for (index_t gd = 0; gd < grp.num_diagonals; ++gd) {
         const index_t d = grp.first_diagonal + gd;
         const diag_offset_t off = pat.offsets[static_cast<std::size_t>(d)];
-        // Coalesced value load of this diagonal's lanes.
+        // Coalesced value load of this diagonal's lanes, at the storage
+        // mode's element width (f32 halves the traffic, f16 quarters it).
         ctx.global_read_block(
-            b_v, unit0 + static_cast<size64_t>(d) * mrows, lanes, sizeof(T));
+            b_v, unit0 + static_cast<size64_t>(d) * mrows, lanes, vb);
         if (staged) {
           // Diagonal gd of the group reads window bytes [gd, gd + lanes).
           ctx.local_read_range(static_cast<size64_t>(gd) * sizeof(T),
@@ -132,10 +145,15 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
         }
         size64_t useful = 0;
         for (index_t lane = 0; lane < lanes; ++lane) {
-          const T v = dia_val[unit0 + static_cast<size64_t>(d) * mrows +
-                              static_cast<size64_t>(lane)];
-          sums[static_cast<std::size_t>(lane)] +=
-              v * x[m.clamp_col(row0 + lane + off)];
+          const T v = m.dia_value(unit0 + static_cast<size64_t>(d) * mrows +
+                                  static_cast<size64_t>(lane));
+          const T xv = x[m.clamp_col(row0 + lane + off)];
+          if (native) {
+            sums[static_cast<std::size_t>(lane)] += v * xv;
+          } else {
+            dsums[static_cast<std::size_t>(lane)] +=
+                static_cast<double>(v) * static_cast<double>(xv);
+          }
           if (v != T(0)) ++useful;
         }
         ctx.flops(2 * useful);
@@ -151,7 +169,9 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
       }
     }
     for (index_t lane = 0; lane < lanes; ++lane) {
-      y[row0 + lane] = sums[static_cast<std::size_t>(lane)];
+      y[row0 + lane] =
+          native ? sums[static_cast<std::size_t>(lane)]
+                 : static_cast<T>(dsums[static_cast<std::size_t>(lane)]);
     }
     if (lanes > 0) {
       ctx.global_write_block(b_y, static_cast<size64_t>(row0), lanes,
@@ -167,8 +187,9 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
   // of y is ordered after the diagonal writes even when CUs run on threads.
   if (nsr > 0) {
     const auto& srow = m.scatter_rows();
-    const auto& scol = m.scatter_col();
-    const auto& sval = m.scatter_val();
+    // Mode-agnostic i32 ELL view for the numerics; the traffic model below
+    // charges the encoded representation that actually travels over DRAM.
+    const std::vector<index_t> scol = m.decoded_scatter_col();
     gpusim::LaunchConfig scatter_cfg;
     scatter_cfg.group_size = mrows;
     scatter_cfg.num_groups = (nsr + mrows - 1) / mrows;
@@ -183,20 +204,47 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
       if (lanes <= 0) return;
       ctx.global_read_block(b_srow, static_cast<size64_t>(i0), lanes,
                             sizeof(index_t));
-      std::vector<T> sums(static_cast<std::size_t>(lanes), T(0));
+      if (scol_mode == ScatterIndexMode::kDelta) {
+        // Delta mode reads each row's varint byte stream once up front and
+        // decodes it in registers: one coalesced byte-range sweep plus
+        // shift/or/compare ALU work per stream byte, replacing the per-k
+        // 4-byte column loads below.
+        const auto& dptr = m.storage().scatter_delta_ptr;
+        const size64_t byte0 =
+            static_cast<size64_t>(dptr[static_cast<std::size_t>(i0)]);
+        const size64_t byte1 = static_cast<size64_t>(
+            dptr[static_cast<std::size_t>(i0 + lanes)]);
+        if (byte1 > byte0) {
+          ctx.global_read_block(b_scol, byte0, byte1 - byte0, 1);
+          ctx.alu(4 * (byte1 - byte0));
+        }
+      }
+      std::vector<T> sums(native ? static_cast<std::size_t>(lanes) : 0, T(0));
+      std::vector<double> dsums(native ? 0 : static_cast<std::size_t>(lanes),
+                                0.0);
       std::vector<size64_t> gather(static_cast<std::size_t>(lanes));
       for (index_t k = 0; k < m.scatter_width(); ++k) {
         const size64_t slot0 =
             static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i0);
-        // ELL column-major over scatter rows: coalesced.
-        ctx.global_read_block(b_scol, slot0, lanes, sizeof(index_t));
-        ctx.global_read_block(b_sval, slot0, lanes, sizeof(T));
+        // ELL column-major over scatter rows: coalesced. u16 columns move
+        // half the bytes; delta columns were already decoded above.
+        if (scol_mode == ScatterIndexMode::kIndex32) {
+          ctx.global_read_block(b_scol, slot0, lanes, sizeof(index_t));
+        } else if (scol_mode == ScatterIndexMode::kIndex16) {
+          ctx.global_read_block(b_scol, slot0, lanes, sizeof(std::uint16_t));
+        }
+        ctx.global_read_block(b_sval, slot0, lanes, vb);
         size64_t useful = 0;
         for (index_t i = 0; i < lanes; ++i) {
           const index_t c = scol[slot0 + static_cast<size64_t>(i)];
           if (c != kInvalidIndex) {
-            sums[static_cast<std::size_t>(i)] +=
-                sval[slot0 + static_cast<size64_t>(i)] * x[c];
+            const T v = m.scatter_value(slot0 + static_cast<size64_t>(i));
+            if (native) {
+              sums[static_cast<std::size_t>(i)] += v * x[c];
+            } else {
+              dsums[static_cast<std::size_t>(i)] +=
+                  static_cast<double>(v) * static_cast<double>(x[c]);
+            }
             gather[static_cast<std::size_t>(useful)] =
                 static_cast<size64_t>(c);
             ++useful;
@@ -210,7 +258,9 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
       std::vector<size64_t> targets(static_cast<std::size_t>(lanes));
       for (index_t i = 0; i < lanes; ++i) {
         const index_t r = srow[static_cast<std::size_t>(i0 + i)];
-        y[r] = sums[static_cast<std::size_t>(i)];  // overwrite (§II-D)
+        y[r] = native ? sums[static_cast<std::size_t>(i)]
+                      : static_cast<T>(
+                            dsums[static_cast<std::size_t>(i)]);  // §II-D
         targets[static_cast<std::size_t>(i)] = static_cast<size64_t>(r);
       }
       ctx.global_scatter_write(b_y, targets.data(), lanes, sizeof(T));

@@ -57,9 +57,18 @@ SweepCost crsd_sweep_cost(const CrsdStats& s, index_t num_rows,
   SweepCost c;
   const size64_t scatter_slots =
       static_cast<size64_t>(s.num_scatter_rows) * s.scatter_width;
-  c.bytes = s.dia_slots * static_cast<size64_t>(value_bytes) +
-            scatter_slots * (static_cast<size64_t>(value_bytes) + kIndexBytes) +
-            // x + y; the index metadata is baked into the codelet.
+  // Stats built from a container carry the actual stream widths (a compact
+  // build stores f32/f16 values, u16 or delta-compressed scatter columns);
+  // zero means hand-assembled stats, which fall back to the historical
+  // uniform assumption: `value_bytes` values and 4-byte indices.
+  const size64_t vb =
+      s.value_bytes > 0 ? s.value_bytes : static_cast<size64_t>(value_bytes);
+  const size64_t scatter_index_bytes = s.scatter_index_bytes > 0
+                                           ? s.scatter_index_bytes
+                                           : scatter_slots * kIndexBytes;
+  c.bytes = s.dia_slots * vb + scatter_slots * vb + scatter_index_bytes +
+            // x + y stay native-width; the diagonal index metadata is baked
+            // into the codelet.
             2 * static_cast<size64_t>(num_rows) *
                 static_cast<size64_t>(value_bytes);
   c.flops = 2 * (s.dia_slots + scatter_slots);

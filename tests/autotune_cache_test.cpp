@@ -131,6 +131,58 @@ TEST(AutotuneCache, KeyTracksStructureNotValues) {
   EXPECT_NE(structure_hash(a), structure_hash(c));
 }
 
+TEST(AutotuneCache, StorageModeKeysTheCache) {
+  // An fp32 (or narrow/delta-index) tuning run streams different bytes and
+  // can crown a different winner, so it must not reuse — or overwrite — the
+  // entry the fp64 run stored for the same structure.
+  TempCacheDir dir("storage");
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  const auto a = test_matrix();
+  kernels::AutotuneOptions fp64_opts;
+  fp64_opts.cache_dir = dir.path.string();
+
+  const auto fp64_cold = kernels::autotune_crsd(dev, a, small_space(),
+                                                fp64_opts);
+  EXPECT_FALSE(fp64_cold.cache_hit);
+
+  kernels::AutotuneOptions fp32_opts = fp64_opts;
+  fp32_opts.storage.value_precision = ValuePrecision::kFloat32;
+  fp32_opts.storage.narrow_scatter_indices = true;
+  const auto fp32_cold = kernels::autotune_crsd(dev, a, small_space(),
+                                                fp32_opts);
+  // Regression: the compact build keys its own entry — a hit here means it
+  // silently reused the fp64 result.
+  EXPECT_FALSE(fp32_cold.cache_hit);
+  EXPECT_NE(fp32_cold.cache_key, fp64_cold.cache_key);
+  EXPECT_GT(fp32_cold.measured_trials, 0);
+  // Every candidate was built with the requested compaction.
+  for (const auto& trial : fp32_cold.trials) {
+    EXPECT_EQ(trial.config.storage.value_precision, ValuePrecision::kFloat32);
+    EXPECT_TRUE(trial.config.storage.narrow_scatter_indices);
+  }
+
+  // Each mode hits its own entry on the warm run, and the cached config
+  // carries the mode so a rebuild from it compacts identically.
+  const auto fp64_warm = kernels::autotune_crsd(dev, a, small_space(),
+                                                fp64_opts);
+  EXPECT_TRUE(fp64_warm.cache_hit);
+  EXPECT_TRUE(fp64_warm.best_config.storage.is_default());
+  const auto fp32_warm = kernels::autotune_crsd(dev, a, small_space(),
+                                                fp32_opts);
+  EXPECT_TRUE(fp32_warm.cache_hit);
+  EXPECT_EQ(fp32_warm.best_config.storage.value_precision,
+            ValuePrecision::kFloat32);
+
+  // Delta-index tuning keys a third entry.
+  kernels::AutotuneOptions delta_opts = fp64_opts;
+  delta_opts.storage.delta_scatter_indices = true;
+  const auto delta_cold = kernels::autotune_crsd(dev, a, small_space(),
+                                                 delta_opts);
+  EXPECT_FALSE(delta_cold.cache_hit);
+  EXPECT_NE(delta_cold.cache_key, fp64_cold.cache_key);
+  EXPECT_NE(delta_cold.cache_key, fp32_cold.cache_key);
+}
+
 TEST(AutotuneCache, PruningAccountsForEveryTrial) {
   TempCacheDir dir("prune");
   gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());

@@ -45,6 +45,58 @@ TEST(SweepCosts, SinglePrecisionHalvesValueStream) {
   EXPECT_EQ(s.flops, d.flops);
 }
 
+TEST(SweepCosts, CrsdUsesActualStreamWidthsFromStats) {
+  // A compact build reports its true stream bytes through CrsdStats, and
+  // the model must cost those — not the historical "T values + 4-byte
+  // indices" assumption.
+  Rng rng(1);
+  auto a = fem_shell_like(8192, 16, 2, 8, 1.0, rng);
+  inject_scatter(a, 200, rng);
+
+  const auto fp64 = build_crsd(a, CrsdConfig{.mrows = 64});
+  CrsdConfig compact_cfg{.mrows = 64};
+  compact_cfg.storage.value_precision = ValuePrecision::kFloat32;
+  compact_cfg.storage.narrow_scatter_indices = true;
+  const auto fp32 = build_crsd(a, compact_cfg);
+
+  const SweepCost full = crsd_sweep_cost(fp64.stats(), a.num_rows(), 8);
+  const SweepCost diet = crsd_sweep_cost(fp32.stats(), a.num_rows(), 8);
+  // Same slot structure, so identical flops; the value stream halves and
+  // the scatter indices drop from 4 to 2 bytes, so bytes must shrink by
+  // more than the value-stream halving alone would leave.
+  EXPECT_EQ(full.flops, diet.flops);
+  EXPECT_LT(diet.bytes, full.bytes);
+  const size64_t dia_value_saving = fp64.stats().dia_slots * (8 - 4);
+  EXPECT_GT(full.bytes - diet.bytes, dia_value_saving);
+
+  // Delta-compressed scatter columns cost their encoded byte count.
+  CrsdConfig delta_cfg{.mrows = 64};
+  delta_cfg.storage.delta_scatter_indices = true;
+  const auto delta = build_crsd(a, delta_cfg);
+  ASSERT_EQ(delta.scatter_index_mode(), ScatterIndexMode::kDelta);
+  const SweepCost delta_cost = crsd_sweep_cost(delta.stats(), a.num_rows(), 8);
+  const size64_t scatter_slots =
+      static_cast<size64_t>(fp64.stats().num_scatter_rows) *
+      fp64.stats().scatter_width;
+  EXPECT_EQ(full.bytes - delta_cost.bytes,
+            scatter_slots * 4 - delta.stats().scatter_index_bytes);
+}
+
+TEST(SweepCosts, HandBuiltStatsFallBackToUniformWidths) {
+  // Stats assembled by hand (no container) carry zero byte fields; the
+  // model must then reproduce the historical formula exactly.
+  CrsdStats s;
+  s.dia_slots = 1000;
+  s.num_scatter_rows = 10;
+  s.scatter_width = 8;
+  const index_t rows = 500;
+  const SweepCost c = crsd_sweep_cost(s, rows, 8);
+  const size64_t scatter_slots = 10 * 8;
+  EXPECT_EQ(c.bytes, 1000 * 8 + scatter_slots * (8 + sizeof(index_t)) +
+                         2 * static_cast<size64_t>(rows) * 8);
+  EXPECT_EQ(c.flops, 2 * (1000 + scatter_slots));
+}
+
 TEST(Roofline, BandwidthBoundScalesWithThreadsThenSaturates) {
   const CpuSystemSpec spec = CpuSystemSpec::xeon_x5550_2s();
   SweepCost cost;
