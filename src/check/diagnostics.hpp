@@ -48,6 +48,11 @@ enum class Code {
   kLintBakedOffset,     ///< baked x offset/clamp outside [0, num_cols)
   kLintInteriorSplit,   ///< interior/edge split differs from the container's
   kLintPatternDispatch, ///< pattern dispatch bounds differ from cum_segments
+  kLintHalfDecoder,     ///< f16 codelet's crsd_h2f decoder missing/mangled
+  kLintDeltaGuard,      ///< varint decode loop lacks the byte-range guard
+  // Static kernel-access analyzer (crsd::analysis::analyze_model).
+  kPlanPartition,       ///< ExecPlan thread slices do not disjointly cover
+                        ///< their segment/scatter/row domains
 };
 
 inline const char* code_name(Code code) {
@@ -72,6 +77,9 @@ inline const char* code_name(Code code) {
     case Code::kLintBakedOffset: return "lint-baked-offset";
     case Code::kLintInteriorSplit: return "lint-interior-split";
     case Code::kLintPatternDispatch: return "lint-pattern-dispatch";
+    case Code::kLintHalfDecoder: return "lint-half-decoder";
+    case Code::kLintDeltaGuard: return "lint-delta-guard";
+    case Code::kPlanPartition: return "plan-partition";
   }
   return "unknown";
 }

@@ -5,8 +5,9 @@
 // each baked constant from the container and checks the emitted text against
 // it. A generator bug — or a codelet reused for a structurally different
 // matrix — surfaces as a precise diagnostic here, before any compile, and
-// the checked JIT factories (make_jit_kernel_checked) fall back to the
-// interpreted kernel instead of running a miscompiled codelet.
+// the lint-gated JIT factories (make_jit_kernel with Checked::kYes, the
+// default) fall back to the interpreted kernel instead of running a
+// miscompiled codelet.
 //
 // Checks:
 //   * kLintMissingSymbol   — expected extern "C" entry points present;
@@ -19,7 +20,13 @@
 //     extents equal mrows;
 //   * kLintBakedOffset     — every baked x offset belongs to its pattern's
 //     live-diagonal set, clamp bounds equal num_cols-1, and unclamped
-//     accesses are provably in range for every row of the pattern.
+//     accesses are provably in range for every row of the pattern;
+//   * kLintHalfDecoder     — f16 storage ships the crsd_h2f binary16
+//     decoder and every value-stream accumulation routes through it;
+//   * kLintDeltaGuard      — delta-compressed scatter columns bound both
+//     varint decode loops by the row's byte range [row_bytes[i],
+//     row_bytes[i+1]) — including the continuation-byte inner loop, so a
+//     malformed stream cannot read out of range.
 #pragma once
 
 #include <string>

@@ -367,7 +367,7 @@ void emit_cpu_scatter(CodeWriter& w, const Meta& meta,
     w.line("byte = deltas[pos++];");
     w.line("u |= (std::uint32_t)(byte & 0x7fu) << sh;");
     w.line("sh += 7;");
-    w.close(" while (byte & 0x80u);");
+    w.close(" while ((byte & 0x80u) && pos < end);");
     w.line("col = col < 0 ? (std::int32_t)u : col + (std::int32_t)u;");
     w.line("sum += " +
            sc.term("scatter_val[i + (std::int64_t)k * " + itos(nsr) + "]",

@@ -201,15 +201,4 @@ std::optional<CrsdGpuJitKernel<T>> make_gpu_jit_kernel(
       CrsdGpuJitKernel<T>(std::move(source), compiler, std::move(opts)));
 }
 
-/// Deprecated alias for make_gpu_jit_kernel(m, compiler, opts,
-/// Checked::kYes, src).
-template <Real T>
-[[deprecated("use make_gpu_jit_kernel(m, compiler, opts, Checked::kYes)")]]
-std::optional<CrsdGpuJitKernel<T>> make_gpu_jit_kernel_checked(
-    const CrsdMatrix<T>& m, JitCompiler& compiler, GpuCodeletOptions opts = {},
-    const std::string* source_override = nullptr) {
-  return make_gpu_jit_kernel(m, compiler, std::move(opts), Checked::kYes,
-                             source_override);
-}
-
 }  // namespace crsd::codegen

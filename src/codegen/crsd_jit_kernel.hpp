@@ -243,14 +243,7 @@ std::optional<CrsdJitKernel<T>> make_jit_kernel(
   std::string source = source_override != nullptr
                            ? *source_override
                            : generate_cpu_codelet_source(m);
-  // The structural lint models the native source shape (typed T* parameters,
-  // i32 ELL columns); compact-storage codelets use the raw-ABI text it does
-  // not know, so they compile unlinted — parity is covered by the
-  // tolerance-gated mixed-precision tests instead.
-  const bool native_storage =
-      m.value_precision() == ValuePrecision::kNative &&
-      m.scatter_index_mode() == ScatterIndexMode::kIndex32;
-  if (checked == Checked::kYes && native_storage) {
+  if (checked == Checked::kYes) {
     const std::vector<check::Diagnostic> findings =
         lint_cpu_codelet_source(m, source);
     if (!findings.empty()) {
@@ -297,25 +290,6 @@ std::optional<CrsdJitSpmmKernel<T>> make_jit_spmm_kernel(
   }
   return std::optional<CrsdJitSpmmKernel<T>>(
       CrsdJitSpmmKernel<T>(m, compiler, std::move(source)));
-}
-
-/// Deprecated alias for make_jit_kernel(m, compiler, Checked::kYes, src).
-template <Real T>
-[[deprecated("use make_jit_kernel(m, compiler, Checked::kYes)")]]
-std::optional<CrsdJitKernel<T>> make_jit_kernel_checked(
-    const CrsdMatrix<T>& m, JitCompiler& compiler,
-    const std::string* source_override = nullptr) {
-  return make_jit_kernel(m, compiler, Checked::kYes, source_override);
-}
-
-/// Deprecated alias for make_jit_spmm_kernel(m, compiler, Checked::kYes,
-/// src).
-template <Real T>
-[[deprecated("use make_jit_spmm_kernel(m, compiler, Checked::kYes)")]]
-std::optional<CrsdJitSpmmKernel<T>> make_jit_spmm_kernel_checked(
-    const CrsdMatrix<T>& m, JitCompiler& compiler,
-    const std::string* source_override = nullptr) {
-  return make_jit_spmm_kernel(m, compiler, Checked::kYes, source_override);
 }
 
 }  // namespace crsd::codegen

@@ -60,6 +60,12 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 
+// Static kernel-access analyzer: prove bounds/race/coalescing properties of
+// a CRSD launch before executing it.
+#include "analysis/analyze.hpp"
+#include "analysis/interval.hpp"
+#include "analysis/launch_model.hpp"
+
 // Kernels: per-format simulated-GPU SpMV, the dispatcher, autotuner, SpMM.
 #include "kernels/cpu_spmm.hpp"
 #include "kernels/crsd_autotune.hpp"

@@ -12,13 +12,14 @@
 //    private gpusim::Device (the device object carries allocation state)
 //    with no simulation-side pool — the model derives seconds from event
 //    counters, so concurrent evaluation changes nothing but wall clock.
-//  * Cost-model pruning: the roofline estimate over a candidate's built
-//    storage (perf::predict_crsd_spmv_seconds) ranks candidates before any
-//    is measured; candidates predicted slower than `prune_margin` times
-//    the best prediction are skipped. SpMV is bandwidth-bound, so the
-//    streamed-bytes term that dominates the estimate also dominates the
-//    simulated time, and the model's *ordering* is trustworthy even though
-//    its absolute scale is a CPU's.
+//  * Cost-model pruning: the static kernel-access analyzer
+//    (analysis/analyze.hpp) derives a candidate's launch counters from its
+//    metadata alone and the simulator's timing model turns them into
+//    predicted seconds (perf::predict_crsd_spmv_seconds, GPU-counter
+//    overload) — no trial launch, no value streams touched. The prediction
+//    is on the target device's scale and exact for the local-memory
+//    geometry it models, so candidates predicted slower than `prune_margin`
+//    times the best prediction can be skipped with confidence.
 //  * A persistent cache: results are stored on disk keyed by a structural
 //    fingerprint of the matrix (diagonal population histogram + dimensions,
 //    crsd::structure_hash) plus device, precision, and search-space
@@ -45,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyze.hpp"
 #include "common/hash.hpp"
 #include "core/builder.hpp"
 #include "core/inspect.hpp"
@@ -96,7 +98,9 @@ struct AutotuneTrial {
   bool local_memory = true;
   /// Simulated SpMV seconds; +infinity when the trial was pruned unmeasured.
   double seconds = 0.0;
-  /// Roofline prediction the pruning ranked this candidate by.
+  /// Static prediction the pruning ranked this candidate by: the analyzer's
+  /// replayed launch counters through the device timing model (exact for
+  /// the default local-memory geometry on a fresh device).
   double predicted_seconds = 0.0;
   bool measured = true;
   CrsdStats stats;
@@ -115,8 +119,10 @@ struct AutotuneResult {
   /// Cache entry name (hash over structure/device/precision/space).
   std::string cache_key;
   /// Mean |predicted - measured| / measured over the measured trials after
-  /// normalizing both sides by their minima — the scales differ (CPU
-  /// roofline vs simulated GPU), so only relative error is meaningful.
+  /// normalizing both sides by their minima. The static prediction is on
+  /// the device's own scale (and exact for the use_local_memory=true
+  /// geometry), so this is near zero; it stays normalized because one
+  /// prediction per config is compared against both local-memory variants.
   double model_rel_error = 0.0;
 
   /// One-line human-readable report: measured vs pruned counts, cache
@@ -372,7 +378,10 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
 
   // Phase 1: build every candidate container concurrently (each build runs
   // the serial path inside its task — the pool is already saturated across
-  // candidates) and predict its sweep time from the roofline model.
+  // candidates) and predict its launch time statically: replay the
+  // candidate's metadata-determined address streams through the coalescing
+  // model and feed the counters into the device's timing formula. No trial
+  // launch, no value data; deterministic, so concurrent tuners agree.
   std::vector<std::unique_ptr<CrsdMatrix<T>>> mats(configs.size());
   std::vector<double> predicted(configs.size(), 0.0);
   {
@@ -383,9 +392,12 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
     for (std::size_t c = 0; c < configs.size(); ++c) {
       tasks.push_back([&, c] {
         mats[c] = std::make_unique<CrsdMatrix<T>>(build_crsd(a, configs[c]));
+        analysis::AnalyzeOptions aopts;
+        aopts.spec = dev.spec();
+        const analysis::CoalescingReport rep = analysis::predict_crsd_counters(
+            analysis::build_launch_model(*mats[c], aopts));
         predicted[c] = perf::predict_crsd_spmv_seconds(
-            mats[c]->stats(), a.num_rows(), sizeof(T),
-            std::is_same_v<T, double>);
+            dev.spec(), rep.counters, std::is_same_v<T, double>);
       });
     }
     detail::run_trial_tasks(opts.pool, tasks);
@@ -453,8 +465,9 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
   }
 
   // Model quality over the measured trials: compare *normalized* predicted
-  // and measured times (each divided by its minimum) — the model only
-  // claims to rank, so only relative error is meaningful.
+  // and measured times (each divided by its minimum). One static prediction
+  // per config stands in for both local-memory variants, so normalization
+  // keeps the error meaningful for the local=false trials too.
   {
     double min_pred = std::numeric_limits<double>::infinity();
     double min_meas = std::numeric_limits<double>::infinity();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gpusim/executor.hpp"
+
 namespace crsd::perf {
 
 CpuSystemSpec CpuSystemSpec::xeon_x5550_2s() {
@@ -87,6 +89,17 @@ double predict_crsd_spmv_seconds(const CrsdStats& stats, index_t num_rows,
   return roofline_seconds(CpuSystemSpec{},
                           crsd_sweep_cost(stats, num_rows, value_bytes),
                           /*threads=*/1, double_precision);
+}
+
+double predict_crsd_spmv_seconds(const gpusim::DeviceSpec& spec,
+                                 const gpusim::Counters& counters,
+                                 bool double_precision) {
+  // gpu_spmv_crsd models the fused diag+scatter kernel as one launch; only
+  // `launches` and `double_precision` of the config enter the formula.
+  gpusim::LaunchConfig cfg;
+  cfg.launches = 1;
+  cfg.double_precision = double_precision;
+  return gpusim::estimate_seconds(spec, counters, cfg);
 }
 
 }  // namespace crsd::perf

@@ -13,6 +13,14 @@
 #include "core/crsd_matrix.hpp"
 #include "matrix/stats.hpp"
 
+// The GPU-counter overload of predict_crsd_spmv_seconds only references
+// these by const&; forward declarations keep header-only consumers of this
+// file (core/exec_plan.hpp) free of the gpusim include chain.
+namespace crsd::gpusim {
+struct DeviceSpec;
+struct Counters;
+}  // namespace crsd::gpusim
+
 namespace crsd::perf {
 
 /// Host system description.
@@ -84,6 +92,15 @@ double cpu_spmv_seconds(const CpuSystemSpec& spec, const SweepCost& cost,
 /// pruning needs.
 double predict_crsd_spmv_seconds(const CrsdStats& stats, index_t num_rows,
                                  int value_bytes, bool double_precision);
+
+/// GPU-side prediction from statically derived launch counters (the
+/// analysis layer's coalescing replay, analysis/analyze.hpp): feeds the
+/// counters through the simulator's own timing model, so the autotuner can
+/// cost a candidate on the *target device's* scale — exactly, for a launch
+/// on a fresh device — without a trial launch.
+double predict_crsd_spmv_seconds(const gpusim::DeviceSpec& spec,
+                                 const gpusim::Counters& counters,
+                                 bool double_precision);
 
 /// Byte/flop traffic of one row segment of pattern `p` in the CRSD diagonal
 /// part: the segment's value slots stream once, every diagonal rereads its

@@ -262,5 +262,101 @@ TEST(CheckedJit, CleanGpuSourceRunsUnderTheChecker) {
   }
 }
 
+// --- Storage-mode rules: f16 decoder routing, delta byte-range guard. ----
+
+CrsdMatrix<double> compact_matrix(ValuePrecision vp, bool narrow, bool delta) {
+  Rng rng(3);
+  Coo<double> a = astro_convection(24, 8, 8, /*unstructured=*/false, rng);
+  inject_scatter(a, 25, rng);
+  CrsdConfig cfg;
+  cfg.mrows = 16;
+  cfg.storage = {vp, narrow, delta};
+  return build_crsd(a, cfg);
+}
+
+TEST(CodeletLint, CleanOnCompactStorageModes) {
+  for (const StorageOptions s :
+       {StorageOptions{ValuePrecision::kFloat16, true, false},
+        StorageOptions{ValuePrecision::kNative, false, true},
+        StorageOptions{ValuePrecision::kFloat32, false, true}}) {
+    const auto m = compact_matrix(s.value_precision, s.narrow_scatter_indices,
+                                  s.delta_scatter_indices);
+    const auto diags =
+        lint_cpu_codelet_source(m, generate_cpu_codelet_source(m));
+    EXPECT_TRUE(diags.empty()) << check::format_diagnostics(diags);
+  }
+}
+
+TEST(CodeletLint, FlagsHalfDecoderBypass) {
+  const auto m = compact_matrix(ValuePrecision::kFloat16, true, false);
+  // Drop the decode on one value load: the accumulation would multiply the
+  // raw binary16 bit pattern.
+  const std::string src = mutated(generate_cpu_codelet_source(m),
+                                  "crsd_h2f(unit[", "(unit[");
+  EXPECT_TRUE(has_code(lint_cpu_codelet_source(m, src),
+                       Code::kLintHalfDecoder));
+}
+
+TEST(CodeletLint, FlagsMissingHalfDecoder) {
+  const auto m = compact_matrix(ValuePrecision::kFloat16, true, false);
+  const std::string src =
+      mutated(generate_cpu_codelet_source(m),
+              "static inline float crsd_h2f(VT h)",
+              "static inline float crsd_h2f_off(VT h)");
+  EXPECT_TRUE(has_code(lint_cpu_codelet_source(m, src),
+                       Code::kLintHalfDecoder));
+}
+
+TEST(CodeletLint, FlagsUnguardedVarintContinuationLoop) {
+  const auto m = compact_matrix(ValuePrecision::kNative, false, true);
+  // Strip the byte-range guard from the continuation loop: a truncated
+  // stream would read past the row's range.
+  const std::string src =
+      mutated(generate_cpu_codelet_source(m),
+              "while ((byte & 0x80u) && pos < end);",
+              "while (byte & 0x80u);");
+  const auto diags = lint_cpu_codelet_source(m, src);
+  EXPECT_TRUE(has_code(diags, Code::kLintDeltaGuard))
+      << check::format_diagnostics(diags);
+}
+
+TEST(CodeletLint, FlagsMissingDeltaByteRange) {
+  const auto m = compact_matrix(ValuePrecision::kNative, false, true);
+  const std::string src =
+      mutated(generate_cpu_codelet_source(m),
+              "const std::int32_t end = row_bytes[i + 1];",
+              "const std::int32_t end = 2147483647;");
+  EXPECT_TRUE(has_code(lint_cpu_codelet_source(m, src),
+                       Code::kLintDeltaGuard));
+}
+
+TEST(CheckedJit, RejectsMutatedCompactSourceWithoutCompiling) {
+  const auto m = compact_matrix(ValuePrecision::kFloat16, true, false);
+  JitCompiler compiler = fresh_compiler();
+  const std::string bad = mutated(generate_cpu_codelet_source(m),
+                                  "crsd_h2f(unit[", "(unit[");
+  EXPECT_FALSE(make_jit_kernel(m, compiler, Checked::kYes, &bad).has_value());
+  EXPECT_EQ(compiler.compilations(), 0);
+}
+
+TEST(CheckedJit, CleanCompactSourceCompilesAndMatchesScalar) {
+  if (!JitCompiler::compiler_available()) GTEST_SKIP();
+  const auto m = compact_matrix(ValuePrecision::kFloat32, false, true);
+  JitCompiler compiler = fresh_compiler();
+  auto kernel = make_jit_kernel(m, compiler);
+  ASSERT_TRUE(kernel.has_value());
+
+  Rng rng(7);
+  std::vector<double> x(static_cast<std::size_t>(m.num_cols()));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  std::vector<double> want(static_cast<std::size_t>(m.num_rows()), 0.0);
+  std::vector<double> got = want;
+  m.spmv_scalar(x.data(), want.data());
+  kernel->spmv(m, x.data(), got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-12) << i;
+  }
+}
+
 }  // namespace
 }  // namespace crsd::codegen
