@@ -53,6 +53,9 @@ enum class Code {
   // Static kernel-access analyzer (crsd::analysis::analyze_model).
   kPlanPartition,       ///< ExecPlan thread slices do not disjointly cover
                         ///< their segment/scatter/row domains
+  // Task-graph runtime (crsd::rt::TaskGraph::validate).
+  kGraphCycle,          ///< dependency cycle among graph nodes (including
+                        ///< the implicit in-order edges of each queue)
 };
 
 inline const char* code_name(Code code) {
@@ -80,6 +83,7 @@ inline const char* code_name(Code code) {
     case Code::kLintHalfDecoder: return "lint-half-decoder";
     case Code::kLintDeltaGuard: return "lint-delta-guard";
     case Code::kPlanPartition: return "plan-partition";
+    case Code::kGraphCycle: return "graph-cycle";
   }
   return "unknown";
 }

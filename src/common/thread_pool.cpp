@@ -22,6 +22,21 @@ obs::Histogram& queue_depth_histogram() {
   return h;
 }
 
+// High-watermark of pending_ across the process lifetime. The graph
+// scheduler's many-small-node load is where depth spikes show; a gauge makes
+// the worst case visible without histogram bucket math.
+obs::Gauge& queue_depth_highwater_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("pool.queue_depth_highwater");
+  return g;
+}
+
+void record_queue_depth(std::size_t depth) {
+  queue_depth_histogram().record(depth);
+  obs::Gauge& g = queue_depth_highwater_gauge();
+  if (double(depth) > g.value()) g.set(double(depth));
+}
+
 }  // namespace
 
 ParallelPlan ParallelPlan::static_partition(index_t begin, index_t end,
@@ -120,6 +135,7 @@ void ThreadPool::parallel_for(
 
   // Chunk 0 runs on the calling thread; the rest are queued for workers.
   Task mine = tasks.front();
+  std::size_t pushed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     CRSD_CHECK_MSG(outstanding_ == 0 && pending_.empty(),
@@ -128,9 +144,10 @@ void ThreadPool::parallel_for(
     first_error_ = nullptr;
     pending_.assign(tasks.begin() + 1, tasks.end());
     outstanding_ = static_cast<int>(pending_.size());
-    queue_depth_histogram().record(pending_.size());
+    pushed = pending_.size();
+    record_queue_depth(pushed);
   }
-  cv_work_.notify_all();
+  wake_workers(pushed);
 
   try {
     (*mine.fn)(mine.begin, mine.end, mine.thread_id);
@@ -177,6 +194,7 @@ void ThreadPool::parallel_for(
     return;
   }
 
+  std::size_t pushed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     CRSD_CHECK_MSG(outstanding_ == 0 && pending_.empty(),
@@ -185,9 +203,10 @@ void ThreadPool::parallel_for(
     first_error_ = nullptr;
     pending_ = std::move(tasks);
     outstanding_ = static_cast<int>(pending_.size());
-    queue_depth_histogram().record(pending_.size());
+    pushed = pending_.size();
+    record_queue_depth(pushed);
   }
-  cv_work_.notify_all();
+  wake_workers(pushed);
 
   try {
     fn(plan.part_begin(mine), plan.part_end(mine), mine);
@@ -242,6 +261,7 @@ void ThreadPool::parallel_for_chunked(
     return;
   }
 
+  std::size_t pushed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     CRSD_CHECK_MSG(outstanding_ == 0 && pending_.empty(),
@@ -258,9 +278,10 @@ void ThreadPool::parallel_for_chunked(
       cursor = lo;
     }
     outstanding_ = static_cast<int>(pending_.size());
-    queue_depth_histogram().record(pending_.size());
+    pushed = pending_.size();
+    record_queue_depth(pushed);
   }
-  cv_work_.notify_all();
+  wake_workers(pushed);
 
   // The calling thread drains the queue alongside the workers.
   for (;;) {
@@ -302,6 +323,15 @@ void ThreadPool::run_tasks(const std::vector<std::function<void()>>& tasks) {
                            tasks[static_cast<std::size_t>(i)]();
                          }
                        });
+}
+
+void ThreadPool::wake_workers(std::size_t pushed) {
+  if (pushed == 0) return;
+  if (pushed == 1) {
+    cv_work_.notify_one();
+  } else {
+    cv_work_.notify_all();
+  }
 }
 
 void ThreadPool::worker_loop(int worker_id) {

@@ -111,6 +111,11 @@ class ThreadPool {
 
   void worker_loop(int worker_id);
 
+  /// Wake exactly as many workers as there are newly queued tasks: a single
+  /// task wakes one worker instead of stampeding the whole pool (the graph
+  /// scheduler enqueues many single-node batches).
+  void wake_workers(std::size_t pushed);
+
   int num_threads_;
   std::vector<std::thread> workers_;
 

@@ -9,6 +9,9 @@
 //    library; include it directly where a checker is attached.
 //  * hybrid/ (CPU+GPU hybrid execution) and solver/gpu_cg.hpp — need
 //    crsd_hybrid; include directly.
+//  * runtime/ (async task-graph runtime, multi-device sharded SpMV) — needs
+//    the crsd_runtime library; include runtime/task_graph.hpp /
+//    runtime/multi_device.hpp directly.
 #pragma once
 
 // Common utilities: errors, fixed-width types, RNG, timers, thread pool.

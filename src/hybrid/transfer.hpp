@@ -4,6 +4,8 @@
 // that cost explicit so the hybrid scheduler can reason about it.
 #pragma once
 
+#include <algorithm>
+
 #include "common/types.hpp"
 
 namespace crsd::hybrid {
@@ -24,6 +26,18 @@ struct PcieSpec {
 inline double transfer_seconds(const PcieSpec& pcie, size64_t bytes) {
   if (bytes == 0) return 0.0;
   return pcie.latency_seconds + double(bytes) / (pcie.bandwidth_gbps * 1e9);
+}
+
+/// One pipelined copy step — the staging implementation shared by the
+/// hybrid engine and the runtime's H2D/D2H transfer nodes: lands `elems`
+/// elements in the staging window and returns the modeled link time of that
+/// chunk (each chunk is one DMA transfer, so chunking buys overlap but
+/// multiplies the per-transfer latency).
+template <typename T>
+double staged_copy(const PcieSpec& pcie, const T* src, T* dst,
+                   size64_t elems) {
+  if (elems > 0) std::copy(src, src + elems, dst);
+  return transfer_seconds(pcie, elems * sizeof(T));
 }
 
 }  // namespace crsd::hybrid

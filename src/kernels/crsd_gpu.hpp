@@ -12,6 +12,13 @@
 // the instruction stream as immediates, diagonal loop unrolled). The
 // numerical work is identical; the codegen module proves the generated
 // source computes the same thing.
+//
+// The launch is range-parameterized (CrsdGpuRange): a contiguous run of row
+// segments plus a slice of the scatter-row list execute against windowed x/y
+// buffers, which is what the task-graph runtime shards across devices. The
+// full-range wrapper reproduces the historical single-device launch with
+// byte-identical allocation sizes, offsets, and traffic — the analysis
+// replay depends on that.
 #pragma once
 
 #include <vector>
@@ -33,37 +40,145 @@ struct CrsdGpuOptions {
   gpusim::AccessChecker* checker = nullptr;
 };
 
+/// A contiguous slice of one built CRSD container, executed against window
+/// buffers. Rows/segments/scatter rows refer to the container's global
+/// numbering; `x_begin`/`row_begin` rebase the window pointers — element 0
+/// of `x_window` is column `x_begin`, element 0 of `y_window` is row
+/// `row_begin`. Sharding slices the *built* container (never a rebuilt
+/// sub-matrix): per-row accumulation order is unchanged, so a sharded sweep
+/// is bitwise-identical to the full launch.
+struct CrsdGpuRange {
+  index_t seg_begin = 0, seg_end = 0;          ///< row segments [begin, end)
+  index_t scatter_begin = 0, scatter_end = 0;  ///< scatter-row list slice
+  index_t row_begin = 0, row_end = 0;          ///< rows covered by y_window
+  index_t x_begin = 0, x_end = 0;              ///< columns in x_window
+
+  bool empty() const {
+    return seg_begin >= seg_end && scatter_begin >= scatter_end;
+  }
+
+  template <Real T>
+  static CrsdGpuRange full(const CrsdMatrix<T>& m) {
+    CrsdGpuRange r;
+    r.seg_end = m.num_segments_total();
+    r.scatter_end = m.num_scatter_rows();
+    r.row_end = m.num_rows();
+    r.x_end = m.num_cols();
+    return r;
+  }
+};
+
+namespace detail {
+
+/// Global diagonal-value slot at the start of segment `g` (== stream length
+/// when g is the one-past-the-end segment).
 template <Real T>
-gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
-                                   const T* x, T* y,
-                                   const CrsdGpuOptions& opts = {},
-                                   ThreadPool* pool = nullptr) {
+size64_t dia_slot_at_segment(const CrsdMatrix<T>& m, index_t g) {
+  if (g >= m.num_segments_total()) return m.dia_slot_count();
+  const index_t p = m.pattern_of_segment(g);
+  const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+  const index_t seg_in_p = g - m.cum_segments()[static_cast<std::size_t>(p)];
+  return m.pattern_value_offsets()[static_cast<std::size_t>(p)] +
+         static_cast<size64_t>(seg_in_p) * pat.slots_per_segment(m.mrows());
+}
+
+/// Encoded bytes of the scatter column representation for rows [sb, se) —
+/// the ranged analogue of scatter_index_stream_bytes() (full range matches
+/// it exactly, including the delta mode's row-pointer array).
+template <Real T>
+size64_t scatter_index_bytes_range(const CrsdMatrix<T>& m, index_t sb,
+                                   index_t se) {
+  const size64_t rows = static_cast<size64_t>(se > sb ? se - sb : 0);
+  const size64_t slots = rows * static_cast<size64_t>(m.scatter_width());
+  switch (m.scatter_index_mode()) {
+    case ScatterIndexMode::kIndex32:
+      return slots * sizeof(index_t);
+    case ScatterIndexMode::kIndex16:
+      return slots * sizeof(std::uint16_t);
+    case ScatterIndexMode::kDelta: {
+      const auto& dptr = m.storage().scatter_delta_ptr;
+      if (dptr.empty()) return 0;
+      return static_cast<size64_t>(dptr[static_cast<std::size_t>(se)] -
+                                   dptr[static_cast<std::size_t>(sb)]) +
+             (rows + 1) * sizeof(index_t);
+    }
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+template <Real T>
+gpusim::LaunchResult gpu_spmv_crsd_range(gpusim::Device& dev,
+                                         const CrsdMatrix<T>& m,
+                                         const CrsdGpuRange& r,
+                                         const T* x_window, T* y_window,
+                                         const CrsdGpuOptions& opts = {},
+                                         ThreadPool* pool = nullptr) {
   const index_t n = m.num_rows();
   const index_t mrows = m.mrows();
   CRSD_CHECK_MSG(mrows % dev.spec().wavefront_size == 0,
                  "mrows (" << mrows << ") must be a multiple of the wavefront "
                            << "size (" << dev.spec().wavefront_size
                            << ") on the GPU");
+  CRSD_CHECK_MSG(0 <= r.seg_begin && r.seg_begin <= r.seg_end &&
+                     r.seg_end <= m.num_segments_total(),
+                 "segment range [" << r.seg_begin << ", " << r.seg_end
+                                   << ") out of bounds");
+  CRSD_CHECK_MSG(0 <= r.scatter_begin && r.scatter_begin <= r.scatter_end &&
+                     r.scatter_end <= m.num_scatter_rows(),
+                 "scatter range [" << r.scatter_begin << ", " << r.scatter_end
+                                   << ") out of bounds");
+  if (r.seg_begin < r.seg_end) {
+    CRSD_CHECK_MSG(r.row_begin <= r.seg_begin * mrows &&
+                       r.row_end >= std::min<index_t>(r.seg_end * mrows, n),
+                   "row window does not cover the segment range");
+  }
+  if (r.scatter_begin < r.scatter_end) {
+    const auto& srow = m.scatter_rows();
+    CRSD_CHECK_MSG(
+        srow[static_cast<std::size_t>(r.scatter_begin)] >= r.row_begin &&
+            srow[static_cast<std::size_t>(r.scatter_end - 1)] < r.row_end,
+        "row window does not cover the scatter slice");
+  }
+  if (r.empty()) return {};
 
-  const index_t nsr = m.num_scatter_rows();
+  const index_t nsr = r.scatter_end - r.scatter_begin;
   // Storage-mode parameters: compact modes shrink the value and index
   // streams, which is exactly what the DRAM-transaction counters measure.
   const int vb = m.value_bytes();
   const ScatterIndexMode scol_mode = m.scatter_index_mode();
   const bool native = m.value_precision() == ValuePrecision::kNative;
 
+  // The range's slice of the diagonal value stream, and its scatter-ELL
+  // reindexing: a shard owns rows [scatter_begin, scatter_end) of every ELL
+  // column, re-based to a column-major layout of stride nsr (what a real
+  // multi-device repack would ship), while the numerics still read the
+  // container's global streams.
+  const size64_t val0 = detail::dia_slot_at_segment(m, r.seg_begin);
+  const size64_t val1 = detail::dia_slot_at_segment(m, r.seg_end);
+  const index_t nsr_full = m.num_scatter_rows();
+
   // Device allocations: diagonal values, scatter ELL, vectors, and (for the
   // interpreted kernel) the index metadata. Sizes follow the storage mode;
   // delta mode ships the varint byte stream instead of an ELL column array.
-  gpusim::Buffer b_v = dev.alloc(m.dia_slot_count() * vb);
+  gpusim::Buffer b_v = dev.alloc((val1 - val0) * vb);
   gpusim::Buffer b_x =
-      dev.alloc(static_cast<size64_t>(m.num_cols()) * sizeof(T));
-  gpusim::Buffer b_y = dev.alloc(static_cast<size64_t>(n) * sizeof(T));
-  gpusim::Buffer b_srow = dev.alloc(m.scatter_rows().size() * sizeof(index_t));
-  gpusim::Buffer b_scol = dev.alloc(m.scatter_index_stream_bytes());
-  gpusim::Buffer b_sval = dev.alloc(m.scatter_slot_count() * vb);
+      dev.alloc(static_cast<size64_t>(r.x_end - r.x_begin) * sizeof(T));
+  gpusim::Buffer b_y =
+      dev.alloc(static_cast<size64_t>(r.row_end - r.row_begin) * sizeof(T));
+  gpusim::Buffer b_srow =
+      dev.alloc(static_cast<size64_t>(nsr) * sizeof(index_t));
+  gpusim::Buffer b_scol = dev.alloc(
+      detail::scatter_index_bytes_range(m, r.scatter_begin, r.scatter_end));
+  gpusim::Buffer b_sval =
+      dev.alloc(static_cast<size64_t>(nsr) * m.scatter_width() * vb);
   size64_t index_bytes = 0;
   for (index_t p = 0; p < m.num_patterns(); ++p) {
+    const auto& cum = m.cum_segments();
+    const index_t pb = cum[static_cast<std::size_t>(p)];
+    const index_t pe = cum[static_cast<std::size_t>(p) + 1];
+    if (pb < pe && (pe <= r.seg_begin || pb >= r.seg_end)) continue;
     const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
     index_bytes += (2 + pat.offsets.size()) *
                    static_cast<size64_t>(m.pattern_index_width(p));
@@ -71,19 +186,19 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
   gpusim::Buffer b_idx = dev.alloc(index_bytes);
 
   gpusim::LaunchConfig diag_cfg;
-  diag_cfg.num_groups = m.num_segments_total();
+  diag_cfg.num_groups = r.seg_end - r.seg_begin;
   diag_cfg.group_size = mrows;
   diag_cfg.double_precision = std::is_same_v<T, double>;
   diag_cfg.kernel_name = "crsd_spmv_diag";
   diag_cfg.checker = opts.checker;
 
   auto diag_body = [&, mrows](gpusim::WorkGroupCtx& ctx) {
-    const index_t g = ctx.group_id();
+    const index_t g = r.seg_begin + ctx.group_id();
     const index_t p = m.pattern_of_segment(g);
     const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
     const index_t seg_in_p = g - m.cum_segments()[static_cast<std::size_t>(p)];
     const index_t row0 = g * mrows;
-    const index_t lanes = std::min<index_t>(mrows, n - row0);
+    const index_t lanes = std::min<index_t>(mrows, r.row_end - row0);
     const index_t ndias = pat.num_diagonals();
     const size64_t unit0 =
         m.pattern_value_offsets()[static_cast<std::size_t>(p)] +
@@ -117,8 +232,8 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
         const index_t window = lanes + grp.num_diagonals - 1;
         const index_t start = m.clamp_col(row0 + first);
         const index_t window_clamped =
-            std::min<index_t>(window, m.num_cols() - start);
-        ctx.global_read_block(b_x, static_cast<size64_t>(start),
+            std::min<index_t>(window, r.x_end - start);
+        ctx.global_read_block(b_x, static_cast<size64_t>(start - r.x_begin),
                               std::max<index_t>(window_clamped, 1), sizeof(T));
         ctx.local_write_range(0, static_cast<size64_t>(window) * sizeof(T));
         ctx.barrier();
@@ -129,7 +244,7 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
         // Coalesced value load of this diagonal's lanes, at the storage
         // mode's element width (f32 halves the traffic, f16 quarters it).
         ctx.global_read_block(
-            b_v, unit0 + static_cast<size64_t>(d) * mrows, lanes, vb);
+            b_v, unit0 - val0 + static_cast<size64_t>(d) * mrows, lanes, vb);
         if (staged) {
           // Diagonal gd of the group reads window bytes [gd, gd + lanes).
           ctx.local_read_range(static_cast<size64_t>(gd) * sizeof(T),
@@ -138,8 +253,8 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
           // Edge lanes clamp to the last column, so the touched range ends
           // at num_cols even when row0 + off + lanes runs past it.
           const index_t xs = m.clamp_col(row0 + off);
-          const index_t xn = std::min<index_t>(lanes, m.num_cols() - xs);
-          ctx.global_read_block(b_x, static_cast<size64_t>(xs),
+          const index_t xn = std::min<index_t>(lanes, r.x_end - xs);
+          ctx.global_read_block(b_x, static_cast<size64_t>(xs - r.x_begin),
                                 std::max<index_t>(xn, 1), sizeof(T),
                                 /*cached=*/true);
         }
@@ -147,7 +262,7 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
         for (index_t lane = 0; lane < lanes; ++lane) {
           const T v = m.dia_value(unit0 + static_cast<size64_t>(d) * mrows +
                                   static_cast<size64_t>(lane));
-          const T xv = x[m.clamp_col(row0 + lane + off)];
+          const T xv = x_window[m.clamp_col(row0 + lane + off) - r.x_begin];
           if (native) {
             sums[static_cast<std::size_t>(lane)] += v * xv;
           } else {
@@ -169,17 +284,21 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
       }
     }
     for (index_t lane = 0; lane < lanes; ++lane) {
-      y[row0 + lane] =
+      y_window[row0 - r.row_begin + lane] =
           native ? sums[static_cast<std::size_t>(lane)]
                  : static_cast<T>(dsums[static_cast<std::size_t>(lane)]);
     }
     if (lanes > 0) {
-      ctx.global_write_block(b_y, static_cast<size64_t>(row0), lanes,
-                             sizeof(T));
+      ctx.global_write_block(b_y, static_cast<size64_t>(row0 - r.row_begin),
+                             lanes, sizeof(T));
     }
   };
 
-  gpusim::LaunchResult result = gpusim::launch(dev, diag_cfg, diag_body, pool);
+  gpusim::LaunchResult result;
+  const bool have_diag = r.seg_begin < r.seg_end;
+  if (have_diag) {
+    result = gpusim::launch(dev, diag_cfg, diag_body, pool);
+  }
 
   // Scatter phase: executed inside the same kernel launch after the diagonal
   // part (§III-B), so it is modeled as extra work-groups with zero
@@ -194,14 +313,17 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
     scatter_cfg.group_size = mrows;
     scatter_cfg.num_groups = (nsr + mrows - 1) / mrows;
     scatter_cfg.double_precision = diag_cfg.double_precision;
-    scatter_cfg.launches = 0;  // same launch as the diagonal phase
+    // Fused into the diagonal phase's launch when one exists; a scatter-only
+    // range pays its own launch overhead.
+    scatter_cfg.launches = have_diag ? 0 : 1;
     scatter_cfg.kernel_name = "crsd_spmv_scatter";
     scatter_cfg.checker = opts.checker;
 
     auto scatter_body = [&, mrows](gpusim::WorkGroupCtx& ctx) {
-      const index_t i0 = ctx.group_id() * mrows;
+      const index_t i0 = ctx.group_id() * mrows;  // within the slice
       const index_t lanes = std::min<index_t>(mrows, nsr - i0);
       if (lanes <= 0) return;
+      const index_t gi0 = r.scatter_begin + i0;  // global scatter row
       ctx.global_read_block(b_srow, static_cast<size64_t>(i0), lanes,
                             sizeof(index_t));
       if (scol_mode == ScatterIndexMode::kDelta) {
@@ -210,10 +332,15 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
         // shift/or/compare ALU work per stream byte, replacing the per-k
         // 4-byte column loads below.
         const auto& dptr = m.storage().scatter_delta_ptr;
+        const size64_t slice0 =
+            static_cast<size64_t>(dptr[static_cast<std::size_t>(
+                r.scatter_begin)]);
         const size64_t byte0 =
-            static_cast<size64_t>(dptr[static_cast<std::size_t>(i0)]);
+            static_cast<size64_t>(dptr[static_cast<std::size_t>(gi0)]) -
+            slice0;
         const size64_t byte1 = static_cast<size64_t>(
-            dptr[static_cast<std::size_t>(i0 + lanes)]);
+                                   dptr[static_cast<std::size_t>(gi0 + lanes)]) -
+                               slice0;
         if (byte1 > byte0) {
           ctx.global_read_block(b_scol, byte0, byte1 - byte0, 1);
           ctx.alu(4 * (byte1 - byte0));
@@ -224,10 +351,13 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
                                 0.0);
       std::vector<size64_t> gather(static_cast<std::size_t>(lanes));
       for (index_t k = 0; k < m.scatter_width(); ++k) {
+        // The container's ELL is column-major of stride nsr_full; the range
+        // models its re-based slice of stride nsr. Both are coalesced. u16
+        // columns move half the bytes; delta columns were decoded above.
+        const size64_t gslot0 =
+            static_cast<size64_t>(k) * nsr_full + static_cast<size64_t>(gi0);
         const size64_t slot0 =
             static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i0);
-        // ELL column-major over scatter rows: coalesced. u16 columns move
-        // half the bytes; delta columns were already decoded above.
         if (scol_mode == ScatterIndexMode::kIndex32) {
           ctx.global_read_block(b_scol, slot0, lanes, sizeof(index_t));
         } else if (scol_mode == ScatterIndexMode::kIndex16) {
@@ -236,17 +366,19 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
         ctx.global_read_block(b_sval, slot0, lanes, vb);
         size64_t useful = 0;
         for (index_t i = 0; i < lanes; ++i) {
-          const index_t c = scol[slot0 + static_cast<size64_t>(i)];
+          const index_t c = scol[gslot0 + static_cast<size64_t>(i)];
           if (c != kInvalidIndex) {
-            const T v = m.scatter_value(slot0 + static_cast<size64_t>(i));
+            const T v = m.scatter_value(gslot0 + static_cast<size64_t>(i));
             if (native) {
-              sums[static_cast<std::size_t>(i)] += v * x[c];
+              sums[static_cast<std::size_t>(i)] +=
+                  v * x_window[c - r.x_begin];
             } else {
               dsums[static_cast<std::size_t>(i)] +=
-                  static_cast<double>(v) * static_cast<double>(x[c]);
+                  static_cast<double>(v) *
+                  static_cast<double>(x_window[c - r.x_begin]);
             }
             gather[static_cast<std::size_t>(useful)] =
-                static_cast<size64_t>(c);
+                static_cast<size64_t>(c - r.x_begin);
             ++useful;
           }
         }
@@ -257,23 +389,29 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
       }
       std::vector<size64_t> targets(static_cast<std::size_t>(lanes));
       for (index_t i = 0; i < lanes; ++i) {
-        const index_t r = srow[static_cast<std::size_t>(i0 + i)];
-        y[r] = native ? sums[static_cast<std::size_t>(i)]
-                      : static_cast<T>(
-                            dsums[static_cast<std::size_t>(i)]);  // §II-D
-        targets[static_cast<std::size_t>(i)] = static_cast<size64_t>(r);
+        const index_t row =
+            srow[static_cast<std::size_t>(gi0 + i)] - r.row_begin;
+        y_window[row] = native ? sums[static_cast<std::size_t>(i)]
+                               : static_cast<T>(
+                                     dsums[static_cast<std::size_t>(i)]);
+        targets[static_cast<std::size_t>(i)] = static_cast<size64_t>(row);
       }
       ctx.global_scatter_write(b_y, targets.data(), lanes, sizeof(T));
     };
 
     const gpusim::LaunchResult tail =
         gpusim::launch(dev, scatter_cfg, scatter_body, pool);
-    // The paper fuses the scatter part into the same kernel launch; model
-    // the whole thing as one launch so the tail shares the diagonal phase's
-    // occupancy instead of being derated as a tiny stand-alone grid.
-    result.counters += tail.counters;
-    result.seconds =
-        gpusim::estimate_seconds(dev.spec(), result.counters, diag_cfg);
+    if (have_diag) {
+      // The paper fuses the scatter part into the same kernel launch; model
+      // the whole thing as one launch so the tail shares the diagonal
+      // phase's occupancy instead of being derated as a tiny stand-alone
+      // grid.
+      result.counters += tail.counters;
+      result.seconds =
+          gpusim::estimate_seconds(dev.spec(), result.counters, diag_cfg);
+    } else {
+      result = tail;
+    }
   }
 
   dev.free(b_v);
@@ -284,6 +422,16 @@ gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
   dev.free(b_sval);
   dev.free(b_idx);
   return result;
+}
+
+/// Historical single-device entry point: the full range against unwindowed
+/// x/y.
+template <Real T>
+gpusim::LaunchResult gpu_spmv_crsd(gpusim::Device& dev, const CrsdMatrix<T>& m,
+                                   const T* x, T* y,
+                                   const CrsdGpuOptions& opts = {},
+                                   ThreadPool* pool = nullptr) {
+  return gpu_spmv_crsd_range(dev, m, CrsdGpuRange::full(m), x, y, opts, pool);
 }
 
 }  // namespace crsd::kernels

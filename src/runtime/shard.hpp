@@ -1,0 +1,195 @@
+// Row-segment sharding of one built CRSD container across N devices. A
+// shard is a contiguous run of row segments (so each work-group stays whole)
+// plus the slice of the scatter-row list whose rows fall inside the shard,
+// plus the x-window the shard's kernels read — diagonal clamps and scatter
+// gathers included — so only that window is transferred to the device.
+//
+// Shards slice the *built* matrix, never a rebuilt sub-matrix: builder fill
+// and coalescing decisions depend on run extents crossing shard boundaries,
+// so rebuilding would change per-row accumulation order and break the
+// bitwise-identity contract multi_device.hpp advertises.
+#pragma once
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "common/thread_pool.hpp"
+#include "core/crsd_matrix.hpp"
+#include "kernels/crsd_gpu.hpp"
+#include "perf/cpu_model.hpp"
+
+namespace crsd::rt {
+
+/// One device's slice of the matrix; `range` feeds gpu_spmv_crsd_range
+/// directly.
+struct Shard {
+  kernels::CrsdGpuRange range;
+
+  index_t x_elems() const { return range.x_end - range.x_begin; }
+  index_t y_elems() const { return range.row_end - range.row_begin; }
+};
+
+namespace detail {
+
+/// Extends [lo, hi) to cover every x element the diagonal phase of segments
+/// [seg_begin, seg_end) touches. Clamp is monotone, so the extremes are the
+/// first row with the most negative offset and the last row with the most
+/// positive one; the staged AD-group sweeps stay inside the same bounds.
+template <Real T>
+void widen_for_diagonals(const CrsdMatrix<T>& m, index_t seg_begin,
+                         index_t seg_end, index_t* lo, index_t* hi) {
+  const index_t mrows = m.mrows();
+  const auto& cum = m.cum_segments();
+  for (index_t p = 0; p < m.num_patterns(); ++p) {
+    const index_t pb = std::max(cum[static_cast<std::size_t>(p)], seg_begin);
+    const index_t pe =
+        std::min(cum[static_cast<std::size_t>(p) + 1], seg_end);
+    if (pb >= pe) continue;
+    const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
+    if (pat.offsets.empty()) continue;
+    const index_t row_lo = pb * mrows;
+    const index_t row_hi = std::min(pe * mrows, m.num_rows()) - 1;
+    *lo = std::min(*lo, m.clamp_col(row_lo + pat.offsets.front()));
+    *hi = std::max(*hi, m.clamp_col(row_hi + pat.offsets.back()) + 1);
+  }
+}
+
+/// Extends [lo, hi) to cover the columns gathered by scatter rows
+/// [scatter_begin, scatter_end).
+template <Real T>
+void widen_for_scatter(const CrsdMatrix<T>& m, index_t scatter_begin,
+                       index_t scatter_end, index_t* lo, index_t* hi) {
+  if (scatter_begin >= scatter_end) return;
+  const std::vector<index_t> scol = m.decoded_scatter_col();
+  const index_t nsr = m.num_scatter_rows();
+  for (index_t k = 0; k < m.scatter_width(); ++k) {
+    for (index_t i = scatter_begin; i < scatter_end; ++i) {
+      const index_t c =
+          scol[static_cast<size64_t>(k) * nsr + static_cast<size64_t>(i)];
+      if (c == kInvalidIndex) continue;
+      *lo = std::min(*lo, c);
+      *hi = std::max(*hi, c + 1);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Splits the matrix into `num_shards` contiguous segment runs, balanced by
+/// the same per-segment byte/flop cost the ExecPlan inspector uses, and
+/// derives each shard's row slice, scatter slice, and x-window.
+template <Real T>
+std::vector<Shard> plan_shards(const CrsdMatrix<T>& m, int num_shards) {
+  CRSD_CHECK_MSG(num_shards >= 1, "plan_shards needs >= 1 shard");
+  const index_t segs = m.num_segments_total();
+  const index_t mrows = m.mrows();
+  const int vb = m.value_bytes();
+
+  std::vector<double> seg_cost(static_cast<std::size_t>(segs), 0.0);
+  for (index_t g = 0; g < segs; ++g) {
+    const auto& pat =
+        m.patterns()[static_cast<std::size_t>(m.pattern_of_segment(g))];
+    const auto cost = perf::pattern_segment_cost(pat, mrows, vb);
+    seg_cost[static_cast<std::size_t>(g)] = double(cost.bytes);
+  }
+  const ParallelPlan plan =
+      ParallelPlan::weighted_partition(0, segs, num_shards, seg_cost);
+
+  const auto& srow = m.scatter_rows();
+  std::vector<Shard> shards;
+  for (int s = 0; s < plan.num_parts(); ++s) {
+    Shard sh;
+    sh.range.seg_begin = plan.part_begin(s);
+    sh.range.seg_end = plan.part_end(s);
+    sh.range.row_begin = std::min(sh.range.seg_begin * mrows, m.num_rows());
+    sh.range.row_end = std::min(sh.range.seg_end * mrows, m.num_rows());
+    // Scatter rows are sorted by row number; the shard owns the rows whose
+    // target falls in its row slice.
+    sh.range.scatter_begin = static_cast<index_t>(
+        std::lower_bound(srow.begin(), srow.end(), sh.range.row_begin) -
+        srow.begin());
+    sh.range.scatter_end = static_cast<index_t>(
+        std::lower_bound(srow.begin(), srow.end(), sh.range.row_end) -
+        srow.begin());
+
+    index_t lo = m.num_cols();
+    index_t hi = 0;
+    detail::widen_for_diagonals(m, sh.range.seg_begin, sh.range.seg_end, &lo,
+                                &hi);
+    detail::widen_for_scatter(m, sh.range.scatter_begin,
+                              sh.range.scatter_end, &lo, &hi);
+    if (lo >= hi) {  // empty shard reads nothing
+      lo = 0;
+      hi = 0;
+    }
+    sh.range.x_begin = lo;
+    sh.range.x_end = hi;
+    shards.push_back(sh);
+  }
+  return shards;
+}
+
+/// Partition check, mirroring the static analyzer's plan-partition rule:
+/// shard segment runs and scatter slices must disjointly cover their
+/// domains in order, and each shard's row slice must match its segments.
+/// Returns kPlanPartition diagnostics; empty = valid.
+template <Real T>
+std::vector<check::Diagnostic> validate_shard_partition(
+    const CrsdMatrix<T>& m, const std::vector<Shard>& shards) {
+  std::vector<check::Diagnostic> diags;
+  auto fail = [&diags](const std::string& msg, std::int64_t which) {
+    check::Diagnostic d;
+    d.code = check::Code::kPlanPartition;
+    d.severity = check::Severity::kError;
+    d.message = msg;
+    d.offset = which;
+    diags.push_back(std::move(d));
+  };
+
+  index_t seg_cursor = 0;
+  index_t scatter_cursor = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const auto& r = shards[s].range;
+    if (r.seg_begin != seg_cursor || r.seg_end < r.seg_begin) {
+      std::ostringstream os;
+      os << "shard " << s << " segments [" << r.seg_begin << ", " << r.seg_end
+         << ") do not continue the partition at " << seg_cursor;
+      fail(os.str(), static_cast<std::int64_t>(s));
+    }
+    if (r.scatter_begin != scatter_cursor || r.scatter_end < r.scatter_begin) {
+      std::ostringstream os;
+      os << "shard " << s << " scatter slice [" << r.scatter_begin << ", "
+         << r.scatter_end << ") does not continue the partition at "
+         << scatter_cursor;
+      fail(os.str(), static_cast<std::int64_t>(s));
+    }
+    const index_t want_rb = std::min(r.seg_begin * m.mrows(), m.num_rows());
+    const index_t want_re = std::min(r.seg_end * m.mrows(), m.num_rows());
+    if (r.row_begin != want_rb || r.row_end != want_re) {
+      std::ostringstream os;
+      os << "shard " << s << " rows [" << r.row_begin << ", " << r.row_end
+         << ") do not match its segment run (want [" << want_rb << ", "
+         << want_re << "))";
+      fail(os.str(), static_cast<std::int64_t>(s));
+    }
+    seg_cursor = std::max(seg_cursor, r.seg_end);
+    scatter_cursor = std::max(scatter_cursor, r.scatter_end);
+  }
+  if (seg_cursor != m.num_segments_total()) {
+    std::ostringstream os;
+    os << "shards cover segments [0, " << seg_cursor << ") of [0, "
+       << m.num_segments_total() << ")";
+    fail(os.str(), -1);
+  }
+  if (scatter_cursor != m.num_scatter_rows()) {
+    std::ostringstream os;
+    os << "shards cover scatter rows [0, " << scatter_cursor << ") of [0, "
+       << m.num_scatter_rows() << ")";
+    fail(os.str(), -1);
+  }
+  return diags;
+}
+
+}  // namespace crsd::rt

@@ -1,0 +1,369 @@
+#include "runtime/task_graph.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace crsd::rt {
+
+namespace {
+
+obs::Counter& nodes_executed_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("runtime.nodes_executed");
+  return c;
+}
+
+obs::Histogram& ready_depth_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("runtime.queue_depth");
+  return h;
+}
+
+obs::Gauge& ready_depth_highwater_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("runtime.queue_depth_highwater");
+  return g;
+}
+
+const char* span_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::kH2D: return "graph/node/h2d";
+    case NodeKind::kD2H: return "graph/node/d2h";
+    case NodeKind::kLaunch: return "graph/node/launch";
+    case NodeKind::kCpuCompute: return "graph/node/cpu";
+    case NodeKind::kReduce: return "graph/node/reduce";
+    case NodeKind::kBarrier: return "graph/node/barrier";
+  }
+  return "graph/node";
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::vector<check::Diagnostic> TaskGraph::validate() const {
+  std::vector<check::Diagnostic> diags;
+  const int n = num_nodes();
+
+  // Kahn's algorithm over the augmented graph: explicit edges plus the
+  // implicit chain each in-order queue imposes between consecutive nodes.
+  // A cycle in *that* graph is what deadlocks the scheduler, so it is what
+  // validation rejects.
+  std::vector<std::vector<NodeId>> chain_out(static_cast<std::size_t>(n));
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> queue_tail(static_cast<std::size_t>(num_queues()), -1);
+  for (NodeId i = 0; i < n; ++i) {
+    const GraphNode& node = nodes_[static_cast<std::size_t>(i)];
+    indegree[static_cast<std::size_t>(i)] +=
+        static_cast<int>(node.deps.size());
+    NodeId& tail = queue_tail[static_cast<std::size_t>(node.queue)];
+    if (tail >= 0) {
+      chain_out[static_cast<std::size_t>(tail)].push_back(i);
+      ++indegree[static_cast<std::size_t>(i)];
+    }
+    tail = i;
+  }
+
+  std::vector<NodeId> frontier;
+  for (NodeId i = 0; i < n; ++i) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) frontier.push_back(i);
+  }
+  int visited = 0;
+  while (!frontier.empty()) {
+    const NodeId i = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    auto relax = [&](NodeId succ) {
+      if (--indegree[static_cast<std::size_t>(succ)] == 0) {
+        frontier.push_back(succ);
+      }
+    };
+    for (NodeId succ : nodes_[static_cast<std::size_t>(i)].outs) relax(succ);
+    for (NodeId succ : chain_out[static_cast<std::size_t>(i)]) relax(succ);
+  }
+
+  if (visited != n) {
+    std::ostringstream os;
+    os << (n - visited) << " of " << n
+       << " nodes sit on a dependency cycle (explicit edges combined with "
+          "queue submission order); first stuck:";
+    int listed = 0;
+    for (NodeId i = 0; i < n && listed < 4; ++i) {
+      if (indegree[static_cast<std::size_t>(i)] > 0) {
+        os << " \"" << nodes_[static_cast<std::size_t>(i)].label << "\"";
+        ++listed;
+      }
+    }
+    check::Diagnostic d;
+    d.code = check::Code::kGraphCycle;
+    d.severity = check::Severity::kError;
+    d.message = os.str();
+    diags.push_back(std::move(d));
+  }
+  return diags;
+}
+
+void TaskGraph::validate_or_throw() const {
+  auto diags = validate();
+  if (check::has_errors(diags)) {
+    throw check::DiagnosticError(
+        "task graph is not schedulable:\n" + check::format_diagnostics(diags),
+        std::move(diags));
+  }
+}
+
+struct NodeFuture::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool executed = false;
+  double finish_seconds = 0.0;
+};
+
+void NodeFuture::wait() const {
+  CRSD_CHECK_MSG(state_ != nullptr, "waiting on an unbound NodeFuture");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+bool NodeFuture::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+double NodeFuture::finish_seconds() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->finish_seconds;
+}
+
+bool NodeFuture::executed() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->executed;
+}
+
+struct GraphExecutor::Impl {
+  ThreadPool& pool;
+  const TaskGraph& graph;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::vector<NodeId>> queue_order;  // per queue, submission order
+  std::vector<std::size_t> cursor;               // next index into queue_order
+  std::vector<bool> running;                     // queue currently executing
+  std::vector<double> queue_clock;               // virtual per-queue clock
+  std::vector<int> deps_left;
+  std::vector<NodeRun> runs;
+  std::vector<std::shared_ptr<NodeFuture::State>> futures;
+  int completed = 0;  // executed + skipped
+  bool aborted = false;
+  std::exception_ptr first_error;
+  bool ran = false;
+
+  Impl(ThreadPool& p, const TaskGraph& g) : pool(p), graph(g) {
+    const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+    const std::size_t q = static_cast<std::size_t>(g.num_queues());
+    queue_order.resize(q);
+    cursor.assign(q, 0);
+    running.assign(q, false);
+    queue_clock.assign(q, 0.0);
+    deps_left.resize(n);
+    runs.resize(n);
+    futures.resize(n);
+    for (NodeId i = 0; i < g.num_nodes(); ++i) {
+      const GraphNode& node = g.node(i);
+      deps_left[static_cast<std::size_t>(i)] =
+          static_cast<int>(node.deps.size());
+      queue_order[static_cast<std::size_t>(node.queue)].push_back(i);
+    }
+  }
+
+  bool finished() const { return completed == graph.num_nodes(); }
+
+  /// Queue whose head node is runnable, or -1. Also reports how many queues
+  /// are runnable right now (the scheduler's instantaneous ready depth).
+  QueueId find_runnable(std::size_t* ready_depth) const {
+    QueueId found = -1;
+    std::size_t depth = 0;
+    for (QueueId q = 0; q < graph.num_queues(); ++q) {
+      const auto& order = queue_order[static_cast<std::size_t>(q)];
+      const std::size_t cur = cursor[static_cast<std::size_t>(q)];
+      if (running[static_cast<std::size_t>(q)] || cur >= order.size()) {
+        continue;
+      }
+      if (deps_left[static_cast<std::size_t>(order[cur])] == 0) {
+        ++depth;
+        if (found < 0) found = q;
+      }
+    }
+    if (ready_depth != nullptr) *ready_depth = depth;
+    return found;
+  }
+
+  void complete_future(NodeId id) {
+    auto& st = futures[static_cast<std::size_t>(id)];
+    if (!st) return;
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->done = true;
+      st->executed = runs[static_cast<std::size_t>(id)].executed;
+      st->finish_seconds = runs[static_cast<std::size_t>(id)].finish_seconds;
+    }
+    st->cv.notify_all();
+  }
+
+  void worker() {
+    for (;;) {
+      NodeId id = -1;
+      QueueId q = -1;
+      double start_v = 0.0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+          if (aborted || finished()) return;
+          std::size_t depth = 0;
+          q = find_runnable(&depth);
+          if (q >= 0) {
+            ready_depth_histogram().record(depth);
+            obs::Gauge& g = ready_depth_highwater_gauge();
+            if (double(depth) > g.value()) g.set(double(depth));
+            break;
+          }
+          cv.wait(lock);
+        }
+        id = queue_order[static_cast<std::size_t>(q)]
+                        [cursor[static_cast<std::size_t>(q)]];
+        running[static_cast<std::size_t>(q)] = true;
+        start_v = queue_clock[static_cast<std::size_t>(q)];
+        for (NodeId pred : graph.node(id).deps) {
+          start_v = std::max(
+              start_v, runs[static_cast<std::size_t>(pred)].finish_seconds);
+        }
+      }
+
+      const GraphNode& node = graph.node(id);
+      double modeled = 0.0;
+      std::exception_ptr error;
+      const std::uint64_t wall0 = now_ns();
+      {
+        obs::Span span(span_name(node.kind), "queue",
+                       static_cast<std::int64_t>(q));
+        if (node.body) {
+          try {
+            modeled = node.body();
+          } catch (...) {
+            error = std::current_exception();
+          }
+        }
+      }
+      const std::uint64_t wall1 = now_ns();
+
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        NodeRun& run = runs[static_cast<std::size_t>(id)];
+        run.executed = error == nullptr;
+        run.modeled_seconds = modeled;
+        run.start_seconds = start_v;
+        run.finish_seconds = start_v + modeled;
+        run.wall_ns = wall1 - wall0;
+        queue_clock[static_cast<std::size_t>(q)] = run.finish_seconds;
+        running[static_cast<std::size_t>(q)] = false;
+        ++cursor[static_cast<std::size_t>(q)];
+        ++completed;
+        for (NodeId succ : node.outs) {
+          --deps_left[static_cast<std::size_t>(succ)];
+        }
+        if (error != nullptr) {
+          // Stop dispatching: in-flight nodes on other queues finish
+          // normally, everything unstarted is skipped. run() resolves the
+          // skipped nodes' futures once the workers drain.
+          if (!first_error) first_error = error;
+          aborted = true;
+        }
+        complete_future(id);
+      }
+      nodes_executed_counter().add(1);
+      cv.notify_all();
+      if (error == nullptr && node.on_complete) node.on_complete(id);
+    }
+  }
+};
+
+GraphExecutor::GraphExecutor(ThreadPool& pool, const TaskGraph& graph)
+    : impl_(std::make_unique<Impl>(pool, graph)) {}
+
+GraphExecutor::~GraphExecutor() = default;
+
+NodeFuture GraphExecutor::future(NodeId n) {
+  CRSD_CHECK_MSG(n >= 0 && n < impl_->graph.num_nodes(),
+                 "future() for unknown node " << n);
+  CRSD_CHECK_MSG(!impl_->ran, "future() must be requested before run()");
+  auto& st = impl_->futures[static_cast<std::size_t>(n)];
+  if (!st) st = std::make_shared<NodeFuture::State>();
+  NodeFuture f;
+  f.state_ = st;
+  return f;
+}
+
+GraphRunStats GraphExecutor::run() {
+  CRSD_CHECK_MSG(!impl_->ran, "GraphExecutor::run() may only be called once");
+  impl_->ran = true;
+  impl_->graph.validate_or_throw();
+
+  obs::Span span("graph/run", "nodes",
+                 static_cast<std::int64_t>(impl_->graph.num_nodes()));
+
+  if (impl_->graph.num_nodes() > 0) {
+    const int workers = std::max(
+        1, std::min(impl_->pool.num_threads(), impl_->graph.num_queues()));
+    std::vector<std::function<void()>> loops;
+    loops.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      loops.push_back([this] { impl_->worker(); });
+    }
+    impl_->pool.run_tasks(loops);
+  }
+
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->aborted) {
+    // Resolve futures of skipped nodes so external waiters unblock before
+    // the error propagates.
+    for (NodeId i = 0; i < impl_->graph.num_nodes(); ++i) {
+      auto& st = impl_->futures[static_cast<std::size_t>(i)];
+      if (!st) continue;
+      bool pending = false;
+      {
+        std::lock_guard<std::mutex> flock(st->mu);
+        pending = !st->done;
+      }
+      if (pending) impl_->complete_future(i);
+    }
+  }
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+
+  GraphRunStats stats;
+  stats.nodes = impl_->runs;
+  stats.queue_busy_seconds.assign(
+      static_cast<std::size_t>(impl_->graph.num_queues()), 0.0);
+  for (NodeId i = 0; i < impl_->graph.num_nodes(); ++i) {
+    const NodeRun& run = impl_->runs[static_cast<std::size_t>(i)];
+    if (!run.executed) continue;
+    stats.makespan_seconds =
+        std::max(stats.makespan_seconds, run.finish_seconds);
+    stats.queue_busy_seconds[static_cast<std::size_t>(
+        impl_->graph.node(i).queue)] += run.modeled_seconds;
+  }
+  return stats;
+}
+
+}  // namespace crsd::rt
