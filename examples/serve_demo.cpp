@@ -1,0 +1,105 @@
+// Minimal tour of the multi-tenant serving engine (src/serve): register
+// matrices once (deduplicated by structure + values + storage mode),
+// submit concurrent SpMV requests from several tenants, and let one
+// drain() cycle coalesce them into register-blocked SpMM batches on the
+// task-graph runtime. Prints the cycle's dispatch stats, the batch size
+// each request was served in, and the admission-control behaviour at a
+// deliberately tiny queue depth.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "matrix/generators.hpp"
+#include "serve/serve.hpp"
+
+using namespace crsd;
+
+namespace {
+
+std::vector<double> make_x(index_t n, int seed) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        1.0 + 0.001 * double((i * 31 + seed * 17) % 97);
+  }
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool(4);
+  serve::ServeEngine eng(pool, serve::ServeOptions{});
+
+  // Two tenants share the band matrix (one CRSD build between them —
+  // the registry dedups on registration), a third brings its own.
+  Rng rng(3);
+  Coo<double> band = dense_band(1024, 8);
+  Coo<double> scattered = dense_band(768, 4);
+  inject_scatter(scattered, 120, rng);
+
+  const auto a = eng.register_matrix(band);
+  const auto a2 = eng.register_matrix(band);  // dedup hit
+  const auto b = eng.register_matrix(scattered);
+  std::printf("registry: %zu entries (band re-registration dedup_hit=%s)\n",
+              eng.registry_size(), a2.dedup_hit ? "true" : "false");
+  std::printf("band:      id %d, hash %016llx, batchable %s\n", a.id,
+              static_cast<unsigned long long>(a.structure_hash),
+              a.batchable ? "yes" : "no");
+  std::printf("scattered: id %d, hash %016llx, batchable %s\n\n", b.id,
+              static_cast<unsigned long long>(b.structure_hash),
+              b.batchable ? "yes" : "no");
+
+  // Eight concurrent requests against the band, three against the other:
+  // one drain cycle turns them into one k=8 SpMM batch, one k=3 batch.
+  std::vector<serve::RequestHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(eng.submit(a.id, "tenant-" + std::to_string(i % 2),
+                                 make_x(band.num_cols(), i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(
+        eng.submit(b.id, "tenant-c", make_x(scattered.num_cols(), 100 + i)));
+  }
+
+  const auto st = eng.drain();
+  std::printf("drain: %lld requests -> %lld batches + %lld singles "
+              "(%lld coalesced), virtual makespan %.3e s\n",
+              static_cast<long long>(st.requests),
+              static_cast<long long>(st.batches),
+              static_cast<long long>(st.singles),
+              static_cast<long long>(st.coalesced_requests),
+              st.makespan_seconds);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& h = handles[i];
+    double sum = 0.0;
+    for (double v : h.result()) sum += v;
+    std::printf("  request %2zu: served in k=%lld batch, finish %.3e s, "
+                "sum(y) = %.6f\n",
+                i, static_cast<long long>(h.served_batch_k()),
+                h.virtual_finish_seconds(), sum);
+  }
+
+  // Admission control: at queue depth 4, the fifth concurrent request is
+  // shed immediately with a diagnostic instead of queueing unboundedly.
+  serve::ServeOptions tight;
+  tight.max_queue_depth = 4;
+  serve::ServeEngine small(pool, tight);
+  const auto c = small.register_matrix(band);
+  std::vector<serve::RequestHandle> burst;
+  for (int i = 0; i < 6; ++i) {
+    burst.push_back(
+        small.submit(c.id, "bursty", make_x(band.num_cols(), i)));
+  }
+  int rejected = 0;
+  for (const auto& h : burst) {
+    if (h.status() == serve::RequestStatus::kRejected) ++rejected;
+  }
+  std::printf("\nadmission: 6 submits at depth 4 -> %d rejected (%s)\n",
+              rejected,
+              burst.back().diagnostic().message.c_str());
+  small.drain();
+  return 0;
+}

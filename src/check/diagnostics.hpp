@@ -56,6 +56,11 @@ enum class Code {
   // Task-graph runtime (crsd::rt::TaskGraph::validate).
   kGraphCycle,          ///< dependency cycle among graph nodes (including
                         ///< the implicit in-order edges of each queue)
+  // Multi-tenant serving engine (crsd::serve::ServeEngine).
+  kServeOverload,       ///< request rejected: queue depth at the admission
+                        ///< high watermark (backpressure)
+  kServeBatchMismatch,  ///< a coalesced batch column diverged bitwise from
+                        ///< the per-request single-vector reference
 };
 
 inline const char* code_name(Code code) {
@@ -84,6 +89,8 @@ inline const char* code_name(Code code) {
     case Code::kLintDeltaGuard: return "lint-delta-guard";
     case Code::kPlanPartition: return "plan-partition";
     case Code::kGraphCycle: return "graph-cycle";
+    case Code::kServeOverload: return "serve-overload";
+    case Code::kServeBatchMismatch: return "serve-batch-mismatch";
   }
   return "unknown";
 }

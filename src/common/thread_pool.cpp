@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace crsd {
@@ -35,6 +36,26 @@ void record_queue_depth(std::size_t depth) {
   queue_depth_histogram().record(depth);
   obs::Gauge& g = queue_depth_highwater_gauge();
   if (double(depth) > g.value()) g.set(double(depth));
+}
+
+obs::Counter& urgent_executed_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pool.urgent_executed");
+  return c;
+}
+
+// Urgent tasks are fire-and-forget: nobody is positioned to catch their
+// exceptions (the submitter has moved on, and first_error_ belongs to
+// whatever parallel_for is in flight), so failures are logged and dropped.
+void execute_urgent(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    CRSD_LOG_WARN(std::string("urgent task threw: ") + e.what());
+  } catch (...) {
+    CRSD_LOG_WARN("urgent task threw a non-std exception");
+  }
+  urgent_executed_counter().add(1);
 }
 
 }  // namespace
@@ -217,8 +238,9 @@ void ThreadPool::parallel_for(
   }
 
   // The calling thread drains remaining parts alongside the workers (plans
-  // may carry more parts than the pool has threads).
+  // may carry more parts than the pool has threads). Urgent tasks go first.
   for (;;) {
+    if (run_one_urgent()) continue;
     Task task;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -283,8 +305,11 @@ void ThreadPool::parallel_for_chunked(
   }
   wake_workers(pushed);
 
-  // The calling thread drains the queue alongside the workers.
+  // The calling thread drains the queue alongside the workers. Urgent
+  // tasks go first — this is what keeps a front-of-queue submit from
+  // waiting out an entire chunk train.
   for (;;) {
+    if (run_one_urgent()) continue;
     Task task;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -325,6 +350,44 @@ void ThreadPool::run_tasks(const std::vector<std::function<void()>>& tasks) {
                        });
 }
 
+void ThreadPool::submit_urgent(std::function<void()> task) {
+  if (num_threads_ == 1) {
+    // No workers exist: run inline, preserving ThreadPool(1)'s
+    // zero-synchronization contract.
+    execute_urgent(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++urgent_outstanding_;
+    urgent_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::drain_urgent() {
+  if (num_threads_ == 1) return;  // everything already ran inline
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return urgent_outstanding_ == 0; });
+}
+
+bool ThreadPool::run_one_urgent() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (urgent_.empty()) return false;
+    task = std::move(urgent_.front());
+    urgent_.pop_front();
+  }
+  execute_urgent(task);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --urgent_outstanding_;
+    if (urgent_outstanding_ == 0) cv_done_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::wake_workers(std::size_t pushed) {
   if (pushed == 0) return;
   if (pushed == 1) {
@@ -341,8 +404,18 @@ void ThreadPool::worker_loop(int worker_id) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      cv_work_.wait(lock, [this] {
+        return stopping_ || !urgent_.empty() || !pending_.empty();
+      });
+      if (!urgent_.empty()) {
+        // Urgent tasks preempt every queued chunk; re-enter the claim loop
+        // afterwards (run_one_urgent re-takes the lock itself).
+        lock.unlock();
+        run_one_urgent();
+        continue;
+      }
       if (stopping_ && pending_.empty()) return;
+      if (pending_.empty()) continue;  // urgent claimed by another thread
       task = pending_.back();
       pending_.pop_back();
     }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -98,6 +99,21 @@ class ThreadPool {
   /// like parallel_for (first one wins).
   void run_tasks(const std::vector<std::function<void()>>& tasks);
 
+  /// Submits one independent fire-and-forget task ahead of every queued
+  /// parallel_for / parallel_for_chunked chunk: the next thread to claim
+  /// work — a free worker, or a caller draining its own loop — runs urgent
+  /// tasks before any chunk, so a latency-sensitive submitter (the serving
+  /// engine's coalescing-window flush) is never starved behind a long chunk
+  /// train. Urgent tasks submitted together run in FIFO order. On a
+  /// 1-thread pool the task runs inline before returning (there are no
+  /// workers). Exceptions thrown by the task are logged and swallowed —
+  /// they never poison a concurrently running parallel_for. The task must
+  /// not issue parallel work on this pool itself.
+  void submit_urgent(std::function<void()> task);
+
+  /// Blocks until every urgent task submitted so far has finished.
+  void drain_urgent();
+
   /// Process-wide pool sized to hardware_concurrency (lazily constructed).
   static ThreadPool& global();
 
@@ -111,6 +127,11 @@ class ThreadPool {
 
   void worker_loop(int worker_id);
 
+  /// Claims and runs one urgent task if any is queued; returns whether one
+  /// ran. Called at the top of every claim loop so urgent tasks preempt
+  /// pending chunks.
+  bool run_one_urgent();
+
   /// Wake exactly as many workers as there are newly queued tasks: a single
   /// task wakes one worker instead of stampeding the whole pool (the graph
   /// scheduler enqueues many single-node batches).
@@ -123,7 +144,9 @@ class ThreadPool {
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::vector<Task> pending_;
+  std::deque<std::function<void()>> urgent_;  ///< FIFO, claimed before pending_
   int outstanding_ = 0;
+  int urgent_outstanding_ = 0;  ///< queued + running urgent tasks
   bool stopping_ = false;
   std::exception_ptr first_error_;
 };

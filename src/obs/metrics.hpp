@@ -69,6 +69,40 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// q-quantile (q in [0,1]) estimated from the log2 buckets: finds the
+  /// bucket holding the ceil(q*count)-th smallest sample and interpolates
+  /// linearly across its [floor, 2*floor) value range, so the estimate is
+  /// within a factor of 2 of the true order statistic (exact for buckets 0
+  /// and 1, whose samples have a single value). Returns 0 when empty.
+  /// Relaxed reads: concurrent record() calls may skew a live estimate by
+  /// at most the in-flight samples, which is fine for SLO monitoring.
+  double quantile(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const std::uint64_t in_bucket = bucket_count(b);
+      if (in_bucket == 0) continue;
+      if (cum + in_bucket < rank) {
+        cum += in_bucket;
+        continue;
+      }
+      if (b <= 1) return static_cast<double>(b);  // bucket b holds value b
+      const double lo = static_cast<double>(bucket_floor(b));
+      // Midpoint convention: the j-th of n samples in the bucket sits at
+      // (j - 0.5)/n of the way through [lo, 2*lo), so a lone sample
+      // reports the bucket midpoint.
+      const double frac = (static_cast<double>(rank - cum) - 0.5) /
+                          static_cast<double>(in_bucket);
+      return lo + frac * lo;  // bucket spans [lo, 2*lo)
+    }
+    return static_cast<double>(bucket_floor(kNumBuckets - 1));
+  }
+
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -101,9 +135,10 @@ class Registry {
   Histogram& histogram(std::string_view name);
 
   /// Flat JSON object: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, buckets: {floor: n}}}}. Keys are
-  /// sorted; histograms list only non-empty buckets (keyed by their
-  /// inclusive lower bound).
+  /// "histograms": {name: {count, sum, p50, p90, p99,
+  /// buckets: {floor: n}}}}. Keys are sorted; histograms list only
+  /// non-empty buckets (keyed by their inclusive lower bound) and report
+  /// bucket-interpolated quantiles (see Histogram::quantile).
   void write_json(std::ostream& os, int indent = 0) const;
   std::string json(int indent = 0) const;
 

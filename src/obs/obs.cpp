@@ -128,7 +128,11 @@ void Registry::write_json(std::ostream& os, int indent) const {
   for (const auto& [name, h] : impl_->histograms) {
     os << (first ? "" : ",") << "\n"
        << pad << "    \"" << json_escape(name) << "\": {\"count\": "
-       << h->count() << ", \"sum\": " << h->sum() << ", \"buckets\": {";
+       << h->count() << ", \"sum\": " << h->sum()
+       << ", \"p50\": " << format_double(h->quantile(0.50))
+       << ", \"p90\": " << format_double(h->quantile(0.90))
+       << ", \"p99\": " << format_double(h->quantile(0.99))
+       << ", \"buckets\": {";
     bool bfirst = true;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
       const std::uint64_t n = h->bucket_count(b);

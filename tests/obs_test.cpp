@@ -247,6 +247,38 @@ TEST(Metrics, CounterGaugeHistogramBasics) {
   EXPECT_EQ(obs::Histogram::bucket_floor(2), 2u);
 }
 
+TEST(Metrics, HistogramQuantiles) {
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+
+  // Buckets 0 and 1 hold a single value each, so quantiles there are exact.
+  for (int i = 0; i < 10; ++i) h.record(0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  for (int i = 0; i < 90; ++i) h.record(1);
+  EXPECT_EQ(h.quantile(0.05), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 1.0);
+
+  // Uniform 1..1000: the bucket resolution bounds every quantile within a
+  // factor of 2 of the true order statistic, and estimates are monotone.
+  h.reset();
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p90, 450.0);
+  EXPECT_LE(p90, 1800.0);
+  EXPECT_GE(p99, 512.0);  // rank 990 lives in the [512, 1024) bucket
+  EXPECT_LT(p99, 1024.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+
+  // q is clamped; extremes bracket the recorded range.
+  EXPECT_GE(h.quantile(-1.0), 0.0);
+  EXPECT_LE(h.quantile(2.0), 1024.0);
+}
+
 TEST(Metrics, RegistryJsonShape) {
   obs::Registry& reg = obs::Registry::global();
   reg.counter("obs_test.json.counter").reset();
@@ -263,6 +295,7 @@ TEST(Metrics, RegistryJsonShape) {
   EXPECT_NE(json.find("\"obs_test.json.counter\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"obs_test.json.gauge\": 0.5"), std::string::npos);
   EXPECT_NE(json.find("\"obs_test.json.hist\": {\"count\": 1, \"sum\": 5, "
+                      "\"p50\": 6, \"p90\": 6, \"p99\": 6, "
                       "\"buckets\": {\"4\": 1}}"),
             std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
