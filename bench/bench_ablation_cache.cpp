@@ -7,7 +7,7 @@
 // behaviour differ (see EXPERIMENTS.md).
 #include <cstdio>
 
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/gpu_spmv.hpp"
 #include "matrix/paper_suite.hpp"
 #include "suite_runner.hpp"
@@ -26,14 +26,14 @@ int main(int argc, char** argv) {
     const auto a = spec.generate(opts.scale);
     std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
     std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
-    const auto m = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+    const auto m = build(a, CrsdConfig{.mrows = opts.mrows});
     for (bool cached : {true, false}) {
       gpusim::DeviceSpec dspec = gpusim::DeviceSpec::tesla_c2050();
       if (!cached) dspec.cache_bytes_per_cu = 0;
 
       gpusim::Device d1(dspec);
       const double g_ell =
-          kernels::gpu_spmv(d1, Format::kEll, a, x.data(), y.data())
+          kernels::spmv(d1, Format::kEll, a, x.data(), y.data())
               .gflops(a.nnz());
       kernels::CrsdGpuOptions no_local;
       no_local.use_local_memory = false;

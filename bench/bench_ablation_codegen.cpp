@@ -9,7 +9,7 @@
 
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/timer.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/paper_suite.hpp"
 #include "suite_runner.hpp"
 
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   for (int id : {3, 9, 15, 18}) {
     const auto& spec = paper_matrix(id);
     const auto a = spec.generate(opts.scale);
-    const auto m = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+    const auto m = build(a, CrsdConfig{.mrows = opts.mrows});
     std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
     std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
 

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/paper_suite.hpp"
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
         cfg.mrows = opts.mrows;
         cfg.fill_max_gap_segments = gap;
         cfg.live_min_fill = min_fill;
-        const auto m = build_crsd(a, cfg);
+        const auto m = build(a, cfg);
         const CrsdStats st = m.stats();
         gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
         const auto r = kernels::gpu_spmv_crsd(dev, m, x.data(), y.data());

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/paper_suite.hpp"
 #include "matrix/reorder.hpp"
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
                           {"scrambled", &scrambled},
                           {"rcm", &restored}};
     for (const Case& c : cases) {
-      const auto m = build_crsd(*c.matrix, CrsdConfig{.mrows = opts.mrows});
+      const auto m = build(*c.matrix, CrsdConfig{.mrows = opts.mrows});
       const auto st = m.stats();
       std::vector<double> x(static_cast<std::size_t>(c.matrix->num_cols()),
                             1.0);

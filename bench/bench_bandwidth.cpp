@@ -27,7 +27,7 @@
 #include "check/close.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "gpusim/executor.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/paper_suite.hpp"
@@ -186,7 +186,7 @@ int main(int argc, char** argv) {
       CrsdConfig cfg;
       cfg.mrows = opts.mrows;
       cfg.storage = modes()[mi].storage;
-      const auto m = build_crsd(a, cfg);
+      const auto m = build(a, cfg);
 
       ModeCell c;
       c.bytes_per_nnz =

@@ -28,7 +28,7 @@
 #include "check/validate.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "formats/csr.hpp"
 #include "matrix/paper_suite.hpp"
 #include "suite_runner.hpp"
@@ -165,20 +165,20 @@ int main(int argc, char** argv) {
 
     CrsdConfig cfg;
     cfg.mrows = opts.mrows;
-    const auto m_serial = build_crsd(a, cfg);
+    const auto m_serial = build(a, cfg);
     for (std::size_t ti = 0; ti < build_thread_counts().size(); ++ti) {
       cfg.threads = build_thread_counts()[ti];
       ThreadPool* pool = pools[ti].get();
       // Bitwise determinism gate: the timing below is only meaningful for
       // a build that reproduces the serial reference.
       if (cfg.threads > 1) {
-        const auto m_par = build_crsd(a, cfg, pool);
+        const auto m_par = build(a, cfg, pool);
         if (!check::validate_same_storage(m_serial, m_par).empty()) {
           r.identical = false;
         }
       }
       r.t_build.push_back(
-          time_per_rep([&] { (void)build_crsd(a, cfg, pool); }));
+          time_per_rep([&] { (void)build(a, cfg, pool); }));
     }
     all_identical = all_identical && r.identical;
 

@@ -18,7 +18,7 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "common/timer.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/paper_suite.hpp"
 #include "obs/metrics.hpp"
 #include "suite_runner.hpp"
@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
   for (const auto& spec : paper_suite()) {
     if (opts.only_matrix && *opts.only_matrix != spec.id) continue;
     const auto a = spec.generate(opts.scale);
-    const auto m = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+    const auto m = build(a, CrsdConfig{.mrows = opts.mrows});
 
     Rng rng(2026);
     std::vector<double> x(static_cast<std::size_t>(a.num_cols()));

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "core/build_api.hpp"
 #include "kernels/crsd_autotune.hpp"
 #include "matrix/paper_suite.hpp"
 #include "suite_runner.hpp"
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
     // Default-config reference.
     std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
     std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
-    const auto m_default = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+    const auto m_default = build(a, CrsdConfig{.mrows = opts.mrows});
     const double t_default =
         kernels::gpu_spmv_crsd(dev, m_default, x.data(), y.data()).seconds;
 

@@ -6,7 +6,7 @@
 // matrices.
 #include <cstdio>
 
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/gpu_spmv.hpp"
 #include "matrix/paper_suite.hpp"
 #include "suite_runner.hpp"
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       cfg.mrows = std::max<index_t>(opts.mrows, 2 * spec_dev.wavefront_size);
       cfg.mrows = cfg.mrows / spec_dev.wavefront_size *
                   spec_dev.wavefront_size;
-      const auto m = build_crsd(a, cfg);
+      const auto m = build(a, cfg);
       gpusim::Device dev_e(spec_dev);
       const auto ell = EllMatrix<double>::from_coo(a);
       const auto re = kernels::gpu_spmv_ell(dev_e, ell, x.data(), y.data());

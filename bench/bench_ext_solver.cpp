@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "hybrid/transfer.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/paper_suite.hpp"
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       5.0 * 3.0 * double(n) * 8 / (cpu.bandwidth_gbps(8) * 1e9);
 
   // (c) GPU, device-resident CRSD CG (real solve on the simulator).
-  const auto m = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+  const auto m = build(a, CrsdConfig{.mrows = opts.mrows});
   gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
   std::vector<double> x(static_cast<std::size_t>(n), 0.0);
   const auto gpu = solver::gpu_conjugate_gradient(dev, m, b.data(), x.data(),

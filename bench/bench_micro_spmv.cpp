@@ -8,7 +8,7 @@
 
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "formats/bcsr.hpp"
 #include "formats/csr.hpp"
 #include "formats/dcsr.hpp"
@@ -86,12 +86,12 @@ void BM_DcsrSpmv(benchmark::State& state) {
 
 void BM_CrsdSpmv(benchmark::State& state) {
   const auto& a = cached_matrix(static_cast<int>(state.range(0)));
-  run_spmv_loop(state, a, build_crsd(a, CrsdConfig{.mrows = 64}));
+  run_spmv_loop(state, a, build(a, CrsdConfig{.mrows = 64}));
 }
 
 void BM_CrsdJitSpmv(benchmark::State& state) {
   const auto& a = cached_matrix(static_cast<int>(state.range(0)));
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   if (!codegen::JitCompiler::compiler_available()) {
     state.SkipWithError("no host compiler");
     return;
@@ -113,7 +113,7 @@ void BM_CrsdJitSpmv(benchmark::State& state) {
 void BM_CrsdBuild(benchmark::State& state) {
   const auto& a = cached_matrix(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+    auto m = build(a, CrsdConfig{.mrows = 64});
     benchmark::DoNotOptimize(m.nnz());
   }
   state.counters["nnz/s"] = benchmark::Counter(

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 #include "obs/trace.hpp"
 
@@ -40,7 +40,7 @@ double min_seconds(int iters, F&& body) {
 
 int main() {
   const Coo<double> a = stencil_5pt_2d(256, 256);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   std::vector<double> x(static_cast<std::size_t>(m.num_cols()), 1.0);
   std::vector<double> y(static_cast<std::size_t>(m.num_rows()), 0.0);
 

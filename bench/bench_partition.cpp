@@ -1,0 +1,315 @@
+// Adaptive row-region partitioner benchmark + CI gate: on the partially
+// diagonal family — a diagonal-dominant stripe stacked over ragged
+// scattered rows, the shape the paper's single-format CRSD punts on — the
+// partitioned container (regions placed by the model, formats and mrows
+// picked by measured trials, launches overlapped one-queue-per-region on
+// the task-graph runtime) must beat the best single-format launch by
+// >= 1.15x geomean of simulated seconds. Everything runs on the simulator's
+// deterministic virtual timeline, so the gate is noise-free.
+//
+// Also asserted per member (CI runs the binary as one assertion):
+//  * native storage: the executor's y is bitwise-identical to the
+//    partitioned CPU reference, which itself matches the COO reference;
+//  * mixed precision (fp32 values + narrow indices on the CRSD regions):
+//    tolerance-gated against the fp64 reference;
+//  * warm-run contract: rebuilding from the same persistent cache reuses
+//    the stored partition with zero measured trials.
+//
+// Writes BENCH_partition.json (path overridable via CRSD_BENCH_OUT).
+//
+// Usage: bench_partition [--mrows M]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kernels/partitioned_spmv.hpp"
+#include "matrix/generators.hpp"
+#include "suite_runner.hpp"
+
+namespace crsd::bench {
+namespace {
+
+constexpr double kGateMinGeomeanSpeedup = 1.15;
+constexpr double kMixedPrecisionRelTol = 5e-4;  // fp32 values on the stripe
+
+/// Family member: tridiagonal-plus-band top stripe over a ragged
+/// scattered-row bottom stripe. Deterministic (fixed seed per member).
+struct FamilySpec {
+  const char* name;
+  index_t top_rows;
+  index_t bottom_rows;
+  index_t band;          ///< extra diagonal pair at +/- band in the stripe
+  index_t max_row_nnz;   ///< ragged bottom widths in [4, max_row_nnz)
+  std::uint64_t seed;
+};
+
+Coo<double> partially_diagonal(const FamilySpec& fs) {
+  const index_t n = fs.top_rows + fs.bottom_rows;
+  Coo<double> a(n, n);
+  Rng rng(fs.seed);
+  for (index_t r = 0; r < fs.top_rows; ++r) {
+    for (diag_offset_t d : {-fs.band, -1, 0, 1, fs.band}) {
+      const index_t c = r + d;
+      if (c >= 0 && c < n) a.add(r, c, 1.0 + 0.001 * double(r % 89));
+    }
+  }
+  for (index_t r = fs.top_rows; r < n; ++r) {
+    const index_t row_nnz =
+        4 + (r * 37) % std::max<index_t>(1, fs.max_row_nnz - 4);
+    for (index_t k = 0; k < row_nnz; ++k) {
+      const index_t c = static_cast<index_t>(
+          rng.next_u64() % static_cast<std::uint64_t>(n));
+      a.add(r, c, 0.5 + 0.001 * double(k));
+    }
+  }
+  a.canonicalize();
+  return a;
+}
+
+struct PartitionRow {
+  std::string name;
+  index_t rows = 0;
+  size64_t nnz = 0;
+  double t_crsd = 0.0, t_csr = 0.0, t_ell = 0.0, t_hyb = 0.0;
+  Format best_single = Format::kCrsd;
+  double t_best = 0.0;
+  double t_part = 0.0;         ///< partitioned makespan (overlapped)
+  double t_part_serial = 0.0;  ///< partitioned regions back to back
+  std::size_t regions = 0;
+  std::string plan;
+  bool bitwise_ok = false;
+  index_t cold_trials = 0;
+  index_t warm_trials = 0;
+  bool warm_hit = false;
+
+  double speedup() const { return t_part > 0.0 ? t_best / t_part : 0.0; }
+};
+
+/// One single-format baseline launch of `f`, pinned to the default CRSD
+/// config for the kCrsd row (the partitioned build gets the same base).
+double baseline_seconds(Format f, const Coo<double>& a,
+                        const std::vector<double>& x) {
+  gpusim::Device dev{gpusim::DeviceSpec{}};
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  kernels::SpmvOptions opts;
+  opts.crsd_config = CrsdConfig{};
+  return kernels::spmv(dev, f, a, x.data(), y.data(), opts).seconds;
+}
+
+PartitionRow run_member(const FamilySpec& fs, const std::string& cache_dir,
+                        ThreadPool& pool) {
+  PartitionRow r;
+  r.name = fs.name;
+  const auto a = partially_diagonal(fs);
+  r.rows = a.num_rows();
+  r.nnz = a.nnz();
+
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 + 0.001 * double(i % 97);
+  }
+
+  // Best single-format container over the whole matrix.
+  r.t_crsd = baseline_seconds(Format::kCrsd, a, x);
+  r.t_csr = baseline_seconds(Format::kCsr, a, x);
+  r.t_ell = baseline_seconds(Format::kEll, a, x);
+  r.t_hyb = baseline_seconds(Format::kHyb, a, x);
+  r.t_best = r.t_crsd;
+  r.best_single = Format::kCrsd;
+  for (auto [t, f] : {std::pair{r.t_csr, Format::kCsr},
+                      std::pair{r.t_ell, Format::kEll},
+                      std::pair{r.t_hyb, Format::kHyb}}) {
+    if (t < r.t_best) {
+      r.t_best = t;
+      r.best_single = f;
+    }
+  }
+
+  // Cold partitioned build: plans, refines per-region mrows with measured
+  // trials, publishes the cache entry.
+  BuildOptions opts;
+  opts.cache_dir = cache_dir;
+  kernels::PlannedPartition cold;
+  const auto pm = build_partitioned(a, opts, &pool, &cold);
+  r.cold_trials = cold.measured_trials;
+  r.regions = pm.parts().size();
+  r.plan = pm.summary();
+
+  // Warm rebuild from the cache just published: zero measured trials.
+  kernels::PlannedPartition warm;
+  const auto pm_warm = build_partitioned(a, opts, &pool, &warm);
+  r.warm_trials = warm.measured_trials;
+  r.warm_hit = warm.cache_hit;
+
+  // Partitioned launch, overlapped on the task-graph runtime.
+  gpusim::Device dev{gpusim::DeviceSpec{}};
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()), -1.0);
+  const auto res = kernels::spmv(dev, pm, x.data(), y.data(), {}, &pool);
+  r.t_part = res.seconds;
+  r.t_part_serial = res.serial_seconds;
+
+  // Native storage: bitwise parity with the partitioned CPU reference.
+  std::vector<double> y_ref(y.size(), -2.0);
+  pm.spmv(x.data(), y_ref.data());
+  r.bitwise_ok = y == y_ref;
+  return r;
+}
+
+/// Mixed-precision leg: fp32 values + narrow scatter indices on the CRSD
+/// regions, tolerance-gated against the fp64 COO reference.
+bool mixed_precision_ok(const FamilySpec& fs, const std::string& cache_dir,
+                        ThreadPool& pool) {
+  const auto a = partially_diagonal(fs);
+  BuildOptions opts;
+  opts.cache_dir = cache_dir;
+  opts.config.storage = {ValuePrecision::kFloat32, true, false};
+  const auto pm = build_partitioned(a, opts, &pool);
+
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 + 0.001 * double(i % 97);
+  }
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  std::vector<double> want(y.size());
+  gpusim::Device dev{gpusim::DeviceSpec{}};
+  kernels::spmv(dev, pm, x.data(), y.data(), {}, &pool);
+  a.spmv_reference(x.data(), want.data());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (std::abs(y[i] - want[i]) >
+        kMixedPrecisionRelTol * (1.0 + std::abs(want[i]))) {
+      std::printf("mixed-precision row %zu: got %.9e want %.9e\n", i, y[i],
+                  want[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_json(const std::vector<PartitionRow>& rows, double geomean,
+                bool all_bitwise, bool warm_ok, bool mixed_ok,
+                bool gate_pass, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"partition\",\n  \"precision\": \"double\",\n"
+      << "  \"device\": \"default gpusim spec\",\n  \"matrices\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"rows\": %lld, \"nnz\": %llu, "
+        "\"t_crsd\": %.4e, \"t_csr\": %.4e, \"t_ell\": %.4e, "
+        "\"t_hyb\": %.4e, \"best_single\": \"%s\", \"t_partitioned\": %.4e, "
+        "\"t_partitioned_serial\": %.4e, \"regions\": %zu, "
+        "\"speedup\": %.3f, \"bitwise_ok\": %s, \"cold_trials\": %lld, "
+        "\"warm_trials\": %lld, \"plan\": \"%s\"}%s\n",
+        r.name.c_str(), static_cast<long long>(r.rows),
+        static_cast<unsigned long long>(r.nnz), r.t_crsd, r.t_csr, r.t_ell,
+        r.t_hyb, format_name(r.best_single), r.t_part, r.t_part_serial,
+        r.regions, r.speedup(), r.bitwise_ok ? "true" : "false",
+        static_cast<long long>(r.cold_trials),
+        static_cast<long long>(r.warm_trials), r.plan.c_str(),
+        i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"summary\": {\"geomean_speedup\": %.3f, "
+                "\"gate_min_geomean\": %.2f, \"all_bitwise\": %s, "
+                "\"warm_zero_trials\": %s, \"mixed_precision_ok\": %s, "
+                "\"gate_pass\": %s}\n}\n",
+                geomean, kGateMinGeomeanSpeedup,
+                all_bitwise ? "true" : "false", warm_ok ? "true" : "false",
+                mixed_ok ? "true" : "false", gate_pass ? "true" : "false");
+  out << buf;
+}
+
+}  // namespace
+}  // namespace crsd::bench
+
+int main(int argc, char** argv) {
+  using namespace crsd;
+  using namespace crsd::bench;
+  namespace fs = std::filesystem;
+  (void)SuiteOptions::parse(argc, argv);
+
+  std::printf("== Row-region partitioner: partitioned SpMV vs best "
+              "single-format launch (virtual timeline) ==\n\n");
+
+  // A scratch partition cache, so the cold/warm contract is measured from a
+  // known-empty state every run.
+  const fs::path cache_dir =
+      fs::temp_directory_path() /
+      ("crsd-bench-partition-" +
+       std::to_string(static_cast<unsigned>(::getpid())));
+  fs::remove_all(cache_dir);
+  fs::create_directories(cache_dir);
+
+  const std::vector<FamilySpec> family = {
+      {"pd_band_heavy", 24576, 6144, 24, 48, 11},
+      {"pd_balanced", 16384, 8192, 16, 40, 12},
+      {"pd_scatter_heavy", 12288, 12288, 8, 56, 13},
+      {"pd_wide_tail", 20480, 4096, 32, 64, 14},
+      {"pd_narrow_tail", 28672, 4096, 12, 32, 15},
+  };
+
+  ThreadPool pool(4);
+  std::vector<PartitionRow> rows;
+  std::printf("%-18s %9s %10s | %9s %9s %9s %9s | %9s %4s %7s %5s\n",
+              "matrix", "rows", "nnz", "crsd[s]", "csr[s]", "ell[s]",
+              "hyb[s]", "part[s]", "reg", "speedup", "warm");
+  for (const auto& fsp : family) {
+    rows.push_back(run_member(fsp, cache_dir.string(), pool));
+    const auto& r = rows.back();
+    std::printf("%-18s %9lld %10llu | %9.3e %9.3e %9.3e %9.3e | %9.3e %4zu "
+                "%6.2fx %5s%s\n",
+                r.name.c_str(), static_cast<long long>(r.rows),
+                static_cast<unsigned long long>(r.nnz), r.t_crsd, r.t_csr,
+                r.t_ell, r.t_hyb, r.t_part, r.regions, r.speedup(),
+                r.warm_trials == 0 && r.warm_hit ? "hit" : "MISS",
+                r.bitwise_ok ? "" : "  (bitwise FAIL)");
+  }
+
+  double log_sum = 0.0;
+  bool all_bitwise = true;
+  bool warm_ok = true;
+  for (const auto& r : rows) {
+    log_sum += std::log(std::max(r.speedup(), 1e-300));
+    all_bitwise = all_bitwise && r.bitwise_ok;
+    warm_ok = warm_ok && r.warm_trials == 0 && r.warm_hit &&
+              r.cold_trials > 0;
+  }
+  const double geomean =
+      rows.empty() ? 0.0 : std::exp(log_sum / double(rows.size()));
+
+  const bool mixed_ok = mixed_precision_ok(family.front(),
+                                           cache_dir.string(), pool);
+
+  const bool gate_pass = geomean >= kGateMinGeomeanSpeedup && all_bitwise &&
+                         warm_ok && mixed_ok;
+  std::printf("\ngeomean speedup vs best single format: %.2fx "
+              "(gate >= %.2fx); bitwise %s; warm cache %s; "
+              "mixed precision %s\n",
+              geomean, kGateMinGeomeanSpeedup, all_bitwise ? "ok" : "FAIL",
+              warm_ok ? "ok (0 trials)" : "FAIL", mixed_ok ? "ok" : "FAIL");
+
+  const char* out_env = std::getenv("CRSD_BENCH_OUT");
+  const std::string out_path = out_env != nullptr && *out_env != '\0'
+                                   ? out_env
+                                   : "BENCH_partition.json";
+  write_json(rows, geomean, all_bitwise, warm_ok, mixed_ok, gate_pass,
+             out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!gate_pass) {
+    std::printf("FAIL: partition gate\n");
+    return 1;
+  }
+  return 0;
+}

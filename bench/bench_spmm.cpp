@@ -27,7 +27,7 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "common/timer.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/exec_plan.hpp"
 #include "kernels/cpu_spmm.hpp"
 #include "matrix/paper_suite.hpp"
@@ -164,7 +164,7 @@ int main(int argc, char** argv) {
   for (const auto& spec : paper_suite()) {
     if (opts.only_matrix && *opts.only_matrix != spec.id) continue;
     const auto a = spec.generate(opts.scale);
-    const auto m = build_crsd(a, CrsdConfig{.mrows = opts.mrows});
+    const auto m = build(a, CrsdConfig{.mrows = opts.mrows});
     const index_t n_rows = a.num_rows();
     const index_t n_cols = a.num_cols();
     const size64_t ldx = static_cast<size64_t>(n_cols);

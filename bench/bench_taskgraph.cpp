@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/paper_suite.hpp"
@@ -69,7 +69,7 @@ TaskGraphRow run_matrix(const Coo<double>& a, int id, const std::string& name,
 
   CrsdConfig cfg;
   cfg.mrows = mrows;
-  const auto m = build_crsd(a, cfg);
+  const auto m = build(a, cfg);
 
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
   for (std::size_t i = 0; i < x.size(); ++i) {

@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/gpu_spmv.hpp"
 #include "matrix/stats.hpp"
 
@@ -118,14 +118,14 @@ std::vector<SuiteRow> run_gpu_suite(const SuiteOptions& opts) {
         if (f == Format::kCrsd) {
           CrsdConfig cfg;
           cfg.mrows = opts.mrows;
-          const auto m = build_crsd(a, cfg);
+          const auto m = build(a, cfg);
           row.crsd_stats = m.stats();
           kernels::CrsdGpuOptions gpu_opts;
           gpu_opts.use_local_memory = opts.use_local_memory;
           gpu_opts.jit_codelet = opts.jit_codelet_model;
           r = kernels::gpu_spmv_crsd(dev, m, x.data(), y.data(), gpu_opts);
         } else {
-          r = kernels::gpu_spmv(dev, f, a, x.data(), y.data());
+          r = kernels::spmv(dev, f, a, x.data(), y.data());
         }
         // Extrapolate the trace to the published size and re-estimate.
         cell.counters = scale_counters(r.counters, factor);

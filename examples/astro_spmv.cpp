@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
     try {
       const gpusim::LaunchResult r =
-          kernels::gpu_spmv(dev, f, a, x.data(), y.data());
+          kernels::spmv(dev, f, a, x.data(), y.data());
       const double gflops = r.gflops(a.nnz());
       std::printf("%-6s %10.2f %14.2f %12.2f %10llu\n", format_name(f), gflops,
                   double(r.counters.global_load_bytes) / (1 << 20),
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   double simulated_seconds = 0;
   for (int step = 0; step < 50; ++step) {
     const gpusim::LaunchResult r =
-        kernels::gpu_spmv(dev, best, a, u.data(), y.data());
+        kernels::spmv(dev, best, a, u.data(), y.data());
     simulated_seconds += r.seconds;
     const double dt = 1e-3;
     for (std::size_t i = 0; i < u.size(); ++i) u[i] += dt * y[i];

@@ -27,7 +27,7 @@
 #include "analysis/analyze.hpp"
 #include "check/diagnostics.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/paper_suite.hpp"
@@ -163,7 +163,7 @@ int main(int argc, char** argv) {
       CrsdConfig cfg;
       cfg.mrows = opts.mrows;
       cfg.storage = mode.storage;
-      const CrsdMatrix<double> m = build_crsd(a, cfg);
+      const CrsdMatrix<double> m = build(a, cfg);
 
       analysis::AnalyzeOptions aopts;
       aopts.use_local_memory = opts.use_local_memory;

@@ -44,7 +44,7 @@ int cmd_analyze(const Coo<double>& a) {
               s.avg_nnz_per_row, (unsigned long long)s.num_diagonals());
   std::printf("DIA efficiency %.1f%%, ELL efficiency %.1f%%\n",
               100.0 * s.dia_efficiency(), 100.0 * s.ell_efficiency());
-  const auto m = build_crsd(a);
+  const auto m = build(a);
   const auto st = m.stats();
   std::printf("CRSD: %d patterns, fill %.1f%%, %d scatter rows, AD share "
               "%.0f%%, %.2f MiB\n",
@@ -55,7 +55,7 @@ int cmd_analyze(const Coo<double>& a) {
 }
 
 int cmd_convert(const Coo<double>& a, const std::string& out) {
-  const auto m = build_crsd(a);
+  const auto m = build(a);
   std::ofstream os(out, std::ios::binary);
   if (!os.good()) {
     std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
@@ -68,7 +68,7 @@ int cmd_convert(const Coo<double>& a, const std::string& out) {
 }
 
 int cmd_spmv(const Coo<double>& a, int reps) {
-  const auto m = build_crsd(a);
+  const auto m = build(a);
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
   auto gflops = [&](double secs_per_rep) {
@@ -109,7 +109,7 @@ int cmd_tune(const Coo<double>& a) {
 }
 
 int cmd_kernel(const Coo<double>& a, bool opencl) {
-  const auto m = build_crsd(a);
+  const auto m = build(a);
   if (opencl) {
     std::cout << codegen::generate_opencl_kernel_source(m);
   } else {

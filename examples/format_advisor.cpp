@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  const auto crsd_m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto crsd_m = build(a, CrsdConfig{.mrows = 64});
   const CrsdStats cst = crsd_m.stats();
   std::printf("CRSD analysis: %d patterns, fill %.1f%%, %d scatter rows, AD "
               "share %.0f%%\n\n",
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
     footprint_mib /= double(1 << 20);
     gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
     try {
-      const auto r = kernels::gpu_spmv(dev, f, a, x.data(), y.data());
+      const auto r = kernels::spmv(dev, f, a, x.data(), y.data());
       const double gflops = r.gflops(a.nnz());
       std::printf("%-6s %14.2f %12.2f\n", format_name(f), footprint_mib,
                   gflops);

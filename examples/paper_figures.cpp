@@ -51,7 +51,7 @@ int main() {
   CrsdConfig cfg;
   cfg.mrows = 2;  // the paper's example uses mrows = 2
   cfg.zero_scatter_rows_in_dia = false;  // Fig. 4 keeps the values in place
-  const auto m = build_crsd(a, cfg);
+  const auto m = build(a, cfg);
 
   std::printf("== Fig. 4: CRSD storage of the Fig. 2 matrix (mrows = 2) ==\n");
   dump_crsd(std::cout, m);

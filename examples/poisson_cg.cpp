@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const auto csr = CsrMatrix<double>::from_coo(a);
   report("CSR", [&](const double* in, double* out) { csr.spmv(in, out); });
 
-  const auto crsd_m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto crsd_m = build(a, CrsdConfig{.mrows = 64});
   const CrsdStats st = crsd_m.stats();
   std::printf("CRSD build: %d patterns, fill %.1f%%, footprint %.0f KiB (CSR "
               "%.0f KiB)\n",

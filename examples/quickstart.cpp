@@ -23,7 +23,7 @@ int main() {
   // 2. Store it in CRSD.
   CrsdConfig cfg;
   cfg.mrows = 64;  // one row segment = one GPU work-group (2 wavefronts)
-  const CrsdMatrix<double> m = build_crsd(a, cfg);
+  const CrsdMatrix<double> m = build(a, cfg);
   const CrsdStats st = m.stats();
   std::printf("CRSD: %d diagonal pattern(s) over %d row segments\n",
               st.num_patterns, st.num_segments);

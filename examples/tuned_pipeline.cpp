@@ -35,8 +35,8 @@ int main() {
   std::printf("bandwidth after RCM: %d\n", matrix_bandwidth(reordered));
   std::printf("%s", spy_string(reordered, 40).c_str());
 
-  const auto before = build_crsd(scrambled, CrsdConfig{.mrows = 64}).stats();
-  const auto naive = build_crsd(reordered, CrsdConfig{.mrows = 64}).stats();
+  const auto before = build(scrambled, CrsdConfig{.mrows = 64}).stats();
+  const auto naive = build(reordered, CrsdConfig{.mrows = 64}).stats();
   std::printf("CRSD scatter rows: %d before, %d after reordering\n",
               before.num_scatter_rows, naive.num_scatter_rows);
 
@@ -50,7 +50,7 @@ int main() {
               tuned.best_config.live_min_fill,
               tuned.best_local_memory ? "on" : "off", tuned.trials.size(),
               tuned.best_seconds * 1e6);
-  const auto m = build_crsd(reordered, tuned.best_config);
+  const auto m = build(reordered, tuned.best_config);
 
   std::printf("\n== 3. Runtime-compiled GPU codelet ==\n");
   if (codegen::JitCompiler::compiler_available()) {

@@ -802,12 +802,16 @@ void compact_storage(CrsdStorage<T>& storage, const StorageOptions& opts) {
 
 }  // namespace detail
 
+namespace detail {
+
 /// Builds a CRSD matrix from canonical COO. With cfg.threads > 1 the
 /// parallel pipeline runs on `pool` (or the process-global pool when null);
 /// the result is bitwise identical to the serial reference either way.
+/// Shared implementation behind crsd::build (core/build_api.hpp) and the
+/// deprecated build_crsd below.
 template <Real T>
-CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {},
-                         ThreadPool* pool = nullptr) {
+CrsdMatrix<T> build_crsd_impl(const Coo<T>& a, const CrsdConfig& cfg = {},
+                              ThreadPool* pool = nullptr) {
   obs::Span span("build/build_crsd", "nnz",
                  static_cast<std::int64_t>(a.nnz()));
   CRSD_CHECK_MSG(a.is_canonical(), "CRSD requires canonical COO input");
@@ -856,6 +860,19 @@ CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {},
   check::validate_or_throw(m, &a, vopts);
 #endif
   return m;
+}
+
+}  // namespace detail
+
+/// Legacy entry point, kept for the deprecation window. New code goes
+/// through crsd::build(a, BuildOptions) in core/build_api.hpp, which folds
+/// CrsdConfig, storage compaction, partition policy, and tuning-cache
+/// defaulting into one options struct.
+template <Real T>
+[[deprecated("use crsd::build(a, BuildOptions) from core/build_api.hpp")]]
+CrsdMatrix<T> build_crsd(const Coo<T>& a, const CrsdConfig& cfg = {},
+                         ThreadPool* pool = nullptr) {
+  return detail::build_crsd_impl(a, cfg, pool);
 }
 
 }  // namespace crsd

@@ -178,8 +178,10 @@ class ExecPlan {
       ThreadSlice& slice = plan.slices_[static_cast<std::size_t>(t)];
       const index_t part_b = seg_parts.part_begin(t);
       const index_t part_e = seg_parts.part_end(t);
-      slice.row_begin = std::min<index_t>(part_b * mrows, m.num_rows());
-      slice.row_end = std::min<index_t>(part_e * mrows, m.num_rows());
+      const RowRange rows =
+          segment_row_range(part_b, part_e, mrows, m.num_rows());
+      slice.row_begin = rows.begin;
+      slice.row_end = rows.end;
       slice.scatter_begin = scatter_parts.part_begin(t);
       slice.scatter_end = scatter_parts.part_end(t);
       for (std::size_t pi = 0;

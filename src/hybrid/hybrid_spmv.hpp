@@ -20,7 +20,7 @@
 #include "analysis/analyze.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "hybrid/transfer.hpp"
 #include "perf/cpu_model.hpp"
 #include "runtime/multi_device.hpp"
@@ -61,7 +61,7 @@ template <Real T>
 class HybridSpmv {
  public:
   HybridSpmv(const Coo<T>& a, index_t split_row, const HybridConfig& cfg = {})
-      : cfg_(cfg), m_(build_crsd(a, cfg.crsd)) {
+      : cfg_(cfg), m_(crsd::build(a, cfg.crsd)) {
     CRSD_CHECK_MSG(split_row >= 0 && split_row <= a.num_rows(),
                    "split row out of range: " << split_row);
     split_row_ = snap_split(split_row);
@@ -228,8 +228,9 @@ class HybridSpmv {
   /// branch launches whole work-groups.
   index_t snap_split(index_t split_row) const {
     const index_t mrows = m_.mrows();
+    const index_t seg = (split_row + mrows - 1) / mrows;
     const index_t snapped =
-        std::min((split_row + mrows - 1) / mrows * mrows, m_.num_rows());
+        segment_row_range(0, seg, mrows, m_.num_rows()).end;
     return split_row == 0 ? 0 : snapped;
   }
 

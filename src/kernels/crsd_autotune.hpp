@@ -391,7 +391,7 @@ AutotuneResult autotune_crsd(gpusim::Device& dev, const Coo<T>& a,
     tasks.reserve(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
       tasks.push_back([&, c] {
-        mats[c] = std::make_unique<CrsdMatrix<T>>(build_crsd(a, configs[c]));
+        mats[c] = std::make_unique<CrsdMatrix<T>>(crsd::detail::build_crsd_impl(a, configs[c]));
         analysis::AnalyzeOptions aopts;
         aopts.spec = dev.spec();
         const analysis::CoalescingReport rep = analysis::predict_crsd_counters(

@@ -130,8 +130,8 @@ gpusim::LaunchResult gpu_spmv_crsd_range(gpusim::Device& dev,
                  "scatter range [" << r.scatter_begin << ", " << r.scatter_end
                                    << ") out of bounds");
   if (r.seg_begin < r.seg_end) {
-    CRSD_CHECK_MSG(r.row_begin <= r.seg_begin * mrows &&
-                       r.row_end >= std::min<index_t>(r.seg_end * mrows, n),
+    const RowRange cover = segment_row_range(r.seg_begin, r.seg_end, mrows, n);
+    CRSD_CHECK_MSG(r.row_begin <= cover.begin && r.row_end >= cover.end,
                    "row window does not cover the segment range");
   }
   if (r.scatter_begin < r.scatter_end) {

@@ -1,9 +1,15 @@
 // Umbrella header: all simulated-GPU SpMV kernels (Bell & Garland baselines
-// plus CRSD), with a convenience dispatcher used by benches and examples.
+// plus CRSD), unified behind one options-struct dispatch. The per-container
+// spmv() overloads route CSR/DIA/ELL/HYB/CRSD uniformly; the COO overload
+// builds `format` first. The partitioned overload lives in
+// kernels/partitioned_spmv.hpp because its executor needs the crsd_runtime
+// library. The legacy gpu_spmv entry points remain as deprecated wrappers
+// for the deprecation window.
 #pragma once
 
 #include <optional>
 
+#include "core/build_api.hpp"
 #include "core/builder.hpp"
 #include "formats/format.hpp"
 #include "kernels/crsd_autotune.hpp"
@@ -20,7 +26,7 @@ namespace crsd::kernels {
 /// behaviour (work-group size 128, stock CrsdGpuOptions) except that the
 /// CRSD path defaults its build configuration from the persistent autotuner
 /// cache when a tuning entry exists for the matrix structure.
-struct GpuSpmvOptions {
+struct SpmvOptions {
   /// Work-group size for the CSR/DIA/ELL/HYB/COO kernels. The CRSD kernel
   /// derives its group geometry from the container's mrows instead.
   index_t work_group_size = 128;
@@ -38,73 +44,119 @@ struct GpuSpmvOptions {
   bool tune_from_cache = true;
 };
 
-/// Builds `format` from `a` and runs one simulated SpMV, writing y.
-/// CSR uses the vector kernel (the stronger Bell–Garland variant on the
-/// suite's row widths). Throws crsd::Error if the format does not fit in
-/// device memory (DIA on af_*_k101 in double precision).
+/// Compatibility alias for the deprecation window; new code says
+/// SpmvOptions.
+using GpuSpmvOptions = SpmvOptions;
+
+/// y = A*x for a built CSR container (Bell–Garland vector kernel, the
+/// stronger variant on the suite's row widths).
 template <Real T>
-gpusim::LaunchResult gpu_spmv(gpusim::Device& dev, Format format,
-                              const Coo<T>& a, const T* x, T* y,
-                              const GpuSpmvOptions& opts,
-                              ThreadPool* pool = nullptr) {
-  const index_t wgs = opts.work_group_size;
+gpusim::LaunchResult spmv(gpusim::Device& dev, const CsrMatrix<T>& m,
+                          const T* x, T* y, const SpmvOptions& opts = {},
+                          ThreadPool* pool = nullptr) {
+  return gpu_spmv_csr_vector(dev, m, x, y, opts.work_group_size, pool);
+}
+
+/// y = A*x for a built DIA container.
+template <Real T>
+gpusim::LaunchResult spmv(gpusim::Device& dev, const DiaMatrix<T>& m,
+                          const T* x, T* y, const SpmvOptions& opts = {},
+                          ThreadPool* pool = nullptr) {
+  return gpu_spmv_dia(dev, m, x, y, opts.work_group_size, pool);
+}
+
+/// y = A*x for a built ELL container.
+template <Real T>
+gpusim::LaunchResult spmv(gpusim::Device& dev, const EllMatrix<T>& m,
+                          const T* x, T* y, const SpmvOptions& opts = {},
+                          ThreadPool* pool = nullptr) {
+  return gpu_spmv_ell(dev, m, x, y, opts.work_group_size, pool);
+}
+
+/// y = A*x for a built HYB container.
+template <Real T>
+gpusim::LaunchResult spmv(gpusim::Device& dev, const HybMatrix<T>& m,
+                          const T* x, T* y, const SpmvOptions& opts = {},
+                          ThreadPool* pool = nullptr) {
+  return gpu_spmv_hyb(dev, m, x, y, opts.work_group_size, pool);
+}
+
+/// y = A*x for a built CRSD container (opts.crsd selects local-memory
+/// staging, JIT codelet, checker).
+template <Real T>
+gpusim::LaunchResult spmv(gpusim::Device& dev, const CrsdMatrix<T>& m,
+                          const T* x, T* y, const SpmvOptions& opts = {},
+                          ThreadPool* pool = nullptr) {
+  return gpu_spmv_crsd(dev, m, x, y, opts.crsd, pool);
+}
+
+/// Builds `format` from `a` and runs one simulated SpMV, writing y.
+/// Throws crsd::Error if the format does not fit in device memory (DIA on
+/// af_*_k101 in double precision).
+template <Real T>
+gpusim::LaunchResult spmv(gpusim::Device& dev, Format format, const Coo<T>& a,
+                          const T* x, T* y, const SpmvOptions& opts = {},
+                          ThreadPool* pool = nullptr) {
   switch (format) {
-    case Format::kCsr: {
-      const auto m = CsrMatrix<T>::from_coo(a);
-      return gpu_spmv_csr_vector(dev, m, x, y, wgs, pool);
-    }
+    case Format::kCsr:
+      return spmv(dev, CsrMatrix<T>::from_coo(a), x, y, opts, pool);
     case Format::kDia: {
       const size64_t limit =
           (dev.spec().global_mem_bytes - dev.allocated_bytes()) / sizeof(T);
-      const auto m = DiaMatrix<T>::from_coo(a, limit);
-      return gpu_spmv_dia(dev, m, x, y, wgs, pool);
+      return spmv(dev, DiaMatrix<T>::from_coo(a, limit), x, y, opts, pool);
     }
-    case Format::kEll: {
-      const auto m = EllMatrix<T>::from_coo(a);
-      return gpu_spmv_ell(dev, m, x, y, wgs, pool);
-    }
-    case Format::kHyb: {
-      const auto m = HybMatrix<T>::from_coo(a);
-      return gpu_spmv_hyb(dev, m, x, y, wgs, pool);
-    }
+    case Format::kEll:
+      return spmv(dev, EllMatrix<T>::from_coo(a), x, y, opts, pool);
+    case Format::kHyb:
+      return spmv(dev, HybMatrix<T>::from_coo(a), x, y, opts, pool);
     case Format::kCrsd: {
       CrsdConfig cfg;
-      CrsdGpuOptions gpu_opts = opts.crsd;
+      SpmvOptions crsd_opts = opts;
       if (opts.crsd_config.has_value()) {
         cfg = *opts.crsd_config;
       } else if (opts.tune_from_cache) {
         if (std::optional<CachedTuning> tuned =
                 load_cached_tuning(dev.spec(), a)) {
           cfg = tuned->config;
-          gpu_opts.use_local_memory = tuned->local_memory;
+          crsd_opts.crsd.use_local_memory = tuned->local_memory;
         }
       }
-      const auto m = build_crsd(a, cfg);
-      return gpu_spmv_crsd(dev, m, x, y, gpu_opts, pool);
+      return spmv(dev, build(a, cfg), x, y, crsd_opts, pool);
     }
     case Format::kCoo: {
       // Flat accumulate kernel over the raw triplets.
       std::fill(y, y + a.num_rows(), T(0));
       return gpu_spmv_coo_accumulate(dev, a.row_indices(), a.col_indices(),
                                      a.values(), a.num_rows(), a.num_cols(),
-                                     x, y, wgs, pool);
+                                     x, y, opts.work_group_size, pool);
     }
   }
-  throw Error("unhandled format in gpu_spmv");
+  throw Error("unhandled format in spmv");
 }
 
-/// Convenience overload: explicit CRSD build configuration, everything else
-/// defaulted. Passing a CrsdConfig (even a default-constructed one) pins the
-/// CRSD build to it — the tuning cache is not consulted, so results stay
-/// deterministic for callers that sweep configurations themselves.
+/// Legacy dispatcher, kept for the deprecation window.
 template <Real T>
+[[deprecated("use kernels::spmv(dev, format, a, x, y, SpmvOptions)")]]
+gpusim::LaunchResult gpu_spmv(gpusim::Device& dev, Format format,
+                              const Coo<T>& a, const T* x, T* y,
+                              const GpuSpmvOptions& opts,
+                              ThreadPool* pool = nullptr) {
+  return spmv(dev, format, a, x, y, opts, pool);
+}
+
+/// Legacy convenience overload: explicit CRSD build configuration,
+/// everything else defaulted. Passing a CrsdConfig (even a
+/// default-constructed one) pins the CRSD build to it — the tuning cache is
+/// not consulted.
+template <Real T>
+[[deprecated("use kernels::spmv with SpmvOptions::crsd_config")]]
 gpusim::LaunchResult gpu_spmv(gpusim::Device& dev, Format format,
                               const Coo<T>& a, const T* x, T* y,
                               const CrsdConfig& crsd_cfg = {},
                               ThreadPool* pool = nullptr) {
-  GpuSpmvOptions opts;
+  SpmvOptions opts;
   opts.crsd_config = crsd_cfg;
-  return gpu_spmv(dev, format, a, x, y, opts, pool);
+  return spmv(dev, format, a, x, y, opts, pool);
 }
 
 }  // namespace crsd::kernels

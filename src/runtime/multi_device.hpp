@@ -210,8 +210,10 @@ ShardPipeline append_shard_pipeline(TaskGraph& g, const DeviceLane& lane,
     if (transfer) {
       // Ship this part's rows, minus the rows the scatter phase will
       // overwrite later.
-      const index_t part_r0 = std::min(pr.seg_begin * m.mrows(), r.row_end);
-      const index_t part_r1 = std::min(pr.seg_end * m.mrows(), r.row_end);
+      const RowRange part_rows =
+          segment_row_range(pr.seg_begin, pr.seg_end, m.mrows(), r.row_end);
+      const index_t part_r0 = part_rows.begin;
+      const index_t part_r1 = part_rows.end;
       const NodeId d2h = g.add_node(
           NodeKind::kD2H, lane.d2h, tag + ".d2h." + std::to_string(part),
           [&opts, &y_dev, y_out, part_r0, part_r1, row0 = r.row_begin,

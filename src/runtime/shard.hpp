@@ -49,10 +49,9 @@ void widen_for_diagonals(const CrsdMatrix<T>& m, index_t seg_begin,
     if (pb >= pe) continue;
     const auto& pat = m.patterns()[static_cast<std::size_t>(p)];
     if (pat.offsets.empty()) continue;
-    const index_t row_lo = pb * mrows;
-    const index_t row_hi = std::min(pe * mrows, m.num_rows()) - 1;
-    *lo = std::min(*lo, m.clamp_col(row_lo + pat.offsets.front()));
-    *hi = std::max(*hi, m.clamp_col(row_hi + pat.offsets.back()) + 1);
+    const RowRange rows = segment_row_range(pb, pe, mrows, m.num_rows());
+    *lo = std::min(*lo, m.clamp_col(rows.begin + pat.offsets.front()));
+    *hi = std::max(*hi, m.clamp_col(rows.end - 1 + pat.offsets.back()) + 1);
   }
 }
 
@@ -103,8 +102,11 @@ std::vector<Shard> plan_shards(const CrsdMatrix<T>& m, int num_shards) {
     Shard sh;
     sh.range.seg_begin = plan.part_begin(s);
     sh.range.seg_end = plan.part_end(s);
-    sh.range.row_begin = std::min(sh.range.seg_begin * mrows, m.num_rows());
-    sh.range.row_end = std::min(sh.range.seg_end * mrows, m.num_rows());
+    const RowRange rows = segment_row_range(sh.range.seg_begin,
+                                            sh.range.seg_end, mrows,
+                                            m.num_rows());
+    sh.range.row_begin = rows.begin;
+    sh.range.row_end = rows.end;
     // Scatter rows are sorted by row number; the shard owns the rows whose
     // target falls in its row slice.
     sh.range.scatter_begin = static_cast<index_t>(
@@ -165,13 +167,13 @@ std::vector<check::Diagnostic> validate_shard_partition(
          << scatter_cursor;
       fail(os.str(), static_cast<std::int64_t>(s));
     }
-    const index_t want_rb = std::min(r.seg_begin * m.mrows(), m.num_rows());
-    const index_t want_re = std::min(r.seg_end * m.mrows(), m.num_rows());
-    if (r.row_begin != want_rb || r.row_end != want_re) {
+    const RowRange want =
+        segment_row_range(r.seg_begin, r.seg_end, m.mrows(), m.num_rows());
+    if (r.row_begin != want.begin || r.row_end != want.end) {
       std::ostringstream os;
       os << "shard " << s << " rows [" << r.row_begin << ", " << r.row_end
-         << ") do not match its segment run (want [" << want_rb << ", "
-         << want_re << "))";
+         << ") do not match its segment run (want [" << want.begin << ", "
+         << want.end << "))";
       fail(os.str(), static_cast<std::int64_t>(s));
     }
     seg_cursor = std::max(seg_cursor, r.seg_end);

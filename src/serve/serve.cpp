@@ -259,7 +259,7 @@ struct ServeEngineImpl {
       }
     }
     entry->config.storage = storage;
-    entry->m = build_crsd(a, entry->config);
+    entry->m = crsd::build(a, entry->config);
     ExecPlanOptions plan_opts;
     plan_opts.num_threads = 1;  // graph nodes run apply_seq on one worker
     plan_opts.system = opts.system;
@@ -287,7 +287,9 @@ struct ServeEngineImpl {
         double(st.scatter_index_bytes) + double(st.dia_index_bytes);
     entry->per_vec_bytes =
         (double(st.dia_slots) +
-         double(st.num_segments) * double(entry->m.mrows())) *
+         double(segment_row_range(0, st.num_segments, entry->m.mrows(),
+                                  entry->m.num_rows())
+                    .size())) *
             8.0 +
         double(st.num_scatter_rows) * (double(st.scatter_width) + 1.0) * 8.0;
     entry->per_vec_flops =

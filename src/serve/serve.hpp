@@ -49,7 +49,7 @@
 #include "check/diagnostics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/coo.hpp"
 #include "perf/cpu_model.hpp"
 

@@ -10,7 +10,7 @@
 
 #include "analysis/analyze.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/exec_plan.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/crsd_gpu.hpp"
@@ -53,7 +53,7 @@ CrsdMatrix<double> build_mode(const StorageOptions& s, index_t mrows = 64) {
   CrsdConfig cfg;
   cfg.mrows = mrows;
   cfg.storage = s;
-  return build_crsd(mixed_matrix(), cfg);
+  return build(mixed_matrix(), cfg);
 }
 
 gpusim::LaunchResult measure(const CrsdMatrix<double>& m,

@@ -9,7 +9,7 @@
 
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/paper_suite.hpp"
 
@@ -42,7 +42,7 @@ Coo<double> fig2_matrix() {
 }
 
 TEST(CpuCodeletSource, ContainsUnrolledDiagonalsAndConstants) {
-  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  const auto m = build(fig2_matrix(), CrsdConfig{.mrows = 2});
   const std::string src = generate_cpu_codelet_source(m);
   // Index information baked in: pattern ranges, slot strides, offsets.
   EXPECT_NE(src.find("crsd_codelet_diag"), std::string::npos);
@@ -59,7 +59,7 @@ TEST(CpuCodeletSource, ContainsUnrolledDiagonalsAndConstants) {
 
 TEST(CpuCodeletSource, EmptyScatterGeneratesNoLoop) {
   const auto a = dense_band(128, 2);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   ASSERT_EQ(m.num_scatter_rows(), 0);
   const std::string src = generate_cpu_codelet_source(m);
   EXPECT_NE(src.find("_scatter"), std::string::npos);
@@ -67,7 +67,7 @@ TEST(CpuCodeletSource, EmptyScatterGeneratesNoLoop) {
 }
 
 TEST(OpenClSource, Fig6StructureMarkers) {
-  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  const auto m = build(fig2_matrix(), CrsdConfig{.mrows = 2});
   const std::string src = generate_opencl_kernel_source(m);
   EXPECT_NE(src.find("__kernel void crsd_spmv"), std::string::npos);
   EXPECT_NE(src.find("get_group_id(0)"), std::string::npos);
@@ -84,7 +84,7 @@ TEST(OpenClSource, Fig6StructureMarkers) {
 }
 
 TEST(OpenClSource, NoLocalMemoryVariantHasNoBarriers) {
-  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  const auto m = build(fig2_matrix(), CrsdConfig{.mrows = 2});
   OpenClCodeletOptions opts;
   opts.use_local_memory = false;
   const std::string src = generate_opencl_kernel_source(m, opts);
@@ -93,7 +93,7 @@ TEST(OpenClSource, NoLocalMemoryVariantHasNoBarriers) {
 
 TEST(OpenClSource, FloatVariantSkipsFp64Pragma) {
   const auto a = fig2_matrix().cast<float>();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 2});
+  const auto m = build(a, CrsdConfig{.mrows = 2});
   const std::string src = generate_opencl_kernel_source(m);
   EXPECT_EQ(src.find("cl_khr_fp64"), std::string::npos);
   EXPECT_NE(src.find("float sum"), std::string::npos);
@@ -107,7 +107,7 @@ TEST(Jit, CompilerIsAvailableInThisEnvironment) {
 
 TEST(Jit, CompileLoadRunFig2) {
   const auto a = fig2_matrix();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 2});
+  const auto m = build(a, CrsdConfig{.mrows = 2});
   JitCompiler compiler = fresh_compiler();
   const CrsdJitKernel<double> kernel(m, compiler);
   std::vector<double> x(9), want(6), got(6, -1.0);
@@ -119,7 +119,7 @@ TEST(Jit, CompileLoadRunFig2) {
 
 TEST(Jit, DiskCacheHitsOnSecondBuild) {
   const auto a = dense_band(256, 3);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   JitCompiler compiler = fresh_compiler();
   const CrsdJitKernel<double> k1(m, compiler);
   EXPECT_EQ(compiler.compilations(), 1);
@@ -156,7 +156,7 @@ class JitSuiteMatrices : public ::testing::TestWithParam<int> {};
 TEST_P(JitSuiteMatrices, CompiledCodeletMatchesInterpreted) {
   const auto& spec = paper_matrix(GetParam());
   const auto a = spec.generate(0.02);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   JitCompiler compiler = fresh_compiler();
   const CrsdJitKernel<double> kernel(m, compiler);
   Rng rng(40);
@@ -185,7 +185,7 @@ INSTANTIATE_TEST_SUITE_P(Suite, JitSuiteMatrices,
 TEST(Jit, SinglePrecisionCodelet) {
   Rng rng(41);
   const auto a = astro_convection(8, 8, 5, true, rng).cast<float>();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   JitCompiler compiler = fresh_compiler();
   const CrsdJitKernel<float> kernel(m, compiler);
   EXPECT_NE(kernel.source().find("using T = float;"), std::string::npos);

@@ -14,7 +14,7 @@
 #include "codegen/crsd_gpu_jit.hpp"
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/generators.hpp"
 
@@ -36,7 +36,7 @@ JitCompiler fresh_compiler() {
 /// range, an AD group, clamped edge offsets — every lint check has a
 /// matching construct in its generated source.
 CrsdMatrix<double> stencil_matrix() {
-  return build_crsd(stencil_5pt_2d(16, 8), CrsdConfig{.mrows = 16});
+  return build(stencil_5pt_2d(16, 8), CrsdConfig{.mrows = 16});
 }
 
 /// Replaces the first occurrence of `from`; the mutation must exist in the
@@ -57,12 +57,12 @@ TEST(CodeletLint, CleanOnGeneratedCpuSource) {
   Rng rng(3);
   Coo<double> a = astro_convection(24, 8, 8, /*unstructured=*/false, rng);
   inject_scatter(a, 25, rng);
-  const auto ms = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto ms = build(a, CrsdConfig{.mrows = 16});
   EXPECT_TRUE(lint_cpu_codelet_source(ms, generate_cpu_codelet_source(ms))
                   .empty());
 
   const auto mf =
-      build_crsd(dense_band(96, 3).cast<float>(), CrsdConfig{.mrows = 16});
+      build(dense_band(96, 3).cast<float>(), CrsdConfig{.mrows = 16});
   EXPECT_TRUE(lint_cpu_codelet_source(mf, generate_cpu_codelet_source(mf))
                   .empty());
 }
@@ -241,7 +241,7 @@ TEST(CheckedJit, CleanGpuSourceRunsUnderTheChecker) {
   if (!JitCompiler::compiler_available()) GTEST_SKIP();
   // The GPU kernel requires mrows to be a wavefront multiple (32 on the
   // simulated Tesla C2050), so this fixture uses a wider segment height.
-  const auto m = build_crsd(stencil_5pt_2d(16, 8), CrsdConfig{.mrows = 32});
+  const auto m = build(stencil_5pt_2d(16, 8), CrsdConfig{.mrows = 32});
   JitCompiler compiler = fresh_compiler();
   auto kernel = make_gpu_jit_kernel(m, compiler);
   ASSERT_TRUE(kernel.has_value());
@@ -271,7 +271,7 @@ CrsdMatrix<double> compact_matrix(ValuePrecision vp, bool narrow, bool delta) {
   CrsdConfig cfg;
   cfg.mrows = 16;
   cfg.storage = {vp, narrow, delta};
-  return build_crsd(a, cfg);
+  return build(a, cfg);
 }
 
 TEST(CodeletLint, CleanOnCompactStorageModes) {

@@ -21,7 +21,7 @@
 #include "check/validate.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 
 namespace crsd {
@@ -66,11 +66,11 @@ TEST(ParallelBuild, BitwiseIdenticalAcrossThreadCounts) {
     for (index_t mrows : {16, 64}) {
       CrsdConfig cfg;
       cfg.mrows = mrows;
-      const auto serial = build_crsd(a, cfg);
+      const auto serial = build(a, cfg);
       for (int threads : {2, 4, 8}) {
         ThreadPool pool(threads);
         cfg.threads = threads;
-        const auto parallel = build_crsd(a, cfg, &pool);
+        const auto parallel = build(a, cfg, &pool);
         expect_identical(serial, parallel, "parallel build diverged");
       }
     }
@@ -89,10 +89,10 @@ TEST(ParallelBuild, BitwiseIdenticalUnderNonDefaultKnobs) {
         cfg.fill_max_gap_segments = gap;
         cfg.live_min_fill = fill;
         cfg.zero_scatter_rows_in_dia = zero_scatter;
-        const auto serial = build_crsd(a, cfg);
+        const auto serial = build(a, cfg);
         ThreadPool pool(4);
         cfg.threads = 4;
-        expect_identical(serial, build_crsd(a, cfg, &pool),
+        expect_identical(serial, build(a, cfg, &pool),
                          "knob sweep diverged");
       }
     }
@@ -121,9 +121,9 @@ TEST(ParallelBuild, EdgeCaseMatrices) {
     a.canonicalize();
     CrsdConfig cfg;
     cfg.mrows = 16;
-    const auto serial = build_crsd(a, cfg);
+    const auto serial = build(a, cfg);
     cfg.threads = 4;
-    expect_identical(serial, build_crsd(a, cfg, &pool), "edge case diverged");
+    expect_identical(serial, build(a, cfg, &pool), "edge case diverged");
   }
 }
 
@@ -140,9 +140,9 @@ TEST(ParallelBuild, EnvThreadCountMatchesSerial) {
   for (const auto& a : structure_zoo()) {
     CrsdConfig cfg;
     cfg.mrows = 32;
-    const auto serial = build_crsd(a, cfg);
+    const auto serial = build(a, cfg);
     cfg.threads = threads;
-    expect_identical(serial, build_crsd(a, cfg, &pool),
+    expect_identical(serial, build(a, cfg, &pool),
                      "env thread count diverged");
   }
 }
@@ -151,16 +151,16 @@ TEST(ParallelBuild, OneThreadPoolFallsBackToSerial) {
   const auto a = stencil_5pt_2d(20, 20);
   CrsdConfig cfg;
   cfg.mrows = 16;
-  const auto serial = build_crsd(a, cfg);
+  const auto serial = build(a, cfg);
   ThreadPool pool(1);
   cfg.threads = 8;  // intent says parallel, but the pool is 1 wide
-  expect_identical(serial, build_crsd(a, cfg, &pool), "1-thread fallback");
+  expect_identical(serial, build(a, cfg, &pool), "1-thread fallback");
 }
 
 TEST(ParallelBuild, SameStorageOracleDetectsDifferences) {
   const auto a = dense_band(128, 2);
-  const auto m1 = build_crsd(a, CrsdConfig{.mrows = 32});
-  const auto m2 = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m1 = build(a, CrsdConfig{.mrows = 32});
+  const auto m2 = build(a, CrsdConfig{.mrows = 64});
   const auto diags = check::validate_same_storage(m1, m2);
   ASSERT_FALSE(diags.empty());
   EXPECT_TRUE(check::has_code(diags, check::Code::kStorageMismatch));
@@ -207,7 +207,7 @@ TEST(ParallelBuild, OverflowGuardFlagsPatternAndScatterSlots) {
 }
 
 TEST(ParallelBuild, OverflowGuardPassesNormalMatrices) {
-  EXPECT_NO_THROW(build_crsd(dense_band(200, 2), CrsdConfig{.mrows = 32}));
+  EXPECT_NO_THROW(build(dense_band(200, 2), CrsdConfig{.mrows = 32}));
   EXPECT_TRUE(detail::check_build_limits(
                   /*nnz=*/std::numeric_limits<index_t>::max(), 64, nullptr, 0,
                   0)

@@ -41,7 +41,7 @@ TEST_P(DeviceMrowsSweep, CrsdKernelCorrectOnEveryDevice) {
   }
   Rng rng(1);
   const auto a = astro_convection(9, 9, 6, true, rng);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = param.mrows});
+  const auto m = build(a, CrsdConfig{.mrows = param.mrows});
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
   for (auto& v : x) v = rng.next_double(-1, 1);
   std::vector<double> want(static_cast<std::size_t>(a.num_rows()));
@@ -154,8 +154,8 @@ TEST(SweepCost, CrsdCostGrowsWithFill) {
   CrsdConfig loose;
   loose.mrows = 32;
   loose.fill_max_gap_segments = 64;  // bridge everything
-  const auto st_tight = build_crsd(a, tight).stats();
-  const auto st_loose = build_crsd(a, loose).stats();
+  const auto st_tight = build(a, tight).stats();
+  const auto st_loose = build(a, loose).stats();
   const auto c_tight = perf::crsd_sweep_cost(st_tight, a.num_rows(), 8);
   const auto c_loose = perf::crsd_sweep_cost(st_loose, a.num_rows(), 8);
   EXPECT_GE(st_loose.dia_slots, st_tight.dia_slots);

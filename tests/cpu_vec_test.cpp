@@ -15,7 +15,7 @@
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 
 namespace crsd {
@@ -103,7 +103,7 @@ class VecEngineParity
 TEST_P(VecEngineParity, ScalarVecParallelJitAgree) {
   const auto [n, mrows, scatter] = GetParam();
   const auto a = random_pattern_matrix(n, 12, 17u * n + mrows, scatter);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = mrows});
+  const auto m = build(a, CrsdConfig{.mrows = mrows});
 
   const auto x = random_vector<double>(a.num_cols(), 7);
   std::vector<double> ref(static_cast<std::size_t>(a.num_rows()));
@@ -152,7 +152,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(VecEngineParity, SinglePrecision) {
   const auto a64 = random_pattern_matrix(400, 10, 99, 8);
   const auto a = a64.cast<float>();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   const auto x = random_vector<float>(a.num_cols(), 3);
   std::vector<float> scalar(static_cast<std::size_t>(a.num_rows())),
       vec(scalar.size());
@@ -165,7 +165,7 @@ TEST(VecEngineParity, SinglePrecision) {
 
 TEST(InteriorSegments, TridiagonalSplitsFirstAndLastSegment) {
   const auto a = dense_band(64, 1);  // offsets {-1, 0, 1}
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 8});
+  const auto m = build(a, CrsdConfig{.mrows = 8});
   ASSERT_EQ(m.num_patterns(), 1);
   const auto in = m.interior_segments(0);
   // Row 0 reads column -1 and row 63 reads column 64: the first and last
@@ -179,7 +179,7 @@ TEST(InteriorSegments, SingleSegmentMatrixIsAllEdge) {
   // last segment: its off-diagonals run out of range at both ends, so the
   // interior is empty and the whole product flows through the edge path.
   const auto a = dense_band(16, 1);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   ASSERT_EQ(m.num_patterns(), 1);
   const auto in = m.interior_segments(0);
   EXPECT_EQ(in.begin, in.end);

@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/dump.hpp"
 #include "matrix/generators.hpp"
 
@@ -84,7 +84,7 @@ TEST(Builder, Fig2ReproducesPaperStructure) {
   const auto a = fig2_matrix();
   CrsdConfig cfg;
   cfg.mrows = 2;
-  const auto m = build_crsd(a, cfg);
+  const auto m = build(a, cfg);
 
   ASSERT_EQ(m.num_patterns(), 2);
   const auto& p0 = m.patterns()[0];
@@ -107,7 +107,7 @@ TEST(Builder, Fig2ReproducesPaperStructure) {
 TEST(Builder, Fig2InferredTableIII) {
   // Table III of the paper: NRS = {1,2}, NNzRS = {10,6}, SR = {0,2},
   // NDias = {5,3}.
-  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  const auto m = build(fig2_matrix(), CrsdConfig{.mrows = 2});
   ASSERT_EQ(m.num_patterns(), 2);
   EXPECT_EQ(m.patterns()[0].num_segments, 1);
   EXPECT_EQ(m.patterns()[1].num_segments, 2);
@@ -130,7 +130,7 @@ TEST(Builder, Fig2ValueLayoutMatchesFig4) {
   CrsdConfig cfg;
   cfg.mrows = 2;
   cfg.zero_scatter_rows_in_dia = false;
-  const auto m = build_crsd(fig2_matrix(), cfg);
+  const auto m = build(fig2_matrix(), cfg);
   auto v = [](index_t r, index_t c) { return 10.0 * r + c + 1.0; };
 
   // Pattern 0, segment 0, diagonal-major lanes:
@@ -156,7 +156,7 @@ TEST(Builder, Fig2SpmvMatchesReference) {
     CrsdConfig cfg;
     cfg.mrows = 2;
     cfg.zero_scatter_rows_in_dia = zero_scatter;
-    const auto m = build_crsd(a, cfg);
+    const auto m = build(a, cfg);
     std::vector<double> x(9);
     for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.1 * double(i) - 0.3;
     std::vector<double> want(6), got(6, -1.0);
@@ -170,7 +170,7 @@ TEST(Builder, Fig4DumpNotation) {
   CrsdConfig cfg;
   cfg.mrows = 2;
   cfg.zero_scatter_rows_in_dia = false;
-  const auto m = build_crsd(fig2_matrix(), cfg);
+  const auto m = build(fig2_matrix(), cfg);
   std::ostringstream os;
   dump_crsd(os, m);
   const std::string s = os.str();
@@ -196,7 +196,7 @@ TEST(Builder, IdleSectionBreaksDiagonal) {
   a.canonicalize();
   CrsdConfig cfg;
   cfg.mrows = 32;
-  const auto m = build_crsd(a, cfg);
+  const auto m = build(a, cfg);
   // Patterns: {0,100} rows 0..127, {0} rows 128..383, {0,100} rows 384..,
   // then possibly {0} tail.
   ASSERT_GE(m.num_patterns(), 3);
@@ -218,15 +218,15 @@ TEST(Builder, ShortGapIsBridgedWithZeroFill) {
   CrsdConfig bridged;
   bridged.mrows = 32;
   bridged.fill_max_gap_segments = 1;
-  EXPECT_EQ(build_crsd(a, bridged).num_patterns(), 1);
+  EXPECT_EQ(build(a, bridged).num_patterns(), 1);
   CrsdConfig broken = bridged;
   broken.fill_max_gap_segments = 0;
-  EXPECT_EQ(build_crsd(a, broken).num_patterns(), 3);
+  EXPECT_EQ(build(a, broken).num_patterns(), 3);
   // Both must compute the same product.
   std::vector<double> x(96, 1.0), y1(96), y2(96), want(96);
   a.spmv_reference(x.data(), want.data());
-  build_crsd(a, bridged).spmv(x.data(), y1.data());
-  build_crsd(a, broken).spmv(x.data(), y2.data());
+  build(a, bridged).spmv(x.data(), y1.data());
+  build(a, broken).spmv(x.data(), y2.data());
   for (int i = 0; i < 96; ++i) {
     EXPECT_NEAR(y1[i], want[i], 1e-12);
     EXPECT_NEAR(y2[i], want[i], 1e-12);
@@ -238,7 +238,7 @@ TEST(Builder, LoneNonzeroBecomesScatterPoint) {
   for (index_t r = 0; r < 64; ++r) a.add(r, r, 2.0);
   a.add(10, 40, 7.0);  // single nonzero on offset 30
   a.canonicalize();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   EXPECT_EQ(m.scatter_rows(), (std::vector<index_t>{10}));
   EXPECT_EQ(m.scatter_width(), 2);  // row 10 = diagonal + scatter point
   ASSERT_EQ(m.num_patterns(), 1);
@@ -255,7 +255,7 @@ TEST(Builder, AllScatterMatrixStillCorrect) {
           rng.next_double(-1, 1));
   }
   a.canonicalize();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   std::vector<double> x(128), want(128), got(128);
   for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(double(i));
   a.spmv_reference(x.data(), want.data());
@@ -266,7 +266,7 @@ TEST(Builder, AllScatterMatrixStillCorrect) {
 TEST(Builder, PartialTailSegment) {
   // n not a multiple of mrows: the last segment has fewer lanes.
   const auto a = stencil_5pt_2d(7, 9);  // 63 rows
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   EXPECT_EQ(m.num_segments_total(), 4);
   std::vector<double> x(63, 1.0), want(63), got(63, -5.0);
   a.spmv_reference(x.data(), want.data());
@@ -277,7 +277,7 @@ TEST(Builder, PartialTailSegment) {
 TEST(Builder, ParallelSpmvMatchesSerial) {
   Rng rng(32);
   const auto a = astro_convection(8, 8, 6, true, rng);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
   for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.next_double(-1, 1);
   std::vector<double> serial(x.size()), parallel(x.size(), -1.0);
@@ -290,7 +290,7 @@ TEST(Builder, ParallelSpmvMatchesSerial) {
 }
 
 TEST(Builder, StatsAccounting) {
-  const auto m = build_crsd(fig2_matrix(), CrsdConfig{.mrows = 2});
+  const auto m = build(fig2_matrix(), CrsdConfig{.mrows = 2});
   const CrsdStats st = m.stats();
   EXPECT_EQ(st.num_patterns, 2);
   EXPECT_EQ(st.num_segments, 3);
@@ -308,7 +308,7 @@ TEST(Builder, StatsAccounting) {
 TEST(Builder, FootprintBeatsDiaOnPatternedMatrix) {
   Rng rng(33);
   const auto a = fem_shell_like(4096, 8, 2, 6, 1.0, rng);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   // DIA would pad 53 diagonals to full length; CRSD stores ~nnz values.
   const size64_t dia_bytes = 53u * 4096u * sizeof(double);
   EXPECT_LT(m.footprint_bytes(), dia_bytes / 3);
@@ -319,7 +319,7 @@ TEST(Builder, MrowsOneAndWholeMatrixSegment) {
   for (index_t mrows : {1, 6, 100}) {
     CrsdConfig cfg;
     cfg.mrows = mrows;
-    const auto m = build_crsd(a, cfg);
+    const auto m = build(a, cfg);
     std::vector<double> x(9, 0.5), want(6), got(6, -1);
     a.spmv_reference(x.data(), want.data());
     m.spmv(x.data(), got.data());
@@ -329,11 +329,11 @@ TEST(Builder, MrowsOneAndWholeMatrixSegment) {
 
 TEST(Builder, RejectsBadConfig) {
   const auto a = fig2_matrix();
-  EXPECT_THROW(build_crsd(a, CrsdConfig{.mrows = 0}), Error);
-  EXPECT_THROW(build_crsd(a, CrsdConfig{.live_min_nnz = 0}), Error);
+  EXPECT_THROW(build(a, CrsdConfig{.mrows = 0}), Error);
+  EXPECT_THROW(build(a, CrsdConfig{.live_min_nnz = 0}), Error);
   CrsdConfig bad_fill;
   bad_fill.live_min_fill = 1.5;
-  EXPECT_THROW(build_crsd(a, bad_fill), Error);
+  EXPECT_THROW(build(a, bad_fill), Error);
 }
 
 }  // namespace

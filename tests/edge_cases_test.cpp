@@ -5,7 +5,7 @@
 
 #include <vector>
 
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "common/rng.hpp"
 #include "core/dump.hpp"
 #include "formats/csr.hpp"
@@ -33,7 +33,7 @@ TEST(EdgeCases, EmptyMatrixAllFormats) {
   expect_zero_output(DiaMatrix<double>::from_coo(a), 8, 8);
   expect_zero_output(EllMatrix<double>::from_coo(a), 8, 8);
   expect_zero_output(HybMatrix<double>::from_coo(a), 8, 8);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 4});
+  const auto m = build(a, CrsdConfig{.mrows = 4});
   EXPECT_EQ(m.num_patterns(), 1);  // one empty pattern covering everything
   EXPECT_EQ(m.patterns()[0].num_diagonals(), 0);
   expect_zero_output(m, 8, 8);
@@ -44,7 +44,7 @@ TEST(EdgeCases, EmptyMatrixOnSimulatedGpu) {
   a.canonicalize();
   gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
   std::vector<double> x(128, 1.0), y(128, -1.0);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   kernels::gpu_spmv_crsd(dev, m, x.data(), y.data());
   for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
 }
@@ -53,7 +53,7 @@ TEST(EdgeCases, OneByOne) {
   Coo<double> a(1, 1);
   a.add(0, 0, 4.0);
   a.canonicalize();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   double x = 2.5, y = 0;
   m.spmv(&x, &y);
   EXPECT_DOUBLE_EQ(y, 10.0);
@@ -66,7 +66,7 @@ TEST(EdgeCases, SingleColumnMatrix) {
   Coo<double> a(64, 1);
   for (index_t r = 0; r < 64; r += 2) a.add(r, 0, double(r + 1));
   a.canonicalize();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   double x = 2.0;
   std::vector<double> y(64, -1);
   m.spmv(&x, y.data());
@@ -82,7 +82,7 @@ TEST(EdgeCases, SingleRowMatrix) {
   a.canonicalize();
   std::vector<double> x(100, 1.0);
   double y = 0;
-  build_crsd(a).spmv(x.data(), &y);
+  build(a).spmv(x.data(), &y);
   EXPECT_DOUBLE_EQ(y, 15.0);  // ceil(100/7)
   EllMatrix<double>::from_coo(a).spmv(x.data(), &y);
   EXPECT_DOUBLE_EQ(y, 15.0);
@@ -99,7 +99,7 @@ TEST(EdgeCases, ExtremeCornerOffsets) {
   for (std::size_t i = 0; i < 50; ++i) x[i] = double(i);
   std::vector<double> want(50), got(50);
   a.spmv_reference(x.data(), want.data());
-  build_crsd(a, CrsdConfig{.mrows = 8}).spmv(x.data(), got.data());
+  build(a, CrsdConfig{.mrows = 8}).spmv(x.data(), got.data());
   for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
   DiaMatrix<double>::from_coo(a).spmv(x.data(), got.data());
   for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
@@ -121,12 +121,12 @@ TEST(EdgeCases, TallAndWideOnGpuKernels) {
         got(static_cast<std::size_t>(rows));
     a.spmv_reference(x.data(), want.data());
     gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
-    kernels::gpu_spmv(dev, Format::kCrsd, a, x.data(), got.data());
+    kernels::spmv(dev, Format::kCrsd, a, x.data(), got.data());
     for (index_t r = 0; r < rows; ++r) {
       EXPECT_NEAR(got[static_cast<std::size_t>(r)],
                   want[static_cast<std::size_t>(r)], 1e-12);
     }
-    kernels::gpu_spmv(dev, Format::kEll, a, x.data(), got.data());
+    kernels::spmv(dev, Format::kEll, a, x.data(), got.data());
     for (index_t r = 0; r < rows; ++r) {
       EXPECT_NEAR(got[static_cast<std::size_t>(r)],
                   want[static_cast<std::size_t>(r)], 1e-12);
@@ -138,14 +138,14 @@ TEST(EdgeCases, DumpOfEmptyAndScatterOnlyMatrices) {
   Coo<double> empty(4, 4);
   empty.canonicalize();
   std::ostringstream os1;
-  dump_crsd(os1, build_crsd(empty, CrsdConfig{.mrows = 2}));
+  dump_crsd(os1, build(empty, CrsdConfig{.mrows = 2}));
   EXPECT_NE(os1.str().find("num_scatter_rows = 0"), std::string::npos);
 
   Coo<double> lone(4, 4);
   lone.add(2, 0, 5.0);
   lone.canonicalize();
   std::ostringstream os2;
-  dump_crsd(os2, build_crsd(lone, CrsdConfig{.mrows = 2}));
+  dump_crsd(os2, build(lone, CrsdConfig{.mrows = 2}));
   EXPECT_NE(os2.str().find("scatter_rowno = {R2}"), std::string::npos);
 }
 
@@ -161,7 +161,7 @@ TEST(EdgeCases, LastSegmentPartialOnGpu) {
   gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
   std::vector<double> x(100, 1.0), want(100), got(100, -1);
   a.spmv_reference(x.data(), want.data());
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   kernels::gpu_spmv_crsd(dev, m, x.data(), got.data());
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
 }
@@ -174,7 +174,7 @@ TEST(EdgeCases, DenseMatrixAsCrsd) {
     for (index_t c = 0; c < 40; ++c) a.add(r, c, rng.next_double(0.1, 1.0));
   }
   a.canonicalize();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 40});
+  const auto m = build(a, CrsdConfig{.mrows = 40});
   ASSERT_EQ(m.num_patterns(), 1);
   // The two single-entry corner diagonals (±39) fall below the scatter
   // threshold, so rows 0 and 39 move to the scatter part and the pattern

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "formats/csr.hpp"
 #include "matrix/generators.hpp"
 #include "solver/solvers.hpp"
@@ -38,7 +38,7 @@ TEST(Gmres, SolvesNonsymmetricSystem) {
 
 TEST(Gmres, MatchesCgOnSpdSystem) {
   const auto a = stencil_5pt_2d(16, 16);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   auto apply = [&](const double* in, double* out) { m.spmv(in, out); };
   const index_t n = a.num_rows();
   std::vector<double> b(static_cast<std::size_t>(n), 1.0);

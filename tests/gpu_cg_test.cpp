@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 #include "solver/gpu_cg.hpp"
 
@@ -13,7 +13,7 @@ namespace {
 
 TEST(GpuCg, SolvesPoissonAndAccountsTime) {
   const auto a = stencil_5pt_2d(24, 24);
-  const auto m = crsd::build_crsd(a, crsd::CrsdConfig{.mrows = 64});
+  const auto m = crsd::build(a, crsd::CrsdConfig{.mrows = 64});
   const index_t n = a.num_rows();
   Rng rng(1);
   std::vector<double> x_star(static_cast<std::size_t>(n));
@@ -46,7 +46,7 @@ TEST(GpuCg, SolvesPoissonAndAccountsTime) {
 
 TEST(GpuCg, MatchesHostCgIterationCount) {
   const auto a = stencil_5pt_2d(20, 20);
-  const auto m = crsd::build_crsd(a, crsd::CrsdConfig{.mrows = 32});
+  const auto m = crsd::build(a, crsd::CrsdConfig{.mrows = 32});
   const index_t n = a.num_rows();
   Rng rng(2);
   std::vector<double> b(static_cast<std::size_t>(n));
@@ -81,7 +81,7 @@ TEST(GpuCg, RejectsNonSquare) {
   a.add(2, 2, 1.0);
   a.add(3, 3, 1.0);
   a.canonicalize();
-  const auto m = crsd::build_crsd(a, crsd::CrsdConfig{.mrows = 32});
+  const auto m = crsd::build(a, crsd::CrsdConfig{.mrows = 32});
   gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
   std::vector<double> b(4, 1.0), x(4, 0.0);
   EXPECT_THROW(gpu_conjugate_gradient(dev, m, b.data(), x.data()), Error);

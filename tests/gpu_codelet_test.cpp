@@ -10,7 +10,7 @@
 
 #include "codegen/crsd_gpu_jit.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/paper_suite.hpp"
@@ -44,7 +44,7 @@ class GpuCodeletSuite : public ::testing::TestWithParam<int> {};
 
 TEST_P(GpuCodeletSuite, CompiledKernelMatchesInterpretedExactly) {
   const auto a = paper_matrix(GetParam()).generate(0.02);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   JitCompiler compiler = fresh_compiler();
   const CrsdGpuJitKernel<double> kernel(m, compiler);
 
@@ -80,7 +80,7 @@ INSTANTIATE_TEST_SUITE_P(Suite, GpuCodeletSuite,
 TEST(GpuCodelet, NoLocalMemoryVariantAlsoMatches) {
   Rng rng(5);
   const auto a = dense_band(2048, 6);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   JitCompiler compiler = fresh_compiler();
   GpuCodeletOptions opts;
   opts.use_local_memory = false;
@@ -103,7 +103,7 @@ TEST(GpuCodelet, NoLocalMemoryVariantAlsoMatches) {
 TEST(GpuCodelet, SinglePrecision) {
   Rng rng(6);
   const auto a = astro_convection(8, 8, 5, true, rng).cast<float>();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   JitCompiler compiler = fresh_compiler();
   const CrsdGpuJitKernel<float> kernel(m, compiler);
   std::vector<float> x(static_cast<std::size_t>(a.num_cols()), 0.5f);
@@ -118,7 +118,7 @@ TEST(GpuCodelet, SinglePrecision) {
 
 TEST(GpuCodelet, SourceEmbedsIndexInformation) {
   const auto a = dense_band(256, 3);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   JitCompiler compiler = fresh_compiler();
   const CrsdGpuJitKernel<double> kernel(m, compiler);
   const std::string& src = kernel.source();

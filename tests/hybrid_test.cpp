@@ -126,14 +126,14 @@ TEST(DevicePresets, DistinctAndPlausible) {
 
 TEST(DevicePresets, WavefrontConstraintDiffersOnAmd) {
   const auto a = dense_band(512, 2);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   std::vector<double> x(512, 1.0), y(512);
   Device nvidia(DeviceSpec::tesla_c2050());
   EXPECT_NO_THROW(kernels::gpu_spmv_crsd(nvidia, m, x.data(), y.data()));
   // mrows=32 is illegal on a 64-wide wavefront device.
   Device amd(DeviceSpec::amd_cypress());
   EXPECT_THROW(kernels::gpu_spmv_crsd(amd, m, x.data(), y.data()), Error);
-  const auto m64 = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m64 = build(a, CrsdConfig{.mrows = 64});
   EXPECT_NO_THROW(kernels::gpu_spmv_crsd(amd, m64, x.data(), y.data()));
 }
 
@@ -159,7 +159,7 @@ TEST(Autotune, BestBeatsDefaultOrMatches) {
   Device dev(DeviceSpec::tesla_c2050());
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
-  const auto m_default = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m_default = build(a, CrsdConfig{.mrows = 64});
   const double t_default =
       kernels::gpu_spmv_crsd(dev, m_default, x.data(), y.data()).seconds;
   const auto result = kernels::autotune_crsd(dev, a);

@@ -11,7 +11,7 @@
 
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/inspect.hpp"
 #include "kernels/gpu_spmv.hpp"
 #include "matrix/generators.hpp"
@@ -31,7 +31,7 @@ TEST(Integration, CounterInvariantsHoldAcrossFormats) {
   for (Format f : {Format::kCsr, Format::kDia, Format::kEll, Format::kHyb,
                    Format::kCrsd}) {
     gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
-    const auto r = kernels::gpu_spmv(dev, f, a, x.data(), y.data());
+    const auto r = kernels::spmv(dev, f, a, x.data(), y.data());
     const auto& c = r.counters;
     // Transaction and byte counters are coupled by the 128 B granule.
     EXPECT_EQ(c.global_load_bytes, c.global_load_transactions * 128u)
@@ -63,7 +63,7 @@ TEST(Integration, CrsdMovesFewerBytesThanIndexCarryingFormats) {
   for (Format f :
        {Format::kCsr, Format::kEll, Format::kHyb, Format::kCrsd}) {
     gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
-    const auto r = kernels::gpu_spmv(dev, f, a, x.data(), y.data());
+    const auto r = kernels::spmv(dev, f, a, x.data(), y.data());
     const size64_t bytes = r.counters.total_global_bytes();
     if (f == Format::kCrsd) {
       crsd_bytes = bytes;
@@ -88,7 +88,7 @@ TEST(Integration, MatrixMarketFileRoundTripThroughCrsd) {
   ASSERT_EQ(loaded.nnz(), original.nnz());
 
   // CRSD built from the file reconstructs the file's matrix exactly.
-  const auto m = build_crsd(loaded, CrsdConfig{.mrows = 32});
+  const auto m = build(loaded, CrsdConfig{.mrows = 32});
   const Coo<double> back = crsd_to_coo(m);
   EXPECT_EQ(back.row_indices(), original.row_indices());
   EXPECT_EQ(back.col_indices(), original.col_indices());
@@ -107,7 +107,7 @@ TEST(Integration, SolverOverJitKernelFromGeneratedSuiteMatrix) {
   // generator, builder, codegen, JIT, and solver in one path.
   auto a = paper_matrix(5).generate(0.004);
   make_diagonally_dominant(a, 0.5);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   codegen::JitCompiler::Options jopts;
   jopts.cache_dir =
       (fs::temp_directory_path() /
@@ -140,11 +140,12 @@ TEST(Integration, GpuResultsIdenticalAcrossRepeatRuns) {
   std::vector<double> y1(static_cast<std::size_t>(a.num_rows()));
   std::vector<double> y2(y1.size());
   gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
-  const auto r1 = kernels::gpu_spmv(dev, Format::kCrsd, a, x.data(), y1.data());
+  const auto r1 = kernels::spmv(dev, Format::kCrsd, a, x.data(), y1.data());
   ThreadPool pool(3);
-  CrsdConfig cfg;
-  const auto r2 = kernels::gpu_spmv(dev, Format::kCrsd, a, x.data(), y2.data(),
-                                    cfg, &pool);
+  kernels::SpmvOptions opts2;
+  opts2.crsd_config = CrsdConfig{};
+  const auto r2 = kernels::spmv(dev, Format::kCrsd, a, x.data(), y2.data(),
+                                opts2, &pool);
   EXPECT_EQ(y1, y2);
   EXPECT_EQ(r1.counters.global_load_transactions,
             r2.counters.global_load_transactions);

@@ -5,7 +5,7 @@
 
 #include <numeric>
 
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "formats/hyb.hpp"
 #include "matrix/paper_suite.hpp"
 #include "matrix/stats.hpp"
@@ -35,7 +35,7 @@ TEST_P(SuiteInvariants, StatsAreInternallyConsistent) {
 
 TEST_P(SuiteInvariants, CrsdAccountingIdentities) {
   const auto a = paper_matrix(GetParam()).generate(0.02);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   const CrsdStats st = m.stats();
   // Every true nonzero lives exactly once: diagonal part + scatter part.
   EXPECT_EQ(st.dia_nnz + st.scatter_nnz, a.nnz());
@@ -57,7 +57,7 @@ TEST_P(SuiteInvariants, CrsdAccountingIdentities) {
 
 TEST_P(SuiteInvariants, PatternsAreWellFormed) {
   const auto a = paper_matrix(GetParam()).generate(0.02);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   for (const auto& p : m.patterns()) {
     // Offsets strictly ascending, groups partition them in order.
     for (std::size_t i = 1; i < p.offsets.size(); ++i) {
@@ -104,7 +104,7 @@ TEST_P(SuiteInvariants, HybSplitIsLocallyOptimal) {
 
 TEST_P(SuiteInvariants, FootprintOrderingSane) {
   const auto a = paper_matrix(GetParam()).generate(0.02);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   // CRSD's footprint is at least the raw value payload and at most DIA's.
   EXPECT_GE(m.footprint_bytes(), a.nnz() * sizeof(double));
   const auto s = compute_stats(a);

@@ -43,9 +43,9 @@ void check_format(Format f, const Coo<T>& a, double tol) {
   Device dev(DeviceSpec::tesla_c2050());
   const auto x = random_vector<T>(a.num_cols(), 7);
   std::vector<T> y(static_cast<std::size_t>(a.num_rows()), T(-1));
-  CrsdConfig cfg;
-  cfg.mrows = 64;
-  gpu_spmv(dev, f, a, x.data(), y.data(), cfg);
+  SpmvOptions opts;
+  opts.crsd_config = CrsdConfig{.mrows = 64};
+  spmv(dev, f, a, x.data(), y.data(), opts);
   expect_matches_reference(a, y, x, tol);
   // All buffers must be released.
   EXPECT_EQ(dev.allocated_bytes(), 0u);
@@ -128,7 +128,7 @@ TEST(CrsdKernel, SavesIndexTrafficVsEll) {
   const auto a = dense_band(8192, 12);
   Device dev(DeviceSpec::tesla_c2050());
   const auto ell = EllMatrix<double>::from_coo(a);
-  const auto crsd = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto crsd = build(a, CrsdConfig{.mrows = 64});
   const auto x = random_vector<double>(8192, 4);
   std::vector<double> y(8192);
   const LaunchResult re = gpu_spmv_ell(dev, ell, x.data(), y.data());
@@ -142,7 +142,7 @@ TEST(CrsdKernel, SavesIndexTrafficVsEll) {
 TEST(CrsdKernel, LocalMemoryStagingPaysBarriers) {
   const auto a = dense_band(4096, 8);  // one wide AD group
   Device dev(DeviceSpec::tesla_c2050());
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   const auto x = random_vector<double>(4096, 5);
   std::vector<double> y(4096);
   CrsdGpuOptions with_local;
@@ -162,7 +162,7 @@ TEST(CrsdKernel, JitCodeletModelBeatsInterpreted) {
   Rng rng(6);
   const auto a = fem_shell_like(8192, 8, 2, 6, 1.0, rng);
   Device dev(DeviceSpec::tesla_c2050());
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   const auto x = random_vector<double>(8192, 6);
   std::vector<double> y(8192);
   CrsdGpuOptions jit;
@@ -181,7 +181,7 @@ TEST(CrsdKernel, ScatterRowsAreOverwrittenCorrectly) {
   auto a = dense_band(2048, 2);
   inject_scatter(a, 80, rng);
   Device dev(DeviceSpec::tesla_c2050());
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   ASSERT_GT(m.num_scatter_rows(), 0);
   const auto x = random_vector<double>(2048, 8);
   std::vector<double> y(2048);
@@ -192,7 +192,7 @@ TEST(CrsdKernel, ScatterRowsAreOverwrittenCorrectly) {
 TEST(CrsdKernel, RejectsMrowsNotMultipleOfWavefront) {
   const auto a = dense_band(256, 2);
   Device dev(DeviceSpec::tesla_c2050());
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 48});
+  const auto m = build(a, CrsdConfig{.mrows = 48});
   const auto x = random_vector<double>(256, 9);
   std::vector<double> y(256);
   EXPECT_THROW(gpu_spmv_crsd(dev, m, x.data(), y.data()), Error);
@@ -208,8 +208,8 @@ TEST(DiaKernel, DeviceOomReproducesAfK101Behaviour) {
   Device dev(spec);
   const auto x = random_vector<double>(4096, 11);
   std::vector<double> y(4096);
-  EXPECT_THROW(gpu_spmv(dev, Format::kDia, a, x.data(), y.data()), Error);
-  EXPECT_NO_THROW(gpu_spmv(dev, Format::kEll, a, x.data(), y.data()));
+  EXPECT_THROW(spmv(dev, Format::kDia, a, x.data(), y.data()), Error);
+  EXPECT_NO_THROW(spmv(dev, Format::kEll, a, x.data(), y.data()));
 }
 
 TEST(HybKernel, TailAddsSecondLaunchOverhead) {
@@ -240,8 +240,8 @@ TEST(AllKernels, SingleVsDoubleTimingOrder) {
   const auto xf = random_vector<float>(a.num_cols(), 14);
   std::vector<double> yd(static_cast<std::size_t>(a.num_rows()));
   std::vector<float> yf(static_cast<std::size_t>(a.num_rows()));
-  const auto md = build_crsd(a, CrsdConfig{.mrows = 64});
-  const auto mf = build_crsd(af, CrsdConfig{.mrows = 64});
+  const auto md = build(a, CrsdConfig{.mrows = 64});
+  const auto mf = build(af, CrsdConfig{.mrows = 64});
   const LaunchResult rd = gpu_spmv_crsd(dev, md, xd.data(), yd.data());
   const LaunchResult rf = gpu_spmv_crsd(dev, mf, xf.data(), yf.data());
   EXPECT_LT(rf.seconds, rd.seconds);

@@ -9,7 +9,7 @@
 
 #include "check/memcheck.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "gpusim/executor.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/generators.hpp"
@@ -210,7 +210,7 @@ TEST(MemCheck, CrsdKernelIsCleanAndCheckerPreservesCounters) {
     const Coo<double> a = spec.generate(0.02);
     CrsdConfig cfg;
     cfg.mrows = 64;
-    const CrsdMatrix<double> m = build_crsd(a, cfg);
+    const CrsdMatrix<double> m = build(a, cfg);
 
     Rng rng(11);
     std::vector<double> x(static_cast<std::size_t>(a.num_cols()));

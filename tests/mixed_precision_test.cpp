@@ -19,7 +19,7 @@
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
 #include "formats/delta_stream.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/serialize.hpp"
 #include "core/update.hpp"
 #include "kernels/crsd_gpu.hpp"
@@ -64,7 +64,7 @@ CrsdMatrix<double> build_mode(const Coo<double>& a, const StorageOptions& s,
   CrsdConfig cfg;
   cfg.mrows = mrows;
   cfg.storage = s;
-  return build_crsd(a, cfg);
+  return build(a, cfg);
 }
 
 std::vector<double> spmv_of(const CrsdMatrix<double>& m,

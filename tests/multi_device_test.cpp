@@ -13,7 +13,7 @@
 #include "check/memcheck.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "kernels/crsd_gpu.hpp"
 #include "matrix/generators.hpp"
 #include "runtime/multi_device.hpp"
@@ -55,7 +55,7 @@ std::string mode_name(const StorageOptions& s) {
 
 TEST(MultiDevice, ShardPlanPartitionsTheMatrix) {
   const auto a = mixed_matrix();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   for (int nd : {1, 2, 3, 4}) {
     const auto shards = plan_shards(m, nd);
     EXPECT_EQ(static_cast<int>(shards.size()), nd);
@@ -84,7 +84,7 @@ TEST(MultiDevice, BitwiseIdenticalToSingleDeviceAcrossModes) {
     CrsdConfig cfg;
     cfg.mrows = 64;
     cfg.storage = mode;
-    const auto m = build_crsd(a, cfg);
+    const auto m = build(a, cfg);
 
     Device ref_dev(DeviceSpec::tesla_c2050());
     std::vector<double> y_ref(static_cast<std::size_t>(a.num_rows()));
@@ -110,7 +110,7 @@ TEST(MultiDevice, BitwiseIdenticalToSingleDeviceAcrossModes) {
 
 TEST(MultiDevice, ResidentVectorsSkipTransfers) {
   const auto a = mixed_matrix();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   Rng rng(3);
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
   for (auto& v : x) v = rng.next_double(-1.0, 1.0);
@@ -138,7 +138,7 @@ TEST(MultiDevice, TwoDevicesBeatOneOnTheVirtualTimeline) {
   // Balanced halves of a large dense band should nearly halve the modeled
   // makespan; anything under 1.2x means the scheduler serialized the shards.
   const auto a = dense_band(16384, 32);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
   ThreadPool pool(4);
@@ -159,7 +159,7 @@ TEST(MultiDevice, TwoDevicesBeatOneOnTheVirtualTimeline) {
 
 TEST(MultiDevice, OverlapHidesMostTransferTime) {
   const auto a = dense_band(16384, 32);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
   ThreadPool pool(4);
@@ -175,7 +175,7 @@ TEST(MultiDevice, OverlapHidesMostTransferTime) {
 
 TEST(MultiDevice, BrokenPartitionIsRejected) {
   const auto a = mixed_matrix();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
 
   // Overlapping segment runs.
   {
@@ -215,7 +215,7 @@ TEST(MultiDevice, RangedLaunchesAreMemcheckClean) {
     CrsdConfig cfg;
     cfg.mrows = 64;
     cfg.storage = mode;
-    const auto m = build_crsd(a, cfg);
+    const auto m = build(a, cfg);
     const auto shards = plan_shards(m, 3);
     for (const Shard& s : shards) {
       Device dev(DeviceSpec::tesla_c2050());

@@ -310,7 +310,7 @@ TEST(Metrics, InstrumentedSubsystemsReportIntoTheRegistry) {
   const std::uint64_t tasks_before = pool_tasks.value();
 
   const Coo<double> a = stencil_5pt_2d(16, 8);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   std::vector<double> x(static_cast<std::size_t>(m.num_cols()), 1.0);
   std::vector<double> y(static_cast<std::size_t>(m.num_rows()), 0.0);
   gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
@@ -336,13 +336,13 @@ TEST(GpuSpmvOptions, WorkGroupSizeReachesTheKernels) {
   kernels::GpuSpmvOptions small;
   small.work_group_size = 64;
   gpusim::Device dev_small(gpusim::DeviceSpec::tesla_c2050());
-  const auto r_small = kernels::gpu_spmv(dev_small, Format::kEll, a, x.data(),
+  const auto r_small = kernels::spmv(dev_small, Format::kEll, a, x.data(),
                                          y_small.data(), small);
 
   kernels::GpuSpmvOptions large;
   large.work_group_size = 256;
   gpusim::Device dev_large(gpusim::DeviceSpec::tesla_c2050());
-  const auto r_large = kernels::gpu_spmv(dev_large, Format::kEll, a, x.data(),
+  const auto r_large = kernels::spmv(dev_large, Format::kEll, a, x.data(),
                                          y_large.data(), large);
 
   // 100 rows pad to 2x64 lanes (4 wavefronts) vs 1x256 (8 wavefronts): the
@@ -361,14 +361,14 @@ TEST(GpuSpmvOptions, CrsdOptionsReachTheKernel) {
   with_local.crsd_config = CrsdConfig{.mrows = 32};
   with_local.crsd.use_local_memory = true;
   gpusim::Device dev_a(gpusim::DeviceSpec::tesla_c2050());
-  const auto r_local = kernels::gpu_spmv(dev_a, Format::kCrsd, a, x.data(),
+  const auto r_local = kernels::spmv(dev_a, Format::kCrsd, a, x.data(),
                                          y_local.data(), with_local);
 
   kernels::GpuSpmvOptions without_local;
   without_local.crsd_config = CrsdConfig{.mrows = 32};
   without_local.crsd.use_local_memory = false;
   gpusim::Device dev_b(gpusim::DeviceSpec::tesla_c2050());
-  const auto r_global = kernels::gpu_spmv(dev_b, Format::kCrsd, a, x.data(),
+  const auto r_global = kernels::spmv(dev_b, Format::kCrsd, a, x.data(),
                                           y_global.data(), without_local);
 
   EXPECT_EQ(r_global.counters.local_bytes, 0u);
@@ -426,7 +426,7 @@ TEST(GpuSpmvOptions, CrsdDefaultsFromTuningCacheAndExplicitConfigWins) {
   // must reach the launch.
   gpusim::Device dev_tuned(gpusim::DeviceSpec::tesla_c2050());
   const auto r_tuned =
-      kernels::gpu_spmv(dev_tuned, Format::kCrsd, a, x.data(), y_tuned.data(),
+      kernels::spmv(dev_tuned, Format::kCrsd, a, x.data(), y_tuned.data(),
                         kernels::GpuSpmvOptions{});
   EXPECT_EQ(r_tuned.counters.local_bytes, 0u)
       << "cached tuning (local memory off) was not honored";
@@ -437,7 +437,7 @@ TEST(GpuSpmvOptions, CrsdDefaultsFromTuningCacheAndExplicitConfigWins) {
   explicit_opts.crsd_config = CrsdConfig{.mrows = 32};
   gpusim::Device dev_explicit(gpusim::DeviceSpec::tesla_c2050());
   const auto r_explicit =
-      kernels::gpu_spmv(dev_explicit, Format::kCrsd, a, x.data(),
+      kernels::spmv(dev_explicit, Format::kCrsd, a, x.data(),
                         y_explicit.data(), explicit_opts);
   EXPECT_GT(r_explicit.counters.local_bytes, 0u);
 

@@ -1,0 +1,330 @@
+// Row-region partitioner tests: planner validity/determinism on partially
+// diagonal matrices, the single-region collapse on uniform structure, the
+// partitioned container's CPU/executor parity with the COO reference,
+// partition mutation fixtures (overlapping regions, non-covering regions, a
+// lying per-region mrows descriptor), the persistent partition cache's
+// warm-run contract, and the partitioned launch-model extraction. Suite
+// names contain "Partition" so the TSan CI job picks them up via -R.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "analysis/launch_model.hpp"
+#include "common/rng.hpp"
+#include "kernels/partitioned_spmv.hpp"
+#include "matrix/generators.hpp"
+
+namespace crsd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Diagonal-dominant top stripe (tridiagonal) over an irregular
+/// scattered-row bottom stripe — the partially diagonal shape one global
+/// format handles badly: CRSD pays scatter-ELL max-width padding for the
+/// bottom rows, CSR forfeits the top stripe's diagonal locality.
+Coo<double> partially_diagonal(index_t top_rows, index_t bottom_rows,
+                               index_t nnz_per_bottom_row,
+                               std::uint64_t seed = 7) {
+  const index_t n = top_rows + bottom_rows;
+  Coo<double> a(n, n);
+  Rng rng(seed);
+  for (index_t r = 0; r < top_rows; ++r) {
+    for (diag_offset_t d : {-1, 0, 1}) {
+      const index_t c = r + d;
+      if (c >= 0 && c < n) a.add(r, c, 1.0 + 0.001 * double(r));
+    }
+  }
+  for (index_t r = top_rows; r < n; ++r) {
+    // Ragged widths (4 .. max): scatter-ELL pays max-width padding for the
+    // whole stripe, CSR pays only the stored nonzeros.
+    const index_t row_nnz =
+        4 + (r * 37) % std::max<index_t>(1, nnz_per_bottom_row - 4);
+    for (index_t k = 0; k < row_nnz; ++k) {
+      const index_t c = static_cast<index_t>(rng.next_u64() %
+                                             static_cast<std::uint64_t>(n));
+      a.add(r, c, 0.5 + 0.001 * double(k));
+    }
+  }
+  a.canonicalize();
+  return a;
+}
+
+/// A scratch cache directory per test, so cache tests never see entries
+/// published by other tests (or earlier runs of this one).
+std::string fresh_cache_dir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (std::string("crsd-partition-test-") + tag + "-" +
+       std::to_string(static_cast<unsigned>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(PartitionPlan, SplitsPartiallyDiagonalMatrixIntoValidRegions) {
+  // A wide-spread ragged bottom (up to 160 nnz/row): scatter-ELL and ELL
+  // pay max-width padding over the whole stripe, so the model hands the
+  // bottom to CSR while the diagonal stripe stays CRSD.
+  const auto a = partially_diagonal(4096, 1024, 160);
+  const gpusim::DeviceSpec spec;  // default: wavefront 32
+  const PartitionPlan plan = plan_partition(a, spec);
+
+  ASSERT_GE(plan.regions.size(), 2u) << plan.summary();
+  EXPECT_TRUE(
+      validate_partition(a.num_rows(), plan.regions, spec.wavefront_size)
+          .empty())
+      << plan.summary();
+  // The diagonal stripe stays CRSD; the scattered stripe leaves it.
+  EXPECT_EQ(plan.regions.front().format, Format::kCrsd) << plan.summary();
+  EXPECT_NE(plan.regions.back().format, Format::kCrsd) << plan.summary();
+  // The split must be predicted to beat the single-format baseline, and the
+  // serial/overlap accounting must be consistent.
+  EXPECT_LT(plan.predicted_serial_seconds, plan.predicted_single_seconds);
+  EXPECT_LE(plan.predicted_overlap_seconds, plan.predicted_serial_seconds);
+}
+
+TEST(PartitionPlan, IsDeterministic) {
+  const auto a = partially_diagonal(2048, 1024, 16);
+  const gpusim::DeviceSpec spec;
+  const PartitionPlan p1 = plan_partition(a, spec);
+  const PartitionPlan p2 = plan_partition(a, spec);
+  EXPECT_EQ(p1.summary(), p2.summary());
+  EXPECT_DOUBLE_EQ(p1.predicted_serial_seconds, p2.predicted_serial_seconds);
+}
+
+TEST(PartitionPlan, UniformDiagonalMatrixCollapsesToOneRegion) {
+  // With the overlap re-split disabled, boundaries come only from format
+  // changes — a uniform matrix has none.
+  Rng rng(3);
+  const auto a = full_diagonals(4096, {-16, -1, 0, 1, 16}, rng);
+  PartitionPolicy pol;
+  pol.overlap_regions = 1;
+  const PartitionPlan plan = plan_partition(a, gpusim::DeviceSpec{}, pol);
+  ASSERT_EQ(plan.regions.size(), 1u) << plan.summary();
+  EXPECT_EQ(plan.regions.front().format, Format::kCrsd);
+  EXPECT_EQ(plan.regions.front().row_begin, 0);
+  EXPECT_EQ(plan.regions.front().row_end, a.num_rows());
+}
+
+TEST(PartitionPlan, UniformMatrixSplitsBalancedRegionsForOverlap) {
+  // Default policy: the planner re-splits even a single-format plan into
+  // overlap_regions balanced stripes so the executor's queues overlap.
+  Rng rng(3);
+  const auto a = full_diagonals(4096, {-16, -1, 0, 1, 16}, rng);
+  const PartitionPolicy pol;
+  const PartitionPlan plan = plan_partition(a, gpusim::DeviceSpec{});
+  ASSERT_EQ(plan.regions.size(),
+            static_cast<std::size_t>(pol.overlap_regions))
+      << plan.summary();
+  EXPECT_TRUE(validate_partition(a.num_rows(), plan.regions).empty());
+  for (const RowRegion& r : plan.regions) {
+    EXPECT_EQ(r.format, Format::kCrsd) << plan.summary();
+  }
+  EXPECT_LT(plan.predicted_overlap_seconds,
+            plan.predicted_serial_seconds);
+}
+
+TEST(PartitionPlan, RespectsMaxRegionsAndWavefront) {
+  const auto a = partially_diagonal(4096, 2048, 24);
+  PartitionPolicy pol;
+  pol.max_regions = 2;
+  const gpusim::DeviceSpec spec;
+  const PartitionPlan plan = plan_partition(a, spec, pol);
+  EXPECT_LE(plan.regions.size(), 2u) << plan.summary();
+  for (const RowRegion& r : plan.regions) {
+    if (r.format != Format::kCrsd) continue;
+    EXPECT_EQ(r.config.mrows % spec.wavefront_size, 0) << plan.summary();
+  }
+}
+
+TEST(PartitionedMatrixSuite, CpuSpmvMatchesCooReference) {
+  const auto a = partially_diagonal(2048, 512, 16);
+  const auto m =
+      PartitionedMatrix<double>::build(a, plan_partition(a, {}));
+  ASSERT_GE(m.parts().size(), 1u);
+  EXPECT_GT(m.footprint_bytes(), 0u);
+
+  Rng rng(11);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  std::vector<double> got(static_cast<std::size_t>(a.num_rows()), -1.0);
+  std::vector<double> want(got.size());
+  m.spmv(x.data(), got.data());
+  a.spmv_reference(x.data(), want.data());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-12 * (1.0 + std::abs(want[i])))
+        << "row " << i;
+  }
+  EXPECT_TRUE(check::validate_against(m, a).empty());
+}
+
+TEST(PartitionedMatrixSuite, BuildRejectsOverlappingRegions) {
+  const auto a = partially_diagonal(1024, 256, 8);
+  PartitionPlan plan = plan_partition(a, {});
+  ASSERT_GE(plan.regions.size(), 2u) << plan.summary();
+  plan.regions[1].row_begin -= 128;  // overlap region 0
+  try {
+    PartitionedMatrix<double>::build(a, plan);
+    FAIL() << "overlapping regions must be rejected";
+  } catch (const check::DiagnosticError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics().front().code, check::Code::kPlanPartition);
+  }
+}
+
+TEST(PartitionedMatrixSuite, BuildRejectsNonCoveringRegions) {
+  const auto a = partially_diagonal(1024, 256, 8);
+  PartitionPlan plan = plan_partition(a, {});
+  plan.regions.back().row_end -= 64;  // leave a row gap at the end
+  EXPECT_THROW(PartitionedMatrix<double>::build(a, plan),
+               check::DiagnosticError);
+}
+
+TEST(PartitionedMatrixSuite, ValidatorFlagsWrongPerRegionMrows) {
+  const auto a = partially_diagonal(2048, 512, 16);
+  auto m = PartitionedMatrix<double>::build(a, plan_partition(a, {}));
+  ASSERT_TRUE(check::validate_against(m, a).empty());
+
+  // Plant the defect: the descriptor claims an mrows the container does not
+  // have. The partitioned validator must refute exactly this.
+  auto& parts = m.mutable_parts();
+  auto crsd_part =
+      std::find_if(parts.begin(), parts.end(),
+                   [](const auto& p) { return p.crsd != nullptr; });
+  ASSERT_NE(crsd_part, parts.end());
+  crsd_part->region.config.mrows *= 2;
+
+  const auto diags = check::validate_against(m, a);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.front().code, check::Code::kPlanPartition);
+  EXPECT_NE(diags.front().message.find("mrows"), std::string::npos)
+      << diags.front().message;
+}
+
+TEST(PartitionExecutorSuite, MatchesCpuReferenceAndOverlapsRegions) {
+  const auto a = partially_diagonal(2048, 512, 16);
+  BuildOptions opts;
+  opts.cache_dir = fresh_cache_dir("executor");
+  ThreadPool pool(4);
+  const auto m = build_partitioned(a, opts, &pool);
+  ASSERT_GE(m.parts().size(), 2u) << m.summary();
+
+  Rng rng(13);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  std::vector<double> want(static_cast<std::size_t>(a.num_rows()), -1.0);
+  m.spmv(x.data(), want.data());
+
+  gpusim::Device dev{gpusim::DeviceSpec{}};
+  std::vector<double> got(want.size(), -1.0);
+  const auto res = kernels::spmv(dev, m, x.data(), got.data(), {}, &pool);
+
+  // Native storage: the executor is bitwise-identical to the partitioned
+  // CPU reference — each region accumulates exactly as its standalone
+  // container would.
+  EXPECT_EQ(got, want);
+  EXPECT_GT(res.seconds, 0.0);
+  ASSERT_EQ(res.region_seconds.size(), m.parts().size());
+  double sum = 0.0;
+  for (double s : res.region_seconds) {
+    EXPECT_GT(s, 0.0);
+    sum += s;
+  }
+  EXPECT_DOUBLE_EQ(res.serial_seconds, sum);
+  // Regions overlap on the graph: the makespan cannot exceed the serial
+  // schedule, and with >= 2 busy queues it must beat it.
+  EXPECT_LT(res.seconds, res.serial_seconds);
+  EXPECT_GE(res.overlap_speedup(), 1.0);
+}
+
+TEST(PartitionExecutorSuite, DeterministicAcrossRuns) {
+  const auto a = partially_diagonal(1024, 512, 12);
+  BuildOptions opts;
+  opts.cache_dir = fresh_cache_dir("determinism");
+  const auto m = build_partitioned(a, opts);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<double> y1(static_cast<std::size_t>(a.num_rows()), -1.0);
+  std::vector<double> y2(y1.size(), -2.0);
+  gpusim::Device d1{gpusim::DeviceSpec{}};
+  gpusim::Device d2{gpusim::DeviceSpec{}};
+  ThreadPool pool(3);
+  const auto r1 = kernels::spmv(d1, m, x.data(), y1.data());
+  const auto r2 = kernels::spmv(d2, m, x.data(), y2.data(), {}, &pool);
+  EXPECT_EQ(y1, y2);
+  EXPECT_DOUBLE_EQ(r1.seconds, r2.seconds);
+  EXPECT_DOUBLE_EQ(r1.serial_seconds, r2.serial_seconds);
+}
+
+TEST(PartitionCacheSuite, WarmRunReusesPlanWithZeroMeasuredTrials) {
+  const auto a = partially_diagonal(2048, 512, 16);
+  BuildOptions opts;
+  opts.cache_dir = fresh_cache_dir("cache");
+  const gpusim::DeviceSpec spec;
+
+  const auto cold = kernels::plan_partition_cached(spec, a, opts);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.measured_trials, 0) << "cold run must refine mrows";
+
+  const auto warm = kernels::plan_partition_cached(spec, a, opts);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.measured_trials, 0);
+  EXPECT_EQ(warm.plan.summary(), cold.plan.summary());
+  EXPECT_EQ(warm.cache_key, cold.cache_key);
+}
+
+TEST(PartitionCacheSuite, PolicyChangeKeysADifferentEntry) {
+  const auto a = partially_diagonal(1024, 512, 12);
+  BuildOptions opts;
+  opts.cache_dir = fresh_cache_dir("cache-key");
+  const gpusim::DeviceSpec spec;
+  const auto base = kernels::plan_partition_cached(spec, a, opts);
+
+  BuildOptions other = opts;
+  other.partition.max_regions = 2;
+  const auto changed = kernels::plan_partition_cached(spec, a, other);
+  EXPECT_NE(changed.cache_key, base.cache_key);
+  EXPECT_FALSE(changed.cache_hit);
+}
+
+TEST(PartitionLaunchModelSuite, ExtractsOneCrsdModelPerCrsdRegion) {
+  const auto a = partially_diagonal(2048, 512, 16);
+  const auto m =
+      PartitionedMatrix<double>::build(a, plan_partition(a, {}));
+  analysis::AnalyzeOptions opts;
+  opts.spec = gpusim::DeviceSpec{};
+  const auto pm = analysis::build_launch_model(m, opts);
+
+  ASSERT_EQ(pm.regions.size(), m.parts().size());
+  EXPECT_EQ(pm.num_rows, a.num_rows());
+  index_t crsd_regions = 0;
+  for (std::size_t i = 0; i < pm.regions.size(); ++i) {
+    const auto& rm = pm.regions[i];
+    EXPECT_EQ(rm.region.row_begin, m.parts()[i].region.row_begin);
+    if (rm.region.format == Format::kCrsd) {
+      ++crsd_regions;
+      ASSERT_TRUE(rm.crsd.has_value());
+      EXPECT_EQ(rm.crsd->num_rows, rm.region.row_end - rm.region.row_begin);
+      EXPECT_EQ(rm.crsd->mrows, rm.region.config.mrows);
+    } else {
+      EXPECT_FALSE(rm.crsd.has_value());
+    }
+  }
+  EXPECT_EQ(pm.num_crsd_regions(), crsd_regions);
+  EXPECT_GE(crsd_regions, 1);
+}
+
+TEST(PartitionLaunchModelSuite, RejectsInvalidPartition) {
+  const auto a = partially_diagonal(1024, 256, 8);
+  auto m = PartitionedMatrix<double>::build(a, plan_partition(a, {}));
+  m.mutable_parts().front().region.row_end -= 32;  // break the cover
+  analysis::AnalyzeOptions opts;
+  opts.spec = gpusim::DeviceSpec{};
+  EXPECT_THROW(analysis::build_launch_model(m, opts),
+               check::DiagnosticError);
+}
+
+}  // namespace
+}  // namespace crsd

@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/paper_suite.hpp"
 #include "perf/cpu_model.hpp"
@@ -23,7 +23,7 @@ TEST(SweepCosts, OrderingOnScatteredDiagonalMatrix) {
   Rng rng(1);
   const auto a = fem_shell_like(8192, 16, 2, 8, 1.0, rng);
   const auto stats = compute_stats(a);
-  const auto crsd = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto crsd = build(a, CrsdConfig{.mrows = 64});
   const SweepCost csr = csr_sweep_cost(stats, 8);
   const SweepCost dia = dia_sweep_cost(stats, 8);
   const SweepCost ell = ell_sweep_cost(stats, 8);
@@ -53,11 +53,11 @@ TEST(SweepCosts, CrsdUsesActualStreamWidthsFromStats) {
   auto a = fem_shell_like(8192, 16, 2, 8, 1.0, rng);
   inject_scatter(a, 200, rng);
 
-  const auto fp64 = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto fp64 = build(a, CrsdConfig{.mrows = 64});
   CrsdConfig compact_cfg{.mrows = 64};
   compact_cfg.storage.value_precision = ValuePrecision::kFloat32;
   compact_cfg.storage.narrow_scatter_indices = true;
-  const auto fp32 = build_crsd(a, compact_cfg);
+  const auto fp32 = build(a, compact_cfg);
 
   const SweepCost full = crsd_sweep_cost(fp64.stats(), a.num_rows(), 8);
   const SweepCost diet = crsd_sweep_cost(fp32.stats(), a.num_rows(), 8);
@@ -72,7 +72,7 @@ TEST(SweepCosts, CrsdUsesActualStreamWidthsFromStats) {
   // Delta-compressed scatter columns cost their encoded byte count.
   CrsdConfig delta_cfg{.mrows = 64};
   delta_cfg.storage.delta_scatter_indices = true;
-  const auto delta = build_crsd(a, delta_cfg);
+  const auto delta = build(a, delta_cfg);
   ASSERT_EQ(delta.scatter_index_mode(), ScatterIndexMode::kDelta);
   const SweepCost delta_cost = crsd_sweep_cost(delta.stats(), a.num_rows(), 8);
   const size64_t scatter_slots =

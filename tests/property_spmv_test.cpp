@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "formats/csr.hpp"
 #include "formats/dia.hpp"
 #include "formats/ell.hpp"
@@ -55,7 +55,7 @@ void check_all_formats(const Coo<T>& a, double tol) {
   expect_close(y, want, tol, "ELL");
   HybMatrix<T>::from_coo(a).spmv(x.data(), y.data());
   expect_close(y, want, tol, "HYB");
-  build_crsd(a).spmv(x.data(), y.data());
+  build(a).spmv(x.data(), y.data());
   expect_close(y, want, tol, "CRSD");
 }
 
@@ -143,7 +143,7 @@ TEST_P(CrsdConfigSweep, MatchesReference) {
   cfg.mrows = mrows;
   cfg.fill_max_gap_segments = gap;
   cfg.live_min_fill = min_fill_pct / 100.0;
-  const auto m = build_crsd(a, cfg);
+  const auto m = build(a, cfg);
   const auto x = random_vector<double>(a.num_cols(), 5);
   std::vector<double> want(static_cast<std::size_t>(a.num_rows())),
       got(static_cast<std::size_t>(a.num_rows()));
@@ -186,7 +186,7 @@ INSTANTIATE_TEST_SUITE_P(Suite, PaperSuiteSpmv, ::testing::Range(1, 24),
 TEST(Linearity, CrsdIsLinearOperator) {
   Rng rng(123);
   const auto a = fem_shell_like(2048, 6, 2, 4, 1.0, rng);
-  const auto m = build_crsd(a);
+  const auto m = build(a);
   const auto x1 = random_vector<double>(a.num_cols(), 1);
   const auto x2 = random_vector<double>(a.num_cols(), 2);
   std::vector<double> combo(x1.size());

@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/inspect.hpp"
 #include "core/serialize.hpp"
 #include "matrix/generators.hpp"
@@ -104,9 +104,9 @@ TEST(Rcm, MakesScatteredMatrixCrsdFriendly) {
               shuffle.perm[static_cast<std::size_t>(rng.next_index(0, i))]);
   }
   const auto scrambled = permute_symmetric(band, shuffle);
-  const auto before = build_crsd(scrambled, CrsdConfig{.mrows = 32}).stats();
+  const auto before = build(scrambled, CrsdConfig{.mrows = 32}).stats();
   const auto after =
-      build_crsd(permute_symmetric(scrambled, reverse_cuthill_mckee(scrambled)),
+      build(permute_symmetric(scrambled, reverse_cuthill_mckee(scrambled)),
                  CrsdConfig{.mrows = 32})
           .stats();
   EXPECT_LT(after.num_scatter_rows, before.num_scatter_rows / 4);
@@ -115,7 +115,7 @@ TEST(Rcm, MakesScatteredMatrixCrsdFriendly) {
 TEST(Serialize, RoundTripPreservesEverything) {
   Rng rng(10);
   auto a = astro_convection(8, 8, 6, true, rng);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   std::stringstream buf;
   write_crsd(buf, m);
   const CrsdMatrix<double> loaded = read_crsd<double>(buf);
@@ -139,7 +139,7 @@ TEST(Serialize, RoundTripPreservesEverything) {
 
 TEST(Serialize, FloatRoundTripAndPrecisionGuard) {
   const auto a = dense_band(128, 2).cast<float>();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   std::stringstream buf;
   write_crsd(buf, m);
   const std::string payload = buf.str();
@@ -157,7 +157,7 @@ TEST(Serialize, RejectsGarbageAndTruncation) {
   EXPECT_THROW(read_crsd<double>(junk), Error);
 
   const auto a = dense_band(64, 1);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   std::stringstream buf;
   write_crsd(buf, m);
   const std::string payload = buf.str();
@@ -169,7 +169,7 @@ class SerializeSuite : public ::testing::TestWithParam<int> {};
 
 TEST_P(SerializeSuite, SuiteMatricesRoundTrip) {
   const auto a = paper_matrix(GetParam()).generate(0.01);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   std::stringstream buf;
   write_crsd(buf, m);
   const auto loaded = read_crsd<double>(buf);

@@ -3,7 +3,7 @@
 // values). This pins the *storage* itself, independent of SpMV.
 #include <gtest/gtest.h>
 
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/inspect.hpp"
 #include "formats/csr.hpp"
 #include "formats/dia.hpp"
@@ -35,7 +35,7 @@ TEST_P(RoundTripSuite, AllFormatsReconstructExactly) {
   expect_same_matrix(DiaMatrix<double>::from_coo(a).to_coo(), a, "DIA");
   expect_same_matrix(EllMatrix<double>::from_coo(a).to_coo(), a, "ELL");
   expect_same_matrix(HybMatrix<double>::from_coo(a).to_coo(), a, "HYB");
-  expect_same_matrix(crsd_to_coo(build_crsd(a)), a, "CRSD");
+  expect_same_matrix(crsd_to_coo(build(a)), a, "CRSD");
 }
 
 INSTANTIATE_TEST_SUITE_P(Suite, RoundTripSuite, ::testing::Range(1, 24),
@@ -51,7 +51,7 @@ TEST(RoundTrip, CrsdKeepsScatterRowsOnceRegardlessOfZeroing) {
     CrsdConfig cfg;
     cfg.mrows = 32;
     cfg.zero_scatter_rows_in_dia = zero;
-    const auto m = build_crsd(a, cfg);
+    const auto m = build(a, cfg);
     ASSERT_GT(m.num_scatter_rows(), 0);
     expect_same_matrix(crsd_to_coo(m), a, zero ? "zeroed" : "kept");
   }
@@ -63,7 +63,7 @@ TEST(RoundTrip, CrsdMrowsSweep) {
   for (index_t mrows : {1, 16, 64, 300}) {
     CrsdConfig cfg;
     cfg.mrows = mrows;
-    expect_same_matrix(crsd_to_coo(build_crsd(a, cfg)), a, "mrows");
+    expect_same_matrix(crsd_to_coo(build(a, cfg)), a, "mrows");
   }
 }
 
@@ -82,14 +82,14 @@ TEST(RoundTrip, RectangularFormats) {
   expect_same_matrix(CsrMatrix<double>::from_coo(a).to_coo(), a, "CSR");
   expect_same_matrix(DiaMatrix<double>::from_coo(a).to_coo(), a, "DIA");
   expect_same_matrix(EllMatrix<double>::from_coo(a).to_coo(), a, "ELL");
-  expect_same_matrix(crsd_to_coo(build_crsd(a)), a, "CRSD");
+  expect_same_matrix(crsd_to_coo(build(a)), a, "CRSD");
 }
 
 TEST(RoundTrip, SingleEntryMatrix) {
   Coo<double> a(5, 5);
   a.add(3, 1, 2.5);
   a.canonicalize();
-  expect_same_matrix(crsd_to_coo(build_crsd(a)), a, "CRSD");
+  expect_same_matrix(crsd_to_coo(build(a)), a, "CRSD");
   expect_same_matrix(HybMatrix<double>::from_coo(a).to_coo(), a, "HYB");
 }
 

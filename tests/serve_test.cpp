@@ -13,7 +13,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 #include "obs/metrics.hpp"
 #include "serve/serve.hpp"

@@ -8,7 +8,7 @@
 
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "formats/csr.hpp"
 #include "matrix/generators.hpp"
 #include "solver/solvers.hpp"
@@ -50,14 +50,14 @@ TEST(ConjugateGradient, SolvesPoissonWithCsrBackend) {
 
 TEST(ConjugateGradient, SolvesPoissonWithCrsdBackend) {
   const auto a = stencil_5pt_2d(24, 24);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   check_cg_recovers(a, [&](const double* x, double* y) { m.spmv(x, y); },
                     1e-7);
 }
 
 TEST(ConjugateGradient, SolvesWithJitCodeletBackend) {
   const auto a = stencil_5pt_2d(20, 20);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  const auto m = build(a, CrsdConfig{.mrows = 32});
   codegen::JitCompiler::Options jopts;
   jopts.cache_dir = (std::filesystem::temp_directory_path() /
                      ("crsd-solver-cache-" + std::to_string(::getpid())))

@@ -17,7 +17,7 @@
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/exec_plan.hpp"
 #include "core/update.hpp"
 #include "kernels/cpu_spmm.hpp"
@@ -194,7 +194,7 @@ TEST(ThreadPoolPlan, MorePartsThanWorkStillRuns) {
 
 TEST(ExecPlan, SlicesCoverEverySegmentExactlyOnce) {
   const auto a = random_pattern_matrix(300, 14, 99, 12);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   ExecPlanOptions opts;
   opts.num_threads = 3;
   const auto plan = ExecPlan<double>::inspect(m, opts);
@@ -225,7 +225,7 @@ TEST(ExecPlan, SlicesCoverEverySegmentExactlyOnce) {
 
 TEST(ExecPlan, DiagSourcesStageAdjacentGroupsOnly) {
   const auto a = random_pattern_matrix(256, 12, 7, 0);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   const auto plan = ExecPlan<double>::inspect(m);
   for (std::size_t pi = 0; pi < m.patterns().size(); ++pi) {
     const auto& pat = m.patterns()[pi];
@@ -256,7 +256,7 @@ TEST(ExecPlan, DiagSourcesStageAdjacentGroupsOnly) {
 
 TEST(ExecPlan, ValueUpdateKeepsPlanValidRebuildInvalidates) {
   auto a = random_pattern_matrix(200, 10, 21, 8);
-  auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  auto m = build(a, CrsdConfig{.mrows = 16});
   const auto plan = ExecPlan<double>::inspect(m);
   EXPECT_TRUE(plan.matches(m));
 
@@ -273,7 +273,7 @@ TEST(ExecPlan, ValueUpdateKeepsPlanValidRebuildInvalidates) {
 
   // Structurally different matrix: rejected at executor entry.
   const auto b = random_pattern_matrix(200, 11, 22, 8);
-  const auto mb = build_crsd(b, CrsdConfig{.mrows = 16});
+  const auto mb = build(b, CrsdConfig{.mrows = 16});
   EXPECT_FALSE(plan.matches(mb));
   EXPECT_THROW(plan.check_matches(mb), Error);
   EXPECT_THROW(SpmmEngine<double>(mb, plan), Error);
@@ -281,7 +281,7 @@ TEST(ExecPlan, ValueUpdateKeepsPlanValidRebuildInvalidates) {
 
 TEST(ExecPlan, FirstTouchZeroesOwnedRowsOnly) {
   const auto a = random_pattern_matrix(180, 8, 33, 0);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   ExecPlanOptions opts;
   opts.num_threads = 2;
   const auto plan = ExecPlan<double>::inspect(m, opts);
@@ -313,7 +313,7 @@ class SpmmParity
 TEST_P(SpmmParity, ColumnsMatchSingleVectorSweepsBitwise) {
   const auto [n, mrows, scatter] = GetParam();
   const auto a = random_pattern_matrix(n, 12, 31u * n + mrows, scatter);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = mrows});
+  const auto m = build(a, CrsdConfig{.mrows = mrows});
   // k = 5 exercises the 4-vector and 1-vector register blocks.
   const index_t k = 5;
   const size64_t ldx = static_cast<size64_t>(m.num_cols());
@@ -354,7 +354,7 @@ TEST_P(SpmmParity, FloatColumnsMatchSingleVectorSweepsBitwise) {
   const auto [n, mrows, scatter] = GetParam();
   const auto a64 = random_pattern_matrix(n, 10, 47u * n + mrows, scatter);
   const auto a = a64.cast<float>();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = mrows});
+  const auto m = build(a, CrsdConfig{.mrows = mrows});
   const index_t k = 3;  // 2-vector + 1-vector blocks
   const size64_t ldx = static_cast<size64_t>(m.num_cols());
   const size64_t ldy = static_cast<size64_t>(m.num_rows());
@@ -381,7 +381,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SpmmEngine, PlanDrivenSingleVectorMatchesSpmv) {
   const auto a = random_pattern_matrix(250, 12, 3, 20);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   ExecPlanOptions opts;
   opts.num_threads = 2;
   const auto plan = ExecPlan<double>::inspect(m, opts);
@@ -398,7 +398,7 @@ TEST(SpmmEngine, PlanDrivenSingleVectorMatchesSpmv) {
 
 TEST(SpmmEngine, WideBatchCoversAllRegisterBlocks) {
   const auto a = random_pattern_matrix(150, 10, 9, 10);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   const auto plan = ExecPlan<double>::inspect(m);
   const SpmmEngine<double> engine(m, plan);
   const index_t k = 15;  // 8 + 4 + 2 + 1
@@ -422,7 +422,7 @@ TEST(JitSpmm, AppliesAllBlockSizesWithinTolerance) {
     GTEST_SKIP() << "no C++ compiler available for JIT";
   }
   const auto a = random_pattern_matrix(160, 8, 41, 12);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   auto compiler = fresh_compiler();
   const auto kernel = codegen::make_jit_spmm_kernel(m, compiler);
   ASSERT_TRUE(kernel.has_value()) << "lint rejected generated SpMM source";
@@ -450,8 +450,8 @@ TEST(JitSpmm, AppliesAllBlockSizesWithinTolerance) {
 TEST(JitSpmm, LintRejectsSourceForDifferentStructure) {
   const auto a = random_pattern_matrix(160, 8, 41, 12);
   const auto b = random_pattern_matrix(160, 11, 43, 4);
-  const auto ma = build_crsd(a, CrsdConfig{.mrows = 16});
-  const auto mb = build_crsd(b, CrsdConfig{.mrows = 16});
+  const auto ma = build(a, CrsdConfig{.mrows = 16});
+  const auto mb = build(b, CrsdConfig{.mrows = 16});
   const std::string src_a = codegen::generate_cpu_spmm_codelet_source(ma);
   const std::vector<check::Diagnostic> findings =
       codegen::lint_cpu_spmm_codelet_source(mb, src_a, {8, 4, 2, 1});
@@ -461,7 +461,7 @@ TEST(JitSpmm, LintRejectsSourceForDifferentStructure) {
 
 TEST(JitSpmm, GeneratedSourcePassesOwnLint) {
   const auto a = random_pattern_matrix(220, 12, 53, 16);
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  const auto m = build(a, CrsdConfig{.mrows = 64});
   const std::string src = codegen::generate_cpu_spmm_codelet_source(m);
   const std::vector<check::Diagnostic> findings =
       codegen::lint_cpu_spmm_codelet_source(m, src, {8, 4, 2, 1});
@@ -537,7 +537,7 @@ TEST(BlockCg, SolvesSpdSystemForMultipleRhs) {
     }
   }
   a.canonicalize();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   const auto plan = ExecPlan<double>::inspect(m);
   const SpmmEngine<double> engine(m, plan);
 
@@ -574,7 +574,7 @@ TEST(BlockCg, SingleColumnAgreesWithScalarCg) {
     }
   }
   a.canonicalize();
-  const auto m = build_crsd(a, CrsdConfig{.mrows = 16});
+  const auto m = build(a, CrsdConfig{.mrows = 16});
   const auto plan = ExecPlan<double>::inspect(m);
   const SpmmEngine<double> engine(m, plan);
 

@@ -7,7 +7,7 @@
 
 #include "codegen/crsd_jit_kernel.hpp"
 #include "common/rng.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/update.hpp"
 #include "formats/dcsr.hpp"
 #include "matrix/generators.hpp"
@@ -30,7 +30,7 @@ Coo<double> rescaled(const Coo<double>& a, double factor, double shift) {
 TEST(UpdateValues, RefreshedMatrixComputesNewProduct) {
   Rng rng(1);
   auto a = astro_convection(8, 8, 6, true, rng);
-  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  auto m = build(a, CrsdConfig{.mrows = 32});
   const auto a2 = rescaled(a, -2.5, 0.125);
   update_values(m, a2);
 
@@ -49,7 +49,7 @@ TEST(UpdateValues, KeepsCompiledCodeletValid) {
   // The codelet is specialized to structure, not values: after a value
   // refresh the same compiled kernel must compute the new product.
   const auto a = stencil_5pt_2d(16, 16);
-  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  auto m = build(a, CrsdConfig{.mrows = 32});
   codegen::JitCompiler::Options jopts;
   jopts.cache_dir = (std::filesystem::temp_directory_path() /
                      ("crsd-upd-" + std::to_string(::getpid())))
@@ -73,7 +73,7 @@ TEST(UpdateValues, ScatterRowsRefreshedToo) {
   Rng rng(2);
   auto a = dense_band(256, 2);
   inject_scatter(a, 30, rng);
-  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  auto m = build(a, CrsdConfig{.mrows = 32});
   ASSERT_GT(m.num_scatter_rows(), 0);
   const auto a2 = rescaled(a, 0.5, -1.0);
   update_values(m, a2);
@@ -85,7 +85,7 @@ TEST(UpdateValues, ScatterRowsRefreshedToo) {
 
 TEST(UpdateValues, RejectsStructureChanges) {
   const auto a = dense_band(128, 2);
-  auto m = build_crsd(a, CrsdConfig{.mrows = 32});
+  auto m = build(a, CrsdConfig{.mrows = 32});
 
   // Different nnz count.
   Coo<double> fewer(128, 128);
@@ -117,7 +117,7 @@ TEST(UpdateValues, RejectsStructureChanges) {
 
 TEST(UpdateValues, SuiteMatrixRoundTrip) {
   const auto a = paper_matrix(18).generate(0.02);
-  auto m = build_crsd(a, CrsdConfig{.mrows = 64});
+  auto m = build(a, CrsdConfig{.mrows = 64});
   // Updating with the original values is a no-op.
   const auto dia_before = m.dia_values();
   update_values(m, a);

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "check/validate.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "matrix/generators.hpp"
 
 namespace crsd::check {
@@ -174,12 +174,12 @@ TEST(Validate, CleanOnBuilderOutput) {
   cfg.mrows = 16;
   // CRSD_VALIDATE_BUILD already ran validate_or_throw inside build_crsd;
   // re-run both validators explicitly to assert zero diagnostics.
-  const CrsdMatrix<double> m = build_crsd(a, cfg);
+  const CrsdMatrix<double> m = build(a, cfg);
   EXPECT_TRUE(validate(m).empty());
   EXPECT_TRUE(validate_against(m, a).empty());
 
   const Coo<double> b = stencil_5pt_2d(20, 12);
-  const CrsdMatrix<double> mb = build_crsd(b, cfg);
+  const CrsdMatrix<double> mb = build(b, cfg);
   EXPECT_TRUE(validate(mb).empty());
   EXPECT_TRUE(validate_against(mb, b).empty());
 }
@@ -188,7 +188,7 @@ TEST(Validate, AgainstSourceCatchesValueDrift) {
   const Coo<double> a = stencil_5pt_2d(16, 8);
   CrsdConfig cfg;
   cfg.mrows = 16;
-  CrsdMatrix<double> m = build_crsd(a, cfg);
+  CrsdMatrix<double> m = build(a, cfg);
 
   std::vector<double> dia = m.dia_values();
   std::vector<double> sv = m.scatter_val();
@@ -208,7 +208,7 @@ TEST(Validate, AgainstSourceCatchesDroppedEntry) {
   const Coo<double> a = stencil_5pt_2d(16, 8);
   CrsdConfig cfg;
   cfg.mrows = 16;
-  CrsdMatrix<double> m = build_crsd(a, cfg);
+  CrsdMatrix<double> m = build(a, cfg);
 
   std::vector<double> dia = m.dia_values();
   for (std::size_t i = 0; i < dia.size(); ++i) {

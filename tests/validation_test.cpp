@@ -8,7 +8,7 @@
 
 #include "codegen/jit.hpp"
 #include "common/log.hpp"
-#include "core/builder.hpp"
+#include "core/build_api.hpp"
 #include "core/crsd_matrix.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/stats.hpp"
@@ -124,7 +124,7 @@ TEST(Log, ThresholdFilters) {
 TEST(CooValidation, NonCanonicalInputsRejectedEverywhere) {
   Coo<double> a(4, 4);
   a.add(0, 0, 1.0);  // never canonicalized
-  EXPECT_THROW(build_crsd(a), Error);
+  EXPECT_THROW(build(a), Error);
   EXPECT_THROW(compute_stats(a), Error);
 }
 
